@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 1: tiling in CUDA vs OpenACC.
+
+Runs the full simulated pipeline behind the paper's Figure 1 and checks
+every qualitative claim recorded from the paper text (see EXPERIMENTS.md).
+The benchmark time is the cost of regenerating the whole artifact.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_fig1_tiling_codegen(benchmark):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["fig1"], rounds=1, iterations=1, warmup_rounds=0
+    )
+    failed = result.failed_claims()
+    assert not failed, "\n".join(str(claim) for claim in failed)

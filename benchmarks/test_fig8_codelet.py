@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 8: advanced thread-distribution codelet.
+
+Runs the full simulated pipeline behind the paper's Figure 8 and checks
+every qualitative claim recorded from the paper text (see EXPERIMENTS.md).
+The benchmark time is the cost of regenerating the whole artifact.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_fig8_codelet(benchmark):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["fig8"], rounds=1, iterations=1, warmup_rounds=0
+    )
+    failed = result.failed_claims()
+    assert not failed, "\n".join(str(claim) for claim in failed)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table I: compiler flags used in the method.
+
+Runs the full simulated pipeline behind the paper's Table I and checks
+every qualitative claim recorded from the paper text (see EXPERIMENTS.md).
+The benchmark time is the cost of regenerating the whole artifact.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_table1_flags(benchmark):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["table1"], rounds=1, iterations=1, warmup_rounds=0
+    )
+    failed = result.failed_claims()
+    assert not failed, "\n".join(str(claim) for claim in failed)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The paper's PTX methodology on your own kernel.
+
+Compiles one OpenACC source with the CAPS and PGI models plus a
+hand-written OpenCL twin, prints the three PTX listings side by side as
+static category counts (paper Table V), and shows how each optimization
+step of the systematic method moves the counts — a miniature of
+Figures 6/9/11/14.
+
+Run:  python examples/ptx_analysis.py
+"""
+
+from repro import compile_openacc, parse_kernel, parse_module
+from repro.compilers import NvidiaOpenCLCompiler, OpenCLKernelSpec, OpenCLProgram
+from repro.core.method import ptx_profile
+from repro.ir import HmppUnroll
+from repro.ptx.counter import format_comparison
+from repro.transforms import add_independent, set_gang_worker, tile_in_kernel
+
+SOURCE = """
+#pragma acc kernels
+void stencil(float *out, const float *in, int n) {
+  int i;
+  for (i = 1; i < n - 1; i++) {
+    out[i] = 0.25f * in[i - 1] + 0.5f * in[i] + 0.25f * in[i + 1];
+  }
+}
+"""
+
+
+def main() -> None:
+    base = parse_module(SOURCE, "stencil")
+
+    # the method's stages, as source-level transformations
+    from repro.ir import Module
+    from repro.ir.visitors import clone_module
+
+    indep = clone_module(base)
+    indep.kernels = [add_independent(k, force_vars={"i"}).kernel
+                     for k in indep.kernels]
+
+    dist = clone_module(indep)
+    dist.kernels = [
+        set_gang_worker(k, k.loops()[0].loop_id, 256, 16)
+        for k in dist.kernels
+    ]
+
+    unroll = clone_module(indep)
+    for kernel in unroll.kernels:
+        loop = kernel.loops()[0]
+        loop.directives = loop.directives.with_added(HmppUnroll(4))
+
+    tile = clone_module(indep)
+    tile.kernels = [
+        tile_in_kernel(k, k.loops()[0].loop_id, 16) for k in tile.kernels
+    ]
+
+    # a hand-written OpenCL twin
+    ocl_kernel = parse_kernel(
+        SOURCE.replace("#pragma acc kernels", "").replace("void stencil",
+                                                          "void ocl_stencil")
+    )
+    ocl = NvidiaOpenCLCompiler().compile(
+        OpenCLProgram("stencil-ocl", [
+            OpenCLKernelSpec(
+                kernel=ocl_kernel,
+                parallel_loop_ids=[ocl_kernel.loops()[0].loop_id],
+            )
+        ])
+    )
+
+    profiles = {}
+    for label, module in (("caps-base", base), ("caps-indep", indep),
+                          ("caps-dist", dist), ("caps-unroll", unroll),
+                          ("caps-tile", tile)):
+        profiles[label] = ptx_profile(
+            compile_openacc(module, compiler="caps", target="cuda")
+        )
+    profiles["pgi-base"] = ptx_profile(
+        compile_openacc(base, compiler="pgi", target="cuda")
+    )
+    profiles["opencl"] = ptx_profile(ocl)
+
+    print("static PTX instruction counts by Table V category:")
+    print(format_comparison(profiles))
+
+    print()
+    print("paper-style observations:")
+    print(f"  PGI > CAPS in total:           "
+          f"{profiles['pgi-base'].total} vs {profiles['caps-base'].total}")
+    print(f"  thread distribution kept PTX:  "
+          f"{profiles['caps-dist'].by_opcode == profiles['caps-base'].by_opcode}")
+    print(f"  unroll grew CAPS PTX:          "
+          f"{profiles['caps-unroll'].total > profiles['caps-indep'].total}")
+    print(f"  tiling used shared memory:     "
+          f"{profiles['caps-tile'].uses_shared_memory}  "
+          "(OpenACC cannot — paper Fig. 1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""Polynomial (monomial-map) representation of index expressions.
+
+Array subscripts in the benchmark kernels are integer polynomials over loop
+indices and loop-invariant size parameters (``i * size + j``,
+``(hid + 1) * (k + 1) + j + 1`` ...).  We canonicalize them into a mapping
+
+    monomial (sorted tuple of variable names) -> integer coefficient
+
+so that two subscripts are *provably equal* iff their maps are equal, and
+the coefficient of a loop variable can be read off for stride analysis.
+
+Expressions that are not integer polynomials (division, intrinsic calls,
+indirect references like ``cost[edges[t]]``) canonicalize to ``None`` —
+"not analyzable" — which dependence analysis treats conservatively.
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import (
+    ArrayRef,
+    BinOp,
+    Cast,
+    Expr,
+    FloatLit,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+
+#: monomial-map type: {("i","size"): 1, ("j",): 1, (): 4}
+LinearForm = dict[tuple[str, ...], int]
+
+
+def _mono_mul(a: tuple[str, ...], b: tuple[str, ...]) -> tuple[str, ...]:
+    return tuple(sorted(a + b))
+
+
+def _add(a: LinearForm, b: LinearForm, sign: int = 1) -> LinearForm:
+    out = dict(a)
+    for mono, coeff in b.items():
+        out[mono] = out.get(mono, 0) + sign * coeff
+        if out[mono] == 0:
+            del out[mono]
+    return out
+
+
+def _mul(a: LinearForm, b: LinearForm) -> LinearForm:
+    out: LinearForm = {}
+    for mono_a, coeff_a in a.items():
+        for mono_b, coeff_b in b.items():
+            mono = _mono_mul(mono_a, mono_b)
+            out[mono] = out.get(mono, 0) + coeff_a * coeff_b
+            if out[mono] == 0:
+                del out[mono]
+    return out
+
+
+def linearize(expr: Expr) -> LinearForm | None:
+    """Canonicalize *expr* into a monomial map, or ``None`` if not polynomial."""
+    if isinstance(expr, IntLit):
+        return {(): expr.value} if expr.value else {}
+    if isinstance(expr, FloatLit):
+        return None  # float subscripts never occur in valid kernels
+    if isinstance(expr, Var):
+        return {(expr.name,): 1}
+    if isinstance(expr, Cast):
+        return linearize(expr.operand) if expr.dtype.is_integer else None
+    if isinstance(expr, UnaryOp):
+        inner = linearize(expr.operand)
+        if inner is None or expr.op not in ("-", "+"):
+            return None
+        return inner if expr.op == "+" else {m: -c for m, c in inner.items()}
+    if isinstance(expr, BinOp):
+        if expr.op not in ("+", "-", "*"):
+            return None
+        lhs = linearize(expr.lhs)
+        rhs = linearize(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        if expr.op == "+":
+            return _add(lhs, rhs)
+        if expr.op == "-":
+            return _add(lhs, rhs, -1)
+        return _mul(lhs, rhs)
+    if isinstance(expr, (ArrayRef, Ternary)):
+        return None  # indirect or conditional subscript
+    return None
+
+
+def variables(form: LinearForm) -> set[str]:
+    """All variable names occurring in any monomial of *form*."""
+    names: set[str] = set()
+    for mono in form:
+        names.update(mono)
+    return names
+
+
+def split_on(form: LinearForm, var: str) -> tuple[LinearForm, LinearForm]:
+    """Split *form* into (part containing *var*, part not containing it)."""
+    with_var: LinearForm = {}
+    without: LinearForm = {}
+    for mono, coeff in form.items():
+        (with_var if var in mono else without)[mono] = coeff
+    return with_var, without
+
+
+def coefficient_of(form: LinearForm, var: str) -> LinearForm | None:
+    """The cofactor of *var* in *form* (i.e. d(form)/d(var)) if *form* is
+    linear in *var*; ``None`` if *var* appears squared or higher."""
+    result: LinearForm = {}
+    for mono, coeff in form.items():
+        count = mono.count(var)
+        if count == 0:
+            continue
+        if count > 1:
+            return None
+        rest = tuple(name for name in mono if name != var)
+        result[rest] = result.get(rest, 0) + coeff
+    return result
+
+
+def constant_value(form: LinearForm) -> int | None:
+    """The integer value of *form* if it is a constant, else ``None``."""
+    if not form:
+        return 0
+    if set(form) == {()}:
+        return form[()]
+    return None
+
+
+def forms_equal(a: LinearForm | None, b: LinearForm | None) -> bool:
+    """Provable equality: both analyzable and identical maps."""
+    return a is not None and b is not None and a == b
+
+
+def difference(a: LinearForm, b: LinearForm) -> LinearForm:
+    return _add(a, b, -1)
+
+
+def evaluate(form: LinearForm, env: dict[str, int]) -> int:
+    """Evaluate a monomial map given concrete variable values."""
+    total = 0
+    for mono, coeff in form.items():
+        value = coeff
+        for name in mono:
+            value *= env[name]
+        total += value
+    return total

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE``   — run a mini-C + OpenACC source through a compiler
+  model; print the log, the schedule, and (optionally) the PTX.
+* ``analyze FILE``   — per-loop dependence report (paper Step 1's view).
+* ``bench NAME``     — drive one benchmark's optimization stages and print
+  the paper-style elapsed-time table.
+* ``experiment ID``  — regenerate one paper table/figure (or ``all``).
+* ``heatmap``        — the Fig. 4 thread-distribution heat map.
+* ``autotune``       — the future-work auto-tuner on LUD.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .core.method import compile_stage
+    from .frontend import parse_module
+
+    source = Path(args.file).read_text()
+    module = parse_module(source, Path(args.file).stem)
+    compiled = compile_stage(module, args.compiler, args.target)
+    print(f"# {compiled.compiler} -> {compiled.target}")
+    for line in compiled.log:
+        print(f"log: {line}")
+    env = {"n": args.size, "size": args.size, "num_nodes": args.size}
+    for kernel in compiled.kernels:
+        config = kernel.launch_config(env)
+        print(f"\nkernel {kernel.name}: {kernel.distribution.strategy.value}"
+              f" -> {config.describe()}")
+        if args.ptx and kernel.ptx is not None:
+            print(kernel.ptx.render())
+        if kernel.ptx is not None and not args.ptx:
+            from .ptx.counter import InstructionProfile
+
+            row = InstructionProfile.of(kernel.ptx).as_row()
+            print("  static PTX:",
+                  ", ".join(f"{k}={v}" for k, v in row.items()))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.dependence import analyze_loop
+    from .frontend import parse_module
+
+    source = Path(args.file).read_text()
+    module = parse_module(source, Path(args.file).stem)
+    for kernel in module.kernels:
+        print(f"kernel {kernel.name}:")
+        for loop in kernel.loops():
+            report = analyze_loop(loop)
+            print(f"  loop over {loop.var!r}: {report.verdict.value}")
+            for reason in report.reasons:
+                print(f"    - {reason}")
+            for reduction in report.reductions:
+                print(f"    - reduction candidate: "
+                      f"{reduction.op}:{reduction.var}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .core.method import format_rows, run_opencl, run_stage
+    from .devices import device_by_name
+    from .kernels import get_benchmark
+
+    bench = get_benchmark(args.name)
+    n = args.size or min(bench.meta.paper_size, 1 << 20)
+    device = device_by_name(args.device)
+    target = "cuda" if device.kind.value == "gpu" else "opencl"
+    rows = []
+    for stage, module in bench.stages().items():
+        rows.append(
+            run_stage(bench, module, stage, args.compiler, target, device, n)
+        )
+    if args.opencl and bench.opencl_program() is not None:
+        rows.append(run_opencl(bench, "opencl", device, n))
+    print(f"{bench.meta.name} (n = {n}) on {device.name} via {args.compiler}")
+    print(format_rows(rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import ALL_EXPERIMENTS
+
+    names = list(ALL_EXPERIMENTS) if "all" in args.ids else args.ids
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; choose from "
+              f"{sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in names:
+        result = ALL_EXPERIMENTS[name](paper_scale=args.paper_scale)
+        print(result.report())
+        print()
+        failures += len(result.failed_claims())
+    return 1 if failures else 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    from .core.search import lud_heatmap
+    from .devices import device_by_name
+    from .kernels import get_benchmark
+
+    device = device_by_name(args.device)
+    heatmap = lud_heatmap(get_benchmark("lud"), device, args.compiler,
+                          n=args.size)
+    print(heatmap.render())
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    from .core.autotune import (
+        exhaustive_tune,
+        hill_climb_tune,
+        make_lud_evaluator,
+        portable_tune,
+    )
+    from .devices import K40, PHI_5110P
+    from .kernels import get_benchmark
+
+    bench = get_benchmark("lud")
+    ev_gpu = make_lud_evaluator(bench, K40, n=args.size)
+    ev_mic = make_lud_evaluator(bench, PHI_5110P, n=args.size)
+    print("exhaustive (K40):  ", exhaustive_tune(ev_gpu,
+                                                 device_name="K40").describe())
+    print("hill climb (K40):  ", hill_climb_tune(ev_gpu,
+                                                 device_name="K40").describe())
+    portable, per_device = portable_tune({"gpu": ev_gpu, "mic": ev_mic})
+    print("portable (GPU+MIC):", portable.describe())
+    for name, seconds in sorted(per_device.items()):
+        print(f"  {name}: {seconds:.4g}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated OpenACC performance-portability tool-chain "
+                    "(IPPS 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a mini-C + OpenACC source")
+    p.add_argument("file")
+    p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
+    p.add_argument("--target", choices=("cuda", "opencl"), default="cuda")
+    p.add_argument("--ptx", action="store_true", help="print full listings")
+    p.add_argument("--size", type=int, default=4096,
+                   help="problem size for launch-config resolution")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("analyze", help="per-loop dependence report")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("bench", help="drive one benchmark's stages")
+    p.add_argument("name", choices=("lud", "ge", "bfs", "bp", "hydro"))
+    p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
+    p.add_argument("--device", default="gpu")
+    p.add_argument("--size", type=int, default=None)
+    p.add_argument("--opencl", action="store_true",
+                   help="include the hand-written OpenCL version")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("experiment", help="regenerate paper tables/figures")
+    p.add_argument("ids", nargs="+",
+                   help="experiment ids (e.g. fig3 table7) or 'all'")
+    p.add_argument("--paper-scale", action="store_true")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("heatmap", help="the Fig. 4 heat map")
+    p.add_argument("--device", default="gpu")
+    p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
+    p.add_argument("--size", type=int, default=2048)
+    p.set_defaults(func=_cmd_heatmap)
+
+    p = sub.add_parser("autotune", help="auto-tune LUD thread distribution")
+    p.add_argument("--size", type=int, default=1024)
+    p.set_defaults(func=_cmd_autotune)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

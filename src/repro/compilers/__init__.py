@@ -1,0 +1,45 @@
+"""Simulated OpenACC/OpenCL tool-chains: CAPS 3.4.1, PGI 14.9, OpenCL."""
+
+from .caps import CAPS_CUDA_STYLE, CapsCompiler, generated_codelet
+from .flags import TABLE_I, FlagError, FlagInfo, FlagSet
+from .framework import (
+    PARALLELISM_MAPPING,
+    CompilationError,
+    CompilationResult,
+    CompiledKernel,
+    DistStrategy,
+    ThreadDistribution,
+)
+from .opencl import (
+    NV_OPENCL_STYLE,
+    IntelOpenCLCompiler,
+    NvidiaOpenCLCompiler,
+    OpenCLKernelSpec,
+    OpenCLProgram,
+    compile_opencl,
+)
+from .pgi import PGI_CUDA_STYLE, PgiCompiler
+
+__all__ = [
+    "CAPS_CUDA_STYLE",
+    "NV_OPENCL_STYLE",
+    "PARALLELISM_MAPPING",
+    "PGI_CUDA_STYLE",
+    "TABLE_I",
+    "CapsCompiler",
+    "CompilationError",
+    "CompilationResult",
+    "CompiledKernel",
+    "DistStrategy",
+    "FlagError",
+    "FlagInfo",
+    "FlagSet",
+    "IntelOpenCLCompiler",
+    "NvidiaOpenCLCompiler",
+    "OpenCLKernelSpec",
+    "OpenCLProgram",
+    "PgiCompiler",
+    "ThreadDistribution",
+    "compile_opencl",
+    "generated_codelet",
+]

@@ -1,0 +1,399 @@
+"""The CAPS compiler model (CAPS Entreprise HMPP/OpenACC 3.4.1).
+
+CAPS is a source-to-source compiler emitting CUDA or OpenCL codelets.
+Behaviours implemented from the paper:
+
+* **Default-distribution bug** (V-A2): without explicit distribution the
+  compilation log claims "Loop 'i' was shared among gangs(192) and
+  workers(256)", but the generated codelet actually runs gang(1) x
+  worker(1) — sequentially.  ("we find it actually sets to gang(1) and
+  worker(1) when we examine the generated HMPP codelet files ... it may
+  be a bug of the CAPS compiler.")
+* **Gang mode** (III-B): explicit ``gang(n)``/``worker(m)`` clauses are
+  honored; grid [n,1,1], block threads m (Table VI prints [1,m,1]).
+* **Gridify mode** (III-B): only when ``independent`` is present; block
+  32x4 by default (``#pragma hmppcg blocksize`` or the
+  ``-Xhmppcg -grid-block-size`` flag override it); 1-D grid for a single
+  loop, 2-D for a nested independent pair.
+* **Unroll-and-jam** (III-C, V-B3, V-D1): the CUDA backend silently fails
+  to apply ``unroll(n), jam`` when jamming is actually required (a nested
+  loop body), emitting a success message anyway — "the CAPS compiler just
+  provided the fake successful message".  Plain unrolling of an innermost
+  loop works.  The OpenCL backend applies the directive for real.
+* **Tiling** (III-D): supported, but the tiled code still reads global
+  memory — no shared-memory staging (Fig. 1b), so no ld.shared/st.shared
+  appear and performance does not improve.
+* **Reduction** (V-D2): the CUDA backend emits a shared-memory tree
+  (st.shared/ld.shared appear in PTX) but fails to actually parallelize —
+  no speedup; the OpenCL codelet run on MIC produces wrong results
+  (lost updates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ir.directives import AccData, AccLoop, HmppBlocksize, HmppTile, HmppUnroll
+from ..ir.stmt import For, KernelFunction, Module
+from ..ir.visitors import clone_kernel
+from ..ptx.codegen import CodegenStyle, ParallelMapping, generate_ptx
+from ..transforms.tile import nest_is_tileable, tile_in_kernel
+from ..transforms.unroll import unroll_in_kernel
+from .flags import FlagSet
+from .framework import (
+    CompilationError,
+    CompilationResult,
+    CompiledKernel,
+    DistStrategy,
+    ThreadDistribution,
+)
+
+#: CAPS CUDA backend PTX style: tight address CSE and value-CSE of loads
+#: (HMPP codelets are restrict-qualified).  The module's *first* codelet
+#: additionally loads the five-word HMPP group descriptor ("the CAPS
+#: compiler generated five more global instructions than the OpenCL
+#: compiler", Fig. 9) — see CAPS_CUDA_STYLE_FIRST.
+CAPS_CUDA_STYLE = CodegenStyle(
+    name="caps-cuda",
+    cse_addresses=True,
+    mov_per_stmt=0,
+    extra_param_loads=0,
+    use_fma=True,
+    cse_loads=True,
+)
+
+CAPS_CUDA_STYLE_FIRST = CodegenStyle(
+    name="caps-cuda-first",
+    cse_addresses=True,
+    mov_per_stmt=0,
+    extra_param_loads=5,
+    use_fma=True,
+    cse_loads=True,
+)
+
+#: advertised (but not actually applied) default distribution
+ADVERTISED_GANGS = 192
+ADVERTISED_WORKERS = 256
+
+
+class CapsCompiler:
+    """CAPS 3.4.1 front-end + CUDA/OpenCL backends."""
+
+    name = "CAPS"
+    version = "3.4.1"
+
+    def __init__(self, flags: FlagSet | None = None) -> None:
+        self.flags = flags or FlagSet("CAPS")
+
+    # -- public API ----------------------------------------------------------
+
+    def compile(self, module: Module, target: str = "cuda") -> CompilationResult:
+        """Compile every kernel of *module* for ``target`` in
+        {"cuda", "opencl"}."""
+        if target not in ("cuda", "opencl"):
+            raise CompilationError(f"CAPS has no {target!r} backend")
+        result = CompilationResult(module.name, self.name, target)
+        for index, kernel in enumerate(module.kernels):
+            compiled = self._compile_kernel(
+                kernel, target, result.log, first=(index == 0)
+            )
+            result.kernels.append(compiled)
+        return result
+
+    # -- per-kernel pipeline ---------------------------------------------------
+
+    def _compile_kernel(
+        self, kernel: KernelFunction, target: str, log: list[str],
+        first: bool = False,
+    ) -> CompiledKernel:
+        messages: list[str] = []
+        work = clone_kernel(kernel)
+
+        work, messages_u = self._apply_unroll(work, target)
+        messages += messages_u
+        work, messages_t = self._apply_tiling(work)
+        messages += messages_t
+
+        distribution, parallel_ids, messages_d = self._distribute(work)
+        messages += messages_d
+
+        broken_reduction: list[int] = []
+        shared_reduction_ids: set[int] = set()
+        for loop in work.loops():
+            acc = loop.directives.first(AccLoop)
+            if acc is not None and acc.reduction is not None:  # type: ignore[union-attr]
+                if loop.loop_id in parallel_ids:
+                    continue
+                if target == "cuda":
+                    # shared-memory tree emitted, but not actually parallel
+                    shared_reduction_ids.add(loop.loop_id)
+                    messages.append(
+                        f"Reduction '{acc.reduction.var}' lowered with shared "  # type: ignore[union-attr]
+                        "memory (gridified)"
+                    )
+                else:
+                    # the OpenCL codelet races on MIC (paper V-D2)
+                    broken_reduction.append(loop.loop_id)
+                    messages.append(
+                        f"Reduction '{acc.reduction.var}' lowered for OpenCL"  # type: ignore[union-attr]
+                    )
+
+        ptx = None
+        if target == "cuda":
+            # The codelet is gridified in *code* even when the runtime
+            # configuration degenerates to gang(1) x worker(1): only the
+            # launch geometry differs, which is why "the optimized thread
+            # distribution version does not change PTX" (paper V-A3).
+            ptx_ids = list(parallel_ids)
+            if not ptx_ids:
+                tops = work.top_level_loops()
+                if tops:
+                    ptx_ids = [tops[0].loop_id]
+            mapping = ParallelMapping(
+                dims={
+                    loop_id: dim
+                    for dim, loop_id in enumerate(reversed(ptx_ids))
+                },
+                shared_reductions=shared_reduction_ids,
+            )
+            style = CAPS_CUDA_STYLE_FIRST if first else CAPS_CUDA_STYLE
+            ptx = generate_ptx(work, mapping, style)
+
+        data_region = work.directives.first(AccData) is not None
+        if data_region:
+            messages.append("Data region honored: transfers hoisted")
+
+        log.extend(f"[{kernel.name}] {message}" for message in messages)
+        return CompiledKernel(
+            name=kernel.name,
+            ir=work,
+            target=target,
+            compiler=self.name,
+            distribution=distribution,
+            parallel_loop_ids=parallel_ids,
+            ptx=ptx,
+            messages=messages,
+            broken_reduction_loops=broken_reduction,
+            broken_reduction_device="mic",
+            dispatch_overhead_us=8.0,
+            has_data_region=data_region,
+        )
+
+    # -- unroll ---------------------------------------------------------------
+
+    def _apply_unroll(
+        self, kernel: KernelFunction, target: str
+    ) -> tuple[KernelFunction, list[str]]:
+        messages: list[str] = []
+        # snapshot (loop_id, directive) pairs first: unrolling rewrites bodies
+        requests: list[tuple[int, HmppUnroll]] = []
+        for loop in kernel.loops():
+            for directive in loop.directives.all(HmppUnroll):
+                assert isinstance(directive, HmppUnroll)
+                if directive.target is not None and directive.target != target:
+                    continue
+                requests.append((loop.loop_id, directive))
+
+        for loop_id, directive in requests:
+            loop = kernel.find_loop(loop_id)
+            needs_jam = any(isinstance(s, For) for s in loop.body.walk())
+            if target == "cuda" and directive.jam and needs_jam:
+                # FAKE SUCCESS: message emitted, nothing changes (V-B3)
+                messages.append(
+                    f"Loop '{loop.var}' unrolled by {directive.factor} (jam)"
+                )
+                continue
+            kernel = unroll_in_kernel(kernel, loop_id, directive.factor,
+                                      jam=directive.jam)
+            messages.append(
+                f"Loop '{loop.var}' unrolled by {directive.factor}"
+                + (" (jam)" if directive.jam else "")
+            )
+        return kernel, messages
+
+    # -- tiling ---------------------------------------------------------------
+
+    def _apply_tiling(self, kernel: KernelFunction) -> tuple[KernelFunction, list[str]]:
+        messages: list[str] = []
+        requests: list[tuple[int, int | tuple[int, int], bool]] = []
+        for loop in kernel.loops():
+            acc = loop.directives.first(AccLoop)
+            independent = acc is not None and acc.independent  # type: ignore[union-attr]
+            if acc is not None and acc.tile is not None:  # type: ignore[union-attr]
+                sizes = acc.tile  # type: ignore[union-attr]
+                if len(sizes) >= 2 and nest_is_tileable(loop):
+                    requests.append((loop.loop_id, (sizes[0], sizes[1]), independent))
+                else:
+                    requests.append((loop.loop_id, sizes[0], independent))
+            hmpp_tile = loop.directives.first(HmppTile)
+            if hmpp_tile is not None:
+                requests.append(
+                    (loop.loop_id, hmpp_tile.factor, independent)  # type: ignore[union-attr]
+                )
+        for loop_id, sizes, independent in requests:
+            if not independent:
+                # Tiling rides on the Gridify machinery, which needs the
+                # loop to be independent; on a dependent loop CAPS accepts
+                # the directive but generates nothing — LUD's tiled version
+                # has identical PTX (paper Fig. 6: "the PTX instructions
+                # remain the same").
+                messages.append(
+                    f"Loop tiled with size {sizes} (directive accepted)"
+                )
+                continue
+            kernel = tile_in_kernel(kernel, loop_id, sizes)
+            messages.append(f"Loop tiled with size {sizes} (global memory)")
+        return kernel, messages
+
+    # -- thread distribution ----------------------------------------------------
+
+    def _distribute(
+        self, kernel: KernelFunction
+    ) -> tuple[ThreadDistribution, list[int], list[str]]:
+        messages: list[str] = []
+        loops = kernel.loops()
+
+        explicit: list[For] = []
+        independents: list[For] = []
+        for loop in loops:
+            acc = loop.directives.first(AccLoop)
+            if acc is None:
+                continue
+            if acc.gang is not None or acc.worker is not None:  # type: ignore[union-attr]
+                explicit.append(loop)
+            if acc.independent:  # type: ignore[union-attr]
+                independents.append(loop)
+
+        if explicit:
+            outer = explicit[0]
+            acc = outer.directives.first(AccLoop)
+            gang = acc.gang or ADVERTISED_GANGS  # type: ignore[union-attr]
+            worker = acc.worker  # type: ignore[union-attr]
+            parallel_ids = [outer.loop_id]
+            # a nested worker-annotated loop joins the mapping
+            for inner in explicit[1:]:
+                inner_acc = inner.directives.first(AccLoop)
+                if inner_acc is not None and inner_acc.worker is not None:  # type: ignore[union-attr]
+                    worker = worker or inner_acc.worker  # type: ignore[union-attr]
+                    parallel_ids.append(inner.loop_id)
+                    break
+            worker = worker or ADVERTISED_WORKERS
+            messages.append(
+                f"Loop '{outer.var}' was shared among gangs({gang}) and "
+                f"workers({worker})"
+            )
+            return (
+                ThreadDistribution(
+                    DistStrategy.GANG_MODE,
+                    gang=gang,
+                    worker=worker,
+                    advertised=f"gang({gang}) worker({worker})",
+                ),
+                parallel_ids,
+                messages,
+            )
+
+        if independents:
+            blocksize = self.flags.gridify_blocksize or (32, 4)
+            for loop in loops:
+                hint = loop.directives.first(HmppBlocksize)
+                if hint is not None:
+                    blocksize = (hint.x, hint.y)  # type: ignore[union-attr]
+            outer = independents[0]
+            inner = self._nested_independent(outer, independents)
+            if inner is not None:
+                messages.append(
+                    f"Loops '{outer.var}','{inner.var}' gridified 2D "
+                    f"blocksize {blocksize[0]}x{blocksize[1]}"
+                )
+                return (
+                    ThreadDistribution(
+                        DistStrategy.GRIDIFY_2D,
+                        blocksize=blocksize,
+                        advertised=f"gridify 2D {blocksize[0]}x{blocksize[1]}",
+                    ),
+                    [outer.loop_id, inner.loop_id],
+                    messages,
+                )
+            messages.append(
+                f"Loop '{outer.var}' gridified 1D blocksize "
+                f"{blocksize[0]}x{blocksize[1]}"
+            )
+            return (
+                ThreadDistribution(
+                    DistStrategy.GRIDIFY_1D,
+                    blocksize=blocksize,
+                    advertised=f"gridify 1D {blocksize[0]}x{blocksize[1]}",
+                ),
+                [outer.loop_id],
+                messages,
+            )
+
+        # the default-distribution bug: advertise 192x256, generate 1x1
+        first = loops[0] if loops else None
+        if first is not None:
+            messages.append(
+                f"Loop '{first.var}' was shared among "
+                f"gangs({ADVERTISED_GANGS}) and workers({ADVERTISED_WORKERS})"
+            )
+        return (
+            ThreadDistribution(
+                DistStrategy.SEQUENTIAL,
+                advertised=(
+                    f"gang({ADVERTISED_GANGS}) worker({ADVERTISED_WORKERS})"
+                    " [actual: gang(1) worker(1)]"
+                ),
+            ),
+            [],
+            messages,
+        )
+
+    @staticmethod
+    def _nested_independent(outer: For, independents: list[For]) -> For | None:
+        """The directly nested independent loop of *outer*, if any."""
+        body = outer.body.stmts
+        if len(body) == 1 and isinstance(body[0], For):
+            inner = body[0]
+            if any(loop.loop_id == inner.loop_id for loop in independents):
+                return inner
+        return None
+
+
+def generated_codelet(compiled: CompiledKernel) -> str:
+    """Render the HMPP codelet call-site configuration (paper Fig. 8).
+
+    For Gridify-mode kernels this shows the advanced thread-distribution
+    pattern the paper extracted from CAPS and back-ported to OpenCL.
+    """
+    dist = compiled.distribution
+    lines = [f"// HMPP codelet for {compiled.name} ({compiled.target})"]
+    if dist.strategy is DistStrategy.GRIDIFY_2D:
+        bx, by = dist.blocksize
+        lines += [
+            f"__hmppcg_call.setSizeX((size - i - 1) / {bx} + 1);"
+            "  // global work group size X",
+            f"__hmppcg_call.setSizeY((size - 1 - i - 1) / {by} + 1);"
+            "  // global work group size Y",
+            f"__hmppcg_call.setBlockSizeX({bx});  // local work group size",
+            f"__hmppcg_call.setBlockSizeY({by});  // local work group size",
+            "__hmppcg_call.setWorkDim(2);",
+        ]
+    elif dist.strategy is DistStrategy.GRIDIFY_1D:
+        bx, by = dist.blocksize
+        lines += [
+            f"__hmppcg_call.setSizeX((n - 1) / ({bx} * {by} - 1));",
+            f"__hmppcg_call.setBlockSizeX({bx});",
+            f"__hmppcg_call.setBlockSizeY({by});",
+            "__hmppcg_call.setWorkDim(1);",
+        ]
+    elif dist.strategy is DistStrategy.GANG_MODE:
+        lines += [
+            f"__hmppcg_call.setSizeX({dist.gang});",
+            f"__hmppcg_call.setBlockSizeY({dist.worker});",
+        ]
+    else:
+        lines += [
+            "__hmppcg_call.setSizeX(1);   // gang(1)",
+            "__hmppcg_call.setBlockSizeX(1);  // worker(1)",
+        ]
+    return "\n".join(lines)

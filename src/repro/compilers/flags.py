@@ -1,0 +1,81 @@
+"""Compiler flags used by the systematic optimization method (Table I)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FlagInfo:
+    """One row of paper Table I."""
+
+    flag: str
+    compiler: str  # "PGI" | "CUDA C" | "CAPS"
+    usage: str
+
+
+#: Table I, verbatim.
+TABLE_I: tuple[FlagInfo, ...] = (
+    FlagInfo("-O4", "PGI", "Specifying optimization level"),
+    FlagInfo("-fast", "PGI", "Using fast math library"),
+    FlagInfo("-Mvect", "PGI", "Using vectorization"),
+    FlagInfo("-Munroll", "PGI", "Using ILP unrolling optimization"),
+    FlagInfo("-Msafeptr", "PGI", "Specifying no pointer aliasing"),
+    FlagInfo("-fastmath", "CUDA C", "Using fast math library"),
+    FlagInfo("-prec-div=false", "CUDA C", "Specifying architecture"),
+    FlagInfo("-code=sm_35", "CUDA C", "Specifying architecture"),
+    FlagInfo("-arch=compute_35", "CUDA C", "Specifying architecture"),
+    FlagInfo(
+        "-Xhmppcg -grid-block-size,32x4", "CAPS",
+        "Changing numbers of gridify mode",
+    ),
+)
+
+
+class FlagError(ValueError):
+    """Raised for a flag the named compiler does not accept."""
+
+
+_KNOWN = {
+    "PGI": {"-O4", "-fast", "-Mvect", "-Munroll", "-Msafeptr"},
+    "CUDA C": {"-fastmath", "-prec-div=false", "-code=sm_35", "-arch=compute_35"},
+}
+
+_GRID_BLOCK_RE = re.compile(r"^-Xhmppcg -grid-block-size,(\d+)x(\d+)$")
+
+
+@dataclass
+class FlagSet:
+    """A validated set of flags for one compiler invocation."""
+
+    compiler: str
+    flags: tuple[str, ...] = ()
+    gridify_blocksize: tuple[int, int] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        parsed: tuple[int, int] | None = self.gridify_blocksize
+        for flag in self.flags:
+            match = _GRID_BLOCK_RE.match(flag)
+            if match:
+                if self.compiler != "CAPS":
+                    raise FlagError(
+                        f"{flag!r} is a CAPS flag, not valid for {self.compiler}"
+                    )
+                parsed = (int(match.group(1)), int(match.group(2)))
+                continue
+            known = _KNOWN.get(self.compiler, set())
+            if flag not in known:
+                raise FlagError(f"unknown {self.compiler} flag {flag!r}")
+        object.__setattr__(self, "gridify_blocksize", parsed)
+
+    def has(self, flag: str) -> bool:
+        return flag in self.flags
+
+    @property
+    def unroll_requested(self) -> bool:
+        return self.has("-Munroll")
+
+    @property
+    def fast_math(self) -> bool:
+        return self.has("-fast") or self.has("-fastmath")

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the systematic optimization method,
+thread-distribution search, and the Performance Portability Ratio."""
+
+from .autotune import (
+    TuneResult,
+    exhaustive_tune,
+    hill_climb_tune,
+    make_lud_evaluator,
+    portable_tune,
+)
+from .method import (
+    MethodEvaluation,
+    StageResult,
+    compile_stage,
+    format_rows,
+    ptx_profile,
+    run_opencl,
+    run_stage,
+)
+from .ppr import PprEntry, format_ppr_table, ppr
+from .search import DEFAULT_GANGS, DEFAULT_WORKERS, HeatMap, lud_heatmap
+
+__all__ = [
+    "DEFAULT_GANGS",
+    "DEFAULT_WORKERS",
+    "HeatMap",
+    "MethodEvaluation",
+    "PprEntry",
+    "StageResult",
+    "TuneResult",
+    "compile_stage",
+    "exhaustive_tune",
+    "format_ppr_table",
+    "format_rows",
+    "hill_climb_tune",
+    "make_lud_evaluator",
+    "lud_heatmap",
+    "portable_tune",
+    "ppr",
+    "ptx_profile",
+    "run_opencl",
+    "run_stage",
+]

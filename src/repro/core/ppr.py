@@ -1,0 +1,54 @@
+"""The Performance Portability Ratio (PPR) of paper section V-F.
+
+    PPR = MIC_elapsed_time / GPU_elapsed_time          (Equation 1)
+
+"to qualitatively measure the performance difference of a single source
+code base application across GPU and MIC" — lower is better (closer to
+identical performance on both devices); PPR > 1 means the code runs
+faster on the K40 than on the 5110P.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PprEntry:
+    """One bar of Figure 16."""
+
+    label: str            # e.g. "GE OAC-OCL/OAC-CUDA", "BFS OpenCL"
+    benchmark: str
+    version: str          # "openacc" | "opencl"
+    mic_elapsed_s: float
+    gpu_elapsed_s: float
+
+    @property
+    def ppr(self) -> float:
+        if self.gpu_elapsed_s <= 0:
+            return math.inf
+        return self.mic_elapsed_s / self.gpu_elapsed_s
+
+
+def ppr(mic_elapsed_s: float, gpu_elapsed_s: float) -> float:
+    """Equation 1."""
+    if mic_elapsed_s < 0 or gpu_elapsed_s < 0:
+        raise ValueError("elapsed times must be non-negative")
+    if gpu_elapsed_s == 0:
+        return math.inf
+    return mic_elapsed_s / gpu_elapsed_s
+
+
+def format_ppr_table(entries: list[PprEntry]) -> str:
+    """Figure 16 as text: per benchmark, the OpenACC and OpenCL PPR."""
+    lines = [f"{'benchmark':10s} {'version':10s} {'MIC s':>12s} "
+             f"{'GPU s':>12s} {'PPR':>8s}"]
+    lines.append("-" * len(lines[0]))
+    for entry in entries:
+        lines.append(
+            f"{entry.benchmark:10s} {entry.version:10s} "
+            f"{entry.mic_elapsed_s:12.4g} {entry.gpu_elapsed_s:12.4g} "
+            f"{entry.ppr:8.2f}"
+        )
+    return "\n".join(lines)

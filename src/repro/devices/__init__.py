@@ -1,0 +1,29 @@
+"""Device models of the paper's test bed: K40 GPU, Xeon Phi 5110P, host."""
+
+from .specs import (
+    E5_2670,
+    GCC,
+    ICC,
+    K40,
+    PCIE,
+    PHI_5110P,
+    DeviceKind,
+    DeviceSpec,
+    HostToolchain,
+    PcieLink,
+    device_by_name,
+)
+
+__all__ = [
+    "E5_2670",
+    "GCC",
+    "ICC",
+    "K40",
+    "PCIE",
+    "PHI_5110P",
+    "DeviceKind",
+    "DeviceSpec",
+    "HostToolchain",
+    "PcieLink",
+    "device_by_name",
+]

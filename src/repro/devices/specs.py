@@ -1,0 +1,171 @@
+"""Hardware specifications of the paper's test bed (section IV-A).
+
+One GPU node of the π supercomputer: 2× NVIDIA Kepler K40 + 2× Intel Sandy
+Bridge E5-2670; one MIC node: 2× Intel Xeon Phi 5110P + the same CPUs.
+The benchmarks use a single accelerator, as in the paper.
+
+Datasheet-derived values are marked [datasheet]; values calibrated so the
+model reproduces a paper observation are marked [calibrated] with the
+observation they anchor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DeviceKind(enum.Enum):
+    GPU = "gpu"
+    MIC = "mic"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """An accelerator (or host CPU) performance description."""
+
+    name: str
+    kind: DeviceKind
+    clock_ghz: float          # core clock [datasheet]
+    num_units: int            # SMX count / core count [datasheet]
+    lanes_per_unit: int       # CUDA cores per SMX / SIMD f32 lanes per core
+    warp_width: int           # SIMT warp / SIMD vector granularity
+    threads_per_unit: int     # max resident threads per SMX / SMT per core
+    peak_bw_gbps: float       # peak memory bandwidth [datasheet]
+    mem_latency_ns: float     # uncontended global/DRAM latency
+    llc_bytes: int            # last-level cache
+    # -- execution-model coefficients --
+    scalar_cpi: float         # cycles per instruction of ONE thread running
+    #   alone (no latency hiding).  GPU lanes are in-order,
+    #   high-latency: ~8 [calibrated: the ~1000x serial
+    #   LUD gap of Fig. 3].  MIC/CPU cores are far better.
+    warps_to_hide_latency: int  # resident warps/unit needed for full issue
+    launch_overhead_us: float   # per kernel launch
+    mlp_per_thread: float       # outstanding memory requests per thread
+    uncoalesced_waste: float    # sector bytes fetched per useful byte when
+    #   strided (128B line / 4B element capped by 32B sectors => ~8)
+
+    @property
+    def total_lanes(self) -> int:
+        return self.num_units * self.lanes_per_unit
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.num_units * self.threads_per_unit
+
+
+#: NVIDIA Tesla K40 ("Kepler K40" in the paper).
+K40 = DeviceSpec(
+    name="NVIDIA Tesla K40",
+    kind=DeviceKind.GPU,
+    clock_ghz=0.745,          # [datasheet] base clock
+    num_units=15,             # [datasheet] SMX count
+    lanes_per_unit=192,       # [datasheet] CUDA cores per SMX
+    warp_width=32,            # [datasheet]
+    threads_per_unit=2048,    # [datasheet] max resident threads/SMX
+    peak_bw_gbps=288.0,       # [datasheet] GDDR5
+    mem_latency_ns=540.0,     # ~400 cycles [datasheet-order]
+    llc_bytes=1_536_000,      # [datasheet] 1.5 MB L2
+    scalar_cpi=8.0,           # [calibrated] in-order lane, no latency hiding
+    warps_to_hide_latency=8,  # [calibrated] ILP/latency hiding threshold
+    launch_overhead_us=8.0,
+    mlp_per_thread=2.0,       # [calibrated] pushes the Fig. 4 gang knee to
+    #   >= 128 gangs, matching "gang more than 256"
+
+    uncoalesced_waste=8.0,    # 32B sector per 4B element
+)
+
+#: Intel Xeon Phi 5110P ("Intel MIC" in the paper).
+PHI_5110P = DeviceSpec(
+    name="Intel Xeon Phi 5110P",
+    kind=DeviceKind.MIC,
+    clock_ghz=1.053,          # [datasheet]
+    num_units=60,             # [datasheet] cores
+    lanes_per_unit=16,        # [datasheet] 512-bit SIMD = 16 f32 lanes
+    warp_width=16,
+    threads_per_unit=4,       # [datasheet] 4 SMT threads per core
+    peak_bw_gbps=320.0,       # [datasheet] theoretical; ~170 sustained
+    mem_latency_ns=300.0,
+    llc_bytes=30_000_000,     # [datasheet] 30 MB aggregate L2
+    scalar_cpi=2.0,           # [calibrated] in-order P54C-derived core, but a
+    #   real scalar pipeline: "the MIC has a higher single
+    #   thread performance than the GPU" (paper V-C/V-D)
+    warps_to_hide_latency=2,  # 2 SMT threads hide most stalls
+    launch_overhead_us=40.0,  # offload launch is much heavier than CUDA
+    mlp_per_thread=8.0,
+    uncoalesced_waste=4.0,    # 64B line per 4-16B element, HW prefetchers
+)
+
+#: Intel Xeon E5-2670 (Sandy Bridge) — the host CPU of both nodes.
+E5_2670 = DeviceSpec(
+    name="Intel Xeon E5-2670",
+    kind=DeviceKind.CPU,
+    clock_ghz=3.3,            # [datasheet] max turbo; host fallbacks are
+    #   single-threaded and run at the turbo bin
+    num_units=8,              # [datasheet] cores
+    lanes_per_unit=8,         # AVX 8 f32 lanes
+    warp_width=8,
+    threads_per_unit=2,
+    peak_bw_gbps=51.2,        # [datasheet]
+    mem_latency_ns=90.0,
+    llc_bytes=20_000_000,
+    scalar_cpi=0.7,           # out-of-order core
+    warps_to_hide_latency=1,
+    launch_overhead_us=0.0,
+    mlp_per_thread=10.0,
+    uncoalesced_waste=2.0,
+)
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """Host <-> accelerator transfer channel."""
+
+    bandwidth_gbps: float = 3.0   # effective PCIe gen2 x16 (the 2014-era
+    # pi nodes) [calibrated: makes BFS's per-iteration transfers dominate,
+    # the mechanism behind Table VII / Fig. 10]
+    latency_us: float = 10.0      # per-transfer setup cost
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbps * 1e9)
+
+
+PCIE = PcieLink()
+
+
+@dataclass(frozen=True)
+class HostToolchain:
+    """Host-side compiler (paper V-E: GCC vs the Intel compiler for Hydro).
+
+    ``host_speed_factor`` multiplies host-side elapsed time; the Intel
+    compiler "decreases the elapsed time on CPU".
+    """
+
+    name: str
+    host_speed_factor: float
+
+
+GCC = HostToolchain("gcc", 1.0)
+ICC = HostToolchain("icc", 0.62)  # [calibrated] Fig. 15 host-time reduction
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a device by its short or full name."""
+    table = {
+        "k40": K40,
+        "gpu": K40,
+        "kepler": K40,
+        "5110p": PHI_5110P,
+        "mic": PHI_5110P,
+        "phi": PHI_5110P,
+        "cpu": E5_2670,
+        "e5-2670": E5_2670,
+    }
+    key = name.lower()
+    if key in table:
+        return table[key]
+    for spec in (K40, PHI_5110P, E5_2670):
+        if spec.name.lower() == key:
+            return spec
+    raise KeyError(f"unknown device {name!r}")

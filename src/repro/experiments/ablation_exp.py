@@ -1,0 +1,273 @@
+"""Ablations of the calibrated model mechanisms (DESIGN.md section 4).
+
+Each ablation switches one calibrated mechanism off and re-runs the paper
+experiment that depends on it.  A *passing* ablation means: with the
+mechanism, the paper's finding reproduces; without it, the finding
+disappears — i.e. the mechanism is load-bearing, not decorative.
+
+Covered:
+
+* the **KNC scalarization cliff** (per-work-item overhead) carries
+  Fig. 15's "200x" MIC improvement for Hydro;
+* the **GPU latency-hiding threshold** (``warps_to_hide_latency`` through
+  the serial ``scalar_cpi`` floor) carries Fig. 3's ~1000x serial CAPS
+  baseline gap;
+* the **transfer-dominated regime** (PCIe bandwidth) carries Fig. 10's
+  "sequential PGI beats parallel CAPS" inversion;
+* the **future-work data regions** eliminate exactly that inversion.
+"""
+
+from __future__ import annotations
+
+from ..compilers.caps import CapsCompiler
+from ..compilers.pgi import PgiCompiler
+from ..devices.specs import DeviceSpec, K40, PHI_5110P, PcieLink
+from ..kernels import get_benchmark
+from ..perf.model import model_overrides
+from ..runtime.launcher import Accelerator
+from .common import Claim, ExperimentResult, size_for
+
+
+def _hydro_mic_gain() -> float:
+    bench = get_benchmark("hydro")
+    n = size_for("hydro", False)
+    stages = bench.stages()
+    times = {}
+    for stage in ("base", "optimized"):
+        compiled = CapsCompiler().compile(stages[stage], "opencl")
+        accelerator = Accelerator(PHI_5110P)
+        bench.run(accelerator, compiled, n, steps=10)
+        times[stage] = accelerator.elapsed_s
+    return times["base"] / times["optimized"]
+
+
+def _lud_serial_gap(gpu_spec: DeviceSpec | None = None) -> float:
+    import dataclasses
+
+    bench = get_benchmark("lud")
+    n = 1024
+    samples = 16
+    stages = bench.stages()
+    spec = gpu_spec or K40
+    caps = CapsCompiler().compile(stages["base"], "cuda")
+    pgi = PgiCompiler().compile(stages["base"], "cuda")
+    times = {}
+    for label, compiled in (("caps", caps), ("pgi", pgi)):
+        accelerator = Accelerator(spec)
+        accelerator.declare(a=n * n * 4)
+        for s in range(samples):
+            i = max(1, (n * (2 * s + 1)) // (2 * samples))
+            for kernel in compiled.kernels:
+                accelerator.launch(kernel, size=n, i=i)
+        times[label] = accelerator.elapsed_s
+    return times["caps"] / times["pgi"]
+
+
+def _bfs_inversion(link: PcieLink | None = None) -> float:
+    """PGI time / CAPS time for the indep BFS stage (< 1 means PGI wins)."""
+    bench = get_benchmark("bfs")
+    n = size_for("bfs", False)
+    stages = bench.stages()
+    times = {}
+    for label, compiler in (("caps", CapsCompiler), ("pgi", PgiCompiler)):
+        compiled = compiler().compile(stages["indep"], "cuda")
+        kwargs = {"link": link} if link is not None else {}
+        accelerator = Accelerator(K40, **kwargs)
+        bench.run(accelerator, compiled, n, levels=12)
+        times[label] = accelerator.elapsed_s
+    return times["pgi"] / times["caps"]
+
+
+def ablation_mic_scalarization(paper_scale: bool = False) -> ExperimentResult:
+    """Without the KNC per-work-item cliff, Fig. 15's MIC gain collapses."""
+    with_cliff = _hydro_mic_gain()
+    with model_overrides(MIC_SCALARIZED_ITEM_OVERHEAD=0.0):
+        without_cliff = _hydro_mic_gain()
+    claims = [
+        Claim(
+            "with the scalarization cliff, the Gridify optimization "
+            "transforms the MIC (Fig. 15)",
+            with_cliff >= 8.0,
+            f"gain = {with_cliff:.1f}x",
+        ),
+        Claim(
+            "ablating the cliff collapses the gain (the mechanism is "
+            "load-bearing)",
+            without_cliff < with_cliff / 2,
+            f"gain without = {without_cliff:.1f}x",
+        ),
+    ]
+    rendered = (
+        f"Hydro MIC base/optimized: {with_cliff:.1f}x with the cliff, "
+        f"{without_cliff:.1f}x without"
+    )
+    return ExperimentResult(
+        "Ablation A", "MIC scalarization cliff vs Fig. 15",
+        [with_cliff, without_cliff], claims, rendered,
+    )
+
+
+def ablation_gpu_serial_floor(paper_scale: bool = False) -> ExperimentResult:
+    """The serial CAPS-baseline gap (Fig. 3) rests on the single-lane
+    ``scalar_cpi`` floor of the GPU issue model."""
+    import dataclasses
+
+    gap = _lud_serial_gap()
+    fast_lane = dataclasses.replace(K40, scalar_cpi=1.0)
+    gap_ablated = _lud_serial_gap(fast_lane)
+    claims = [
+        Claim(
+            "with the in-order-lane floor, the serial CAPS baseline is "
+            "orders of magnitude behind PGI (Fig. 3)",
+            gap > 100,
+            f"gap = {gap:.0f}x",
+        ),
+        Claim(
+            "an out-of-order lane (scalar_cpi = 1) shrinks the gap "
+            "substantially",
+            gap_ablated < gap / 3,
+            f"gap = {gap_ablated:.0f}x",
+        ),
+    ]
+    rendered = (
+        f"LUD CAPS/PGI baseline gap: {gap:.0f}x at scalar_cpi="
+        f"{K40.scalar_cpi}, {gap_ablated:.0f}x at scalar_cpi=1"
+    )
+    return ExperimentResult(
+        "Ablation B", "GPU single-lane issue floor vs Fig. 3",
+        [gap, gap_ablated], claims, rendered,
+    )
+
+
+def ablation_pcie_bandwidth(paper_scale: bool = False) -> ExperimentResult:
+    """Fig. 10's inversion (sequential PGI beating parallel CAPS) holds
+    only while the PCIe link is slow enough for transfers to dominate."""
+    ratio_slow = _bfs_inversion()
+    fast_link = PcieLink(bandwidth_gbps=48.0, latency_us=2.0)  # ~PCIe gen4
+    ratio_fast = _bfs_inversion(fast_link)
+    claims = [
+        Claim(
+            "on the 2014-era link, PGI beats CAPS despite running "
+            "sequentially (Fig. 10 / Table VII)",
+            ratio_slow < 1.0,
+            f"pgi/caps = {ratio_slow:.2f}",
+        ),
+        Claim(
+            "on a modern link the inversion disappears: parallel CAPS wins",
+            ratio_fast > 1.0,
+            f"pgi/caps = {ratio_fast:.2f}",
+        ),
+    ]
+    rendered = (
+        f"BFS indep, PGI/CAPS elapsed ratio: {ratio_slow:.2f} at 3 GB/s, "
+        f"{ratio_fast:.2f} at 48 GB/s"
+    )
+    return ExperimentResult(
+        "Ablation C", "PCIe bandwidth vs the Fig. 10 inversion",
+        [ratio_slow, ratio_fast], claims, rendered,
+    )
+
+
+def futurework_data_regions(paper_scale: bool = False) -> ExperimentResult:
+    """The paper's future work, implemented: data regions hoist CAPS's
+    per-iteration BFS transfers and flip the Fig. 10 outcome."""
+    bench = get_benchmark("bfs")
+    n = size_for("bfs", paper_scale)
+    stages = bench.stages()
+    times = {}
+    transfers = {}
+    for label, stage, compiler in (
+        ("caps-indep", "indep", CapsCompiler),
+        ("caps-dataregion", "dataregion", CapsCompiler),
+        ("pgi-indep", "indep", PgiCompiler),
+    ):
+        compiled = compiler().compile(stages[stage], "cuda")
+        accelerator = Accelerator(K40)
+        bench.run(accelerator, compiled, n, levels=12)
+        times[label] = accelerator.elapsed_s
+        transfers[label] = sum(
+            1 for e in accelerator.profiler.events
+            if e.kind in ("h2d", "d2h") and e.nbytes >= 64
+        )
+    claims = [
+        Claim(
+            "data regions cut CAPS's transfers to a handful in total",
+            transfers["caps-dataregion"] <= 6,
+            f"transfers = {transfers['caps-dataregion']} "
+            f"(vs {transfers['caps-indep']} without)",
+        ),
+        Claim(
+            "with data regions, parallel CAPS finally beats sequential PGI",
+            times["caps-dataregion"] < times["pgi-indep"],
+            f"{times['caps-dataregion']:.3f}s vs {times['pgi-indep']:.3f}s",
+        ),
+        Claim(
+            "the improvement over plain independent is large",
+            times["caps-indep"] / times["caps-dataregion"] > 3,
+            f"{times['caps-indep'] / times['caps-dataregion']:.1f}x",
+        ),
+    ]
+    rendered = "\n".join(
+        f"{label:18s} {times[label]:8.4f}s  data transfers={transfers[label]}"
+        for label in times
+    )
+    return ExperimentResult(
+        "Future work", "Data-region directives for BFS (paper section VII)",
+        [times, transfers], claims, rendered,
+    )
+
+
+def futurework_autotune(paper_scale: bool = False) -> ExperimentResult:
+    """Auto-tuning (the paper's contrasted approach) vs the hand method:
+    the exhaustive tuner finds the same optimum region the heat maps did,
+    and the portable tuner lands in the paper's portable configuration."""
+    from ..core.autotune import (
+        exhaustive_tune,
+        hill_climb_tune,
+        make_lud_evaluator,
+        portable_tune,
+    )
+
+    bench = get_benchmark("lud")
+    n = 2048 if not paper_scale else size_for("lud", True)
+    gangs = (1, 64, 128, 256, 512)
+    workers = (1, 4, 8, 16, 32, 128)
+    ev_gpu = make_lud_evaluator(bench, K40, n=n)
+    ev_mic = make_lud_evaluator(bench, PHI_5110P, n=n)
+
+    exhaustive = exhaustive_tune(ev_gpu, gangs, workers, device_name="K40")
+    climb = hill_climb_tune(ev_gpu, device_name="K40")
+    portable, per_device = portable_tune(
+        {"gpu": ev_gpu, "mic": ev_mic}, gangs, workers
+    )
+
+    claims = [
+        Claim(
+            "the exhaustive tuner lands in the heat-map optimum region "
+            "(gang >= 64, worker 8-32)",
+            exhaustive.gang >= 64 and 8 <= exhaustive.worker <= 32,
+            exhaustive.describe(),
+        ),
+        Claim(
+            "hill climbing reaches within 25% of the exhaustive optimum "
+            "with far fewer evaluations",
+            climb.seconds <= exhaustive.seconds * 1.25
+            and climb.evaluations < exhaustive.evaluations,
+            f"{climb.describe()} vs exhaustive {exhaustive.seconds:.4g}s "
+            f"in {exhaustive.evaluations}",
+        ),
+        Claim(
+            "the portable configuration has many gangs and a small-to-mid "
+            "worker, matching the paper's hand-derived (>256, 16) family",
+            portable.gang >= 64 and 1 <= portable.worker <= 32,
+            portable.describe(),
+        ),
+    ]
+    rendered = "\n".join(
+        [exhaustive.describe(), climb.describe(), portable.describe(),
+         f"portable per-device: { {k: round(v, 4) for k, v in per_device.items()} }"]
+    )
+    return ExperimentResult(
+        "Future work", "Auto-tuning vs the hand method (paper section I/VII)",
+        [exhaustive, climb, portable], claims, rendered,
+    )

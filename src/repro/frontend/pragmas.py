@@ -1,0 +1,206 @@
+"""Sub-parser for ``#pragma acc`` and ``#pragma hmppcg`` lines.
+
+Accepts the directive vocabulary used by the paper (sections II-B and III):
+OpenACC compute/loop/data/routine/atomic constructs and the CAPS HMPP
+codelet-generator directives (unroll-and-jam, tile, blocksize).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..ir.directives import (
+    AccAtomic,
+    AccData,
+    AccKernels,
+    AccLoop,
+    AccParallel,
+    AccRoutine,
+    Directive,
+    HmppBlocksize,
+    HmppTile,
+    HmppUnroll,
+    ReductionClause,
+)
+
+
+class PragmaError(SyntaxError):
+    """Raised when a pragma line cannot be understood."""
+
+
+_CLAUSE_RE = re.compile(
+    r"""
+    (?P<name>[A-Za-z_]+)
+    (?:\(\s*(?P<args>[^)]*)\s*\))?
+    """,
+    re.VERBOSE,
+)
+
+
+def _split_clauses(text: str) -> list[tuple[str, str | None]]:
+    """Split ``"independent gang(8) worker(32)"`` into (name, args) pairs."""
+    clauses: list[tuple[str, str | None]] = []
+    pos = 0
+    while pos < len(text):
+        ch = text[pos]
+        if ch.isspace() or ch == ",":
+            pos += 1
+            continue
+        match = _CLAUSE_RE.match(text, pos)
+        if match is None:
+            raise PragmaError(f"cannot parse clause at {text[pos:]!r}")
+        clauses.append((match.group("name"), match.group("args")))
+        pos = match.end()
+    return clauses
+
+
+def _int_arg(name: str, args: str | None) -> int:
+    if args is None or not args.strip():
+        raise PragmaError(f"clause {name!r} requires an integer argument")
+    try:
+        return int(args.strip())
+    except ValueError as exc:
+        raise PragmaError(f"clause {name}({args}) is not an integer") from exc
+
+
+def _reduction_arg(args: str | None) -> ReductionClause:
+    if args is None or ":" not in args:
+        raise PragmaError("reduction clause requires 'op:var'")
+    op, var = args.split(":", 1)
+    return ReductionClause(op.strip(), var.strip())
+
+
+def _parse_acc(body: str) -> Directive:
+    match = re.match(r"^([A-Za-z_]+)\s*(.*)$", body, re.DOTALL)
+    construct = match.group(1) if match else ""
+    rest = match.group(2) if match else ""
+
+    if construct == "kernels":
+        return AccKernels()
+
+    if construct == "parallel":
+        num_gangs = num_workers = vector_length = None
+        reduction = None
+        for name, args in _split_clauses(rest):
+            if name == "num_gangs":
+                num_gangs = _int_arg(name, args)
+            elif name == "num_workers":
+                num_workers = _int_arg(name, args)
+            elif name == "vector_length":
+                vector_length = _int_arg(name, args)
+            elif name == "reduction":
+                reduction = _reduction_arg(args)
+            else:
+                raise PragmaError(f"unknown acc parallel clause {name!r}")
+        return AccParallel(num_gangs, num_workers, vector_length, reduction)
+
+    if construct == "loop":
+        independent = False
+        gang = worker = vector = collapse = None
+        gang_auto = worker_auto = False
+        tile: tuple[int, ...] | None = None
+        reduction = None
+        for name, args in _split_clauses(rest):
+            if name == "independent":
+                independent = True
+            elif name == "gang":
+                if args is None or not args.strip():
+                    gang_auto = True
+                else:
+                    gang = _int_arg(name, args)
+            elif name == "worker":
+                if args is None or not args.strip():
+                    worker_auto = True
+                else:
+                    worker = _int_arg(name, args)
+            elif name == "vector":
+                vector = _int_arg(name, args)
+            elif name == "collapse":
+                collapse = _int_arg(name, args)
+            elif name == "tile":
+                if args is None:
+                    raise PragmaError("tile clause requires sizes")
+                tile = tuple(int(a.strip()) for a in args.split(","))
+            elif name == "reduction":
+                reduction = _reduction_arg(args)
+            elif name == "seq":
+                independent = False
+            else:
+                raise PragmaError(f"unknown acc loop clause {name!r}")
+        return AccLoop(
+            independent=independent,
+            gang=gang,
+            worker=worker,
+            vector=vector,
+            collapse=collapse,
+            tile=tile,
+            reduction=reduction,
+            gang_auto=gang_auto,
+            worker_auto=worker_auto,
+        )
+
+    if construct == "tile":
+        # CAPS extension: "#pragma acc tile(n)" (paper section III-D)
+        match = re.match(r"^\(\s*([0-9, ]+?)\s*\)$", rest.strip())
+        if match is None:
+            raise PragmaError(f"cannot parse acc tile sizes from {body!r}")
+        sizes = tuple(int(s) for s in match.group(1).split(","))
+        return AccLoop(tile=sizes)
+
+    if construct == "data":
+        kwargs: dict[str, tuple[str, ...]] = {}
+        for name, args in _split_clauses(rest):
+            if name not in ("copy", "copyin", "copyout", "create", "present"):
+                raise PragmaError(f"unknown acc data clause {name!r}")
+            if args is None:
+                raise PragmaError(f"acc data {name} requires variable names")
+            kwargs[name] = tuple(a.strip() for a in args.split(",") if a.strip())
+        return AccData(**kwargs)
+
+    if construct == "routine":
+        level = rest.strip() or "seq"
+        return AccRoutine(level)
+
+    if construct == "atomic":
+        kind = rest.strip() or "update"
+        return AccAtomic(kind)
+
+    raise PragmaError(f"unknown acc construct {construct!r}")
+
+
+def _parse_hmppcg(body: str, target: str | None) -> Directive:
+    body = body.strip()
+
+    match = re.match(r"^blocksize\s+(\d+)\s*[xX]\s*(\d+)$", body)
+    if match:
+        return HmppBlocksize(int(match.group(1)), int(match.group(2)))
+
+    match = re.match(r"^tile\s+([A-Za-z_][A-Za-z_0-9]*)\s*:\s*(\d+)$", body)
+    if match:
+        return HmppTile(match.group(1), int(match.group(2)))
+
+    match = re.match(r"^unroll\s*\(\s*(\d+)\s*\)\s*(,\s*jam)?$", body)
+    if match:
+        return HmppUnroll(int(match.group(1)), jam=match.group(2) is not None,
+                          target=target)
+
+    raise PragmaError(f"unknown hmppcg directive {body!r}")
+
+
+def parse_pragma(text: str) -> Directive:
+    """Parse one ``#pragma ...`` line into a directive node."""
+    stripped = text.strip()
+    if not stripped.startswith("#pragma"):
+        raise PragmaError(f"not a pragma line: {text!r}")
+    body = stripped[len("#pragma"):].strip()
+
+    if body.startswith("acc"):
+        return _parse_acc(body[len("acc"):].strip())
+
+    match = re.match(r"^hmppcg(?:\s*\(\s*(cuda|opencl)\s*\))?\s+(.*)$", body)
+    if match:
+        return _parse_hmppcg(match.group(2), match.group(1))
+
+    # "#pragma hmppcg call ..." and friends used in generated codelets are
+    # not accepted as *input* pragmas.
+    raise PragmaError(f"unsupported pragma family in {text!r}")

@@ -1,0 +1,123 @@
+"""A small fluent builder for constructing IR kernels from Python.
+
+The benchmark kernels ship as mini-C sources (parsed by
+:mod:`repro.frontend`), but tests and examples frequently need one-off
+kernels; this builder keeps those readable::
+
+    k = (KernelBuilder("scale")
+         .array("a", DType.FLOAT32)
+         .scalar("n", DType.INT32)
+         .loop("i", 0, "n", independent=True)
+         .assign(idx("a", "i"), mul(idx("a", "i"), 2.0))
+         .end()
+         .build())
+"""
+
+from __future__ import annotations
+
+from .directives import AccLoop, Directive, DirectiveSet, ReductionClause
+from .expr import ArrayRef, Expr, Var, as_expr
+from .stmt import Assign, Block, Decl, For, If, KernelFunction, Param, Stmt
+from .types import ArrayType, DType, ScalarType
+
+
+class KernelBuilder:
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._params: list[Param] = []
+        self._body = Block()
+        self._stack: list[Block] = [self._body]
+
+    # -- parameters ---------------------------------------------------------
+
+    def array(self, name: str, dtype: DType = DType.FLOAT32, rank: int = 1,
+              intent: str = "inout") -> "KernelBuilder":
+        self._params.append(Param(name, ArrayType(dtype, rank), intent))
+        return self
+
+    def scalar(self, name: str, dtype: DType = DType.INT32,
+               intent: str = "in") -> "KernelBuilder":
+        self._params.append(Param(name, ScalarType(dtype), intent))
+        return self
+
+    # -- statements ---------------------------------------------------------
+
+    @property
+    def _top(self) -> Block:
+        return self._stack[-1]
+
+    def decl(self, name: str, dtype: DType = DType.FLOAT32,
+             init: Expr | int | float | None = None) -> "KernelBuilder":
+        init_expr = as_expr(init) if init is not None else None
+        self._top.stmts.append(Decl(name, ScalarType(dtype), init_expr))
+        return self
+
+    def assign(self, target: Var | ArrayRef | str, value, op: str | None = None
+               ) -> "KernelBuilder":
+        if isinstance(target, str):
+            target = Var(target)
+        self._top.stmts.append(Assign(target, as_expr(value), op))
+        return self
+
+    def loop(self, var: str, lower, upper, step: int = 1,
+             independent: bool = False, gang: int | None = None,
+             worker: int | None = None, vector: int | None = None,
+             reduction: tuple[str, str] | None = None,
+             directives: list[Directive] | None = None) -> "KernelBuilder":
+        """Open a ``for`` loop; close it with :meth:`end`."""
+        items: list[Directive] = list(directives or [])
+        if independent or gang or worker or vector or reduction:
+            items.append(
+                AccLoop(
+                    independent=independent,
+                    gang=gang,
+                    worker=worker,
+                    vector=vector,
+                    reduction=ReductionClause(*reduction) if reduction else None,
+                )
+            )
+        loop = For(
+            var=var,
+            lower=as_expr(lower),
+            upper=as_expr(upper),
+            body=Block(),
+            step=step,
+            directives=DirectiveSet(tuple(items)),
+        )
+        self._top.stmts.append(loop)
+        self._stack.append(loop.body)
+        return self
+
+    def if_(self, cond) -> "KernelBuilder":
+        node = If(as_expr(cond), Block())
+        self._top.stmts.append(node)
+        self._stack.append(node.then_body)
+        return self
+
+    def else_(self) -> "KernelBuilder":
+        self._stack.pop()
+        node = self._top.stmts[-1]
+        if not isinstance(node, If):
+            raise ValueError("else_() must directly follow an if_() body")
+        node.else_body = Block()
+        self._stack.append(node.else_body)
+        return self
+
+    def end(self) -> "KernelBuilder":
+        if len(self._stack) == 1:
+            raise ValueError("end() without an open loop/if")
+        self._stack.pop()
+        return self
+
+    def stmt(self, statement: Stmt) -> "KernelBuilder":
+        self._top.stmts.append(statement)
+        return self
+
+    # -- finish -------------------------------------------------------------
+
+    def build(self) -> KernelFunction:
+        if len(self._stack) != 1:
+            raise ValueError(
+                f"{len(self._stack) - 1} unclosed loop/if block(s) in builder"
+            )
+        return KernelFunction(self._name, self._params, self._body)

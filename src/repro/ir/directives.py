@@ -1,0 +1,251 @@
+"""OpenACC and HMPP directive nodes.
+
+Directives mirror the subset of OpenACC 1.0/2.0 and the CAPS HMPP codelet
+directives that the paper's systematic optimization method uses (paper
+sections II-B and III):
+
+* ``#pragma acc parallel`` / ``#pragma acc kernels``  — compute constructs
+* ``#pragma acc loop [independent] [gang(n)] [worker(n)] [vector(n)]``
+* ``#pragma acc loop tile(n, ...)``                   — OpenACC 2.0 tiling
+* ``#pragma acc parallel reduction(op: var)``
+* ``#pragma acc data copy/copyin/copyout/create``
+* ``#pragma acc routine`` / ``#pragma acc atomic``    — OpenACC 2.0 features
+* ``#pragma hmppcg unroll(n), jam`` (optionally CUDA/OpenCL targeted)
+* ``#pragma hmppcg tile i:n``
+* ``#pragma hmppcg blocksize WxH``                    — CAPS Gridify size
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Directive:
+    """Base class for all directive nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class AccParallel(Directive):
+    """``#pragma acc parallel`` with optional geometry clauses."""
+
+    num_gangs: int | None = None
+    num_workers: int | None = None
+    vector_length: int | None = None
+    reduction: "ReductionClause | None" = None
+
+    def __str__(self) -> str:
+        parts = ["#pragma acc parallel"]
+        if self.num_gangs is not None:
+            parts.append(f"num_gangs({self.num_gangs})")
+        if self.num_workers is not None:
+            parts.append(f"num_workers({self.num_workers})")
+        if self.vector_length is not None:
+            parts.append(f"vector_length({self.vector_length})")
+        if self.reduction is not None:
+            parts.append(str(self.reduction))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class AccKernels(Directive):
+    """``#pragma acc kernels`` — compiler-discovers-parallelism construct."""
+
+    def __str__(self) -> str:
+        return "#pragma acc kernels"
+
+
+@dataclass(frozen=True)
+class ReductionClause:
+    """``reduction(op: var)`` attached to a parallel or loop directive."""
+
+    op: str  # "+", "*", "min", "max"
+    var: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "*", "min", "max"):
+            raise ValueError(f"unsupported reduction operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"reduction({self.op}:{self.var})"
+
+
+@dataclass(frozen=True)
+class AccLoop(Directive):
+    """``#pragma acc loop`` with the clauses used in the paper."""
+
+    independent: bool = False
+    gang: int | None = None  # gang(n); gang() without n => 0 sentinel? use -1
+    worker: int | None = None
+    vector: int | None = None
+    collapse: int | None = None
+    tile: tuple[int, ...] | None = None
+    reduction: ReductionClause | None = None
+
+    #: True when ``gang``/``worker`` appear without an explicit size, e.g.
+    #: ``#pragma acc loop gang`` — the compiler picks the size.
+    gang_auto: bool = False
+    worker_auto: bool = False
+
+    def __str__(self) -> str:
+        parts = ["#pragma acc loop"]
+        if self.independent:
+            parts.append("independent")
+        if self.gang is not None:
+            parts.append(f"gang({self.gang})")
+        elif self.gang_auto:
+            parts.append("gang")
+        if self.worker is not None:
+            parts.append(f"worker({self.worker})")
+        elif self.worker_auto:
+            parts.append("worker")
+        if self.vector is not None:
+            parts.append(f"vector({self.vector})")
+        if self.collapse is not None:
+            parts.append(f"collapse({self.collapse})")
+        if self.tile is not None:
+            parts.append(f"tile({', '.join(map(str, self.tile))})")
+        if self.reduction is not None:
+            parts.append(str(self.reduction))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class AccData(Directive):
+    """``#pragma acc data`` movement clauses (names of array parameters)."""
+
+    copy: tuple[str, ...] = ()
+    copyin: tuple[str, ...] = ()
+    copyout: tuple[str, ...] = ()
+    create: tuple[str, ...] = ()
+    present: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        parts = ["#pragma acc data"]
+        for clause in ("copy", "copyin", "copyout", "create", "present"):
+            names = getattr(self, clause)
+            if names:
+                parts.append(f"{clause}({', '.join(names)})")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class AccRoutine(Directive):
+    """``#pragma acc routine`` — OpenACC 2.0 device-function generation."""
+
+    level: str = "seq"  # seq | vector | worker | gang
+
+    def __str__(self) -> str:
+        return f"#pragma acc routine {self.level}"
+
+
+@dataclass(frozen=True)
+class AccAtomic(Directive):
+    """``#pragma acc atomic`` — OpenACC 2.0 atomic access."""
+
+    kind: str = "update"  # read | write | update | capture
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write", "update", "capture"):
+            raise ValueError(f"unknown atomic kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        return f"#pragma acc atomic {self.kind}"
+
+
+@dataclass(frozen=True)
+class HmppUnroll(Directive):
+    """``#pragma hmppcg unroll(n), jam`` — CAPS unroll-and-jam.
+
+    ``target`` restricts the directive to one CAPS backend, mirroring
+    ``#pragma hmppcg(cuda) unroll(8), jam`` from paper section III-C.
+    """
+
+    factor: int = 2
+    jam: bool = False
+    target: str | None = None  # None | "cuda" | "opencl"
+
+    def __post_init__(self) -> None:
+        if self.factor < 2:
+            raise ValueError("unroll factor must be >= 2")
+        if self.target not in (None, "cuda", "opencl"):
+            raise ValueError(f"unknown hmppcg target {self.target!r}")
+
+    def __str__(self) -> str:
+        head = f"#pragma hmppcg({self.target})" if self.target else "#pragma hmppcg"
+        text = f"{head} unroll({self.factor})"
+        if self.jam:
+            text += ", jam"
+        return text
+
+
+@dataclass(frozen=True)
+class HmppTile(Directive):
+    """``#pragma hmppcg tile i:n`` — CAPS tiling of the loop over ``var``."""
+
+    var: str
+    factor: int
+
+    def __post_init__(self) -> None:
+        if self.factor < 2:
+            raise ValueError("tile factor must be >= 2")
+
+    def __str__(self) -> str:
+        return f"#pragma hmppcg tile {self.var}:{self.factor}"
+
+
+@dataclass(frozen=True)
+class HmppBlocksize(Directive):
+    """``#pragma hmppcg blocksize 32x4`` — CAPS Gridify block size."""
+
+    x: int = 32
+    y: int = 4
+
+    def __str__(self) -> str:
+        return f"#pragma hmppcg blocksize {self.x}x{self.y}"
+
+
+@dataclass(frozen=True)
+class DirectiveSet:
+    """The ordered collection of directives attached to one loop."""
+
+    items: tuple[Directive, ...] = field(default_factory=tuple)
+
+    def first(self, kind: type) -> Directive | None:
+        for item in self.items:
+            if isinstance(item, kind):
+                return item
+        return None
+
+    def all(self, kind: type) -> list[Directive]:
+        return [item for item in self.items if isinstance(item, kind)]
+
+    def with_added(self, directive: Directive) -> "DirectiveSet":
+        return DirectiveSet(self.items + (directive,))
+
+    def with_replaced(self, kind: type, directive: Directive) -> "DirectiveSet":
+        """Replace the first directive of *kind* (or append if absent)."""
+        out: list[Directive] = []
+        replaced = False
+        for item in self.items:
+            if not replaced and isinstance(item, kind):
+                out.append(directive)
+                replaced = True
+            else:
+                out.append(item)
+        if not replaced:
+            out.append(directive)
+        return DirectiveSet(tuple(out))
+
+    def without(self, kind: type) -> "DirectiveSet":
+        return DirectiveSet(tuple(i for i in self.items if not isinstance(i, kind)))
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)

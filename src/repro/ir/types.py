@@ -1,0 +1,104 @@
+"""Scalar and array types for the kernel IR.
+
+The mini-C kernel language is deliberately small: scalars are 32/64-bit
+integers and floats, arrays are typed pointers with a known rank whose
+extents are launch-time values (symbolic at compile time, concrete when a
+kernel is launched by the simulated runtime).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DType(enum.Enum):
+    """Element data types understood by the tool-chain."""
+
+    INT32 = "int"
+    INT64 = "long"
+    FLOAT32 = "float"
+    FLOAT64 = "double"
+    BOOL = "bool"
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (DType.INT32, DType.INT64, DType.BOOL)
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.FLOAT32, DType.FLOAT64)
+
+    @property
+    def size_bytes(self) -> int:
+        return {
+            DType.INT32: 4,
+            DType.INT64: 8,
+            DType.FLOAT32: 4,
+            DType.FLOAT64: 8,
+            DType.BOOL: 1,
+        }[self]
+
+    @property
+    def c_name(self) -> str:
+        return self.value
+
+    @classmethod
+    def from_c_name(cls, name: str) -> "DType":
+        for member in cls:
+            if member.value == name:
+                return member
+        raise KeyError(f"unknown C type name: {name!r}")
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """A scalar value of a given element type."""
+
+    dtype: DType
+
+    @property
+    def size_bytes(self) -> int:
+        return self.dtype.size_bytes
+
+    def __str__(self) -> str:
+        return self.dtype.c_name
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """An array (C pointer) of a given element type and rank.
+
+    Extents are not part of the type: the mini-C language passes them as
+    separate scalar parameters, exactly as the Rodinia C sources do.
+    """
+
+    dtype: DType
+    rank: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError(f"array rank must be >= 1, got {self.rank}")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.dtype.size_bytes
+
+    def __str__(self) -> str:
+        return self.dtype.c_name + "*" * self.rank
+
+
+Type = ScalarType | ArrayType
+
+
+INT32 = ScalarType(DType.INT32)
+INT64 = ScalarType(DType.INT64)
+FLOAT32 = ScalarType(DType.FLOAT32)
+FLOAT64 = ScalarType(DType.FLOAT64)
+BOOL = ScalarType(DType.BOOL)
+
+
+def promote(a: DType, b: DType) -> DType:
+    """C-style arithmetic promotion of two element types."""
+    order = [DType.BOOL, DType.INT32, DType.INT64, DType.FLOAT32, DType.FLOAT64]
+    return order[max(order.index(a), order.index(b))]

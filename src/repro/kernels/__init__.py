@@ -1,0 +1,75 @@
+"""The five evaluated workloads: four Rodinia kernels + Hydro (Table IV)."""
+
+from .base import Benchmark, BenchmarkMeta, RunResult
+from .bfs import BfsBenchmark
+from .bp import BpBenchmark
+from .ge import GeBenchmark
+from .hydro import HydroBenchmark
+from .lud import LudBenchmark
+from .micro import MICRO_KERNELS, MicroKernel, run_micro, validate_micro
+
+#: Table IV registry (Hydro is the mini-application of section V-E)
+BENCHMARKS: dict[str, type[Benchmark]] = {
+    "lud": LudBenchmark,
+    "ge": GeBenchmark,
+    "bfs": BfsBenchmark,
+    "bp": BpBenchmark,
+    "hydro": HydroBenchmark,
+}
+
+#: the four Rodinia kernels as printed in Table IV
+TABLE_IV_ROWS = [
+    {
+        "kernel": "LU Decomposition",
+        "dwarf": "Dense Linear Algebra",
+        "domain": "Linear Algebra",
+        "input_size": "4K matrix",
+    },
+    {
+        "kernel": "Gaussian Elimination",
+        "dwarf": "Dense Linear Algebra",
+        "domain": "Linear Algebra",
+        "input_size": "8K matrix",
+    },
+    {
+        "kernel": "Breadth First Search",
+        "dwarf": "Graph Traversal",
+        "domain": "Graph Algorithms",
+        "input_size": "32M nodes",
+    },
+    {
+        "kernel": "Back Propagation",
+        "dwarf": "Unstructured Grid",
+        "domain": "Pattern Recognition",
+        "input_size": "20M layers",
+    },
+]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Instantiate a benchmark by its short name."""
+    try:
+        return BENCHMARKS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+        ) from None
+
+
+__all__ = [
+    "BENCHMARKS",
+    "TABLE_IV_ROWS",
+    "Benchmark",
+    "BenchmarkMeta",
+    "BfsBenchmark",
+    "BpBenchmark",
+    "GeBenchmark",
+    "HydroBenchmark",
+    "LudBenchmark",
+    "MICRO_KERNELS",
+    "MicroKernel",
+    "RunResult",
+    "get_benchmark",
+    "run_micro",
+    "validate_micro",
+]

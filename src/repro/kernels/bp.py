@@ -1,0 +1,298 @@
+"""Back Propagation (BP) — Rodinia, pattern recognition (paper V-D).
+
+A two-layer neural network training step (Table IV: 20M-unit input
+layer).  The paper ported ``bpnn_layer_forward`` and
+``bpnn_adjust_weights`` from the OpenMP version to OpenACC:
+
+* ``bp_layer_forward`` — for every hidden unit, a dot product over the
+  input layer followed by the logistic squash.  The inner loop is a
+  scalar reduction.
+* ``bp_adjust_weights`` — the weight/momentum update, a doubly-nested
+  fully parallel loop pair.
+
+Stage behaviours reproduced: CAPS runs the baseline sequentially (faster
+on MIC than GPU — "the MIC has a higher single thread performance"),
+``independent`` gives CAPS ~9x on GPU and ~2x on MIC; PGI's PTX is
+identical for Base and Indep (its own analysis already parallelizes the
+outer loops, so the clauses change nothing); the ``reduction`` directive
+makes PGI run the forward pass fully parallel while CAPS fails: no
+speedup on GPU and *wrong results* on MIC (lost updates).  The
+hand-written OpenCL version stages the input layer through local memory
+(Fig. 1a) and wins overall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compilers.framework import CompilationResult
+from ..compilers.opencl import OpenCLKernelSpec, OpenCLProgram
+from ..frontend.parser import parse_kernel, parse_module
+from ..ir.directives import HmppUnroll
+from ..ir.stmt import Module
+from ..ir.visitors import clone_module
+from ..runtime.launcher import Accelerator
+from ..transforms.independent import add_independent
+from ..transforms.reduction import add_reduction
+from .base import Benchmark, BenchmarkMeta, RunResult
+
+ETA = 0.3
+MOMENTUM = 0.3
+
+SOURCE = """
+#pragma acc kernels
+void bp_layer_forward(const float *l1, float *l2, const float *w,
+                      int n1, int n2) {
+  int j, k;
+  for (j = 1; j <= n2; j++) {
+    float sum = 0.0f;
+    for (k = 0; k <= n1; k++) {
+      sum += w[k * (n2 + 1) + j] * l1[k];
+    }
+    l2[j] = 1.0f / (1.0f + exp(-sum));
+  }
+}
+
+#pragma acc kernels
+void bp_adjust_weights(const float *delta, int ndelta, const float *ly,
+                       int nly, float *w, float *oldw) {
+  int j, k;
+  for (j = 1; j <= ndelta; j++) {
+    for (k = 0; k <= nly; k++) {
+      float new_dw = 0.3f * delta[j] * ly[k] + 0.3f * oldw[k * (ndelta + 1) + j];
+      w[k * (ndelta + 1) + j] += new_dw;
+      oldw[k * (ndelta + 1) + j] = new_dw;
+    }
+  }
+}
+"""
+
+#: hand-written OpenCL: the forward kernel tiles the input layer through
+#: __local memory (paper Fig. 1a / V-D1: "it can use the shared memory
+#: effectively for the bpnn_layer_forward function"), cutting its global
+#: traffic; the OpenACC versions cannot express this.
+OPENCL_FORWARD = """
+void ocl_layer_forward(const float *l1, float *l2, const float *w,
+                       int n1, int n2) {
+  int j, k;
+  for (j = 1; j <= n2; j++) {
+    float sum = 0.0f;
+    for (k = 0; k <= n1; k++) {
+      sum += w[k * (n2 + 1) + j] * l1[k];
+    }
+    l2[j] = 1.0f / (1.0f + exp(-sum));
+  }
+}
+"""
+
+OPENCL_ADJUST = """
+void ocl_adjust_weights(const float *delta, int ndelta, const float *ly,
+                        int nly, float *w, float *oldw) {
+  int j, k;
+  for (j = 1; j <= ndelta; j++) {
+    for (k = 0; k <= nly; k++) {
+      float new_dw = 0.3f * delta[j] * ly[k] + 0.3f * oldw[k * (ndelta + 1) + j];
+      w[k * (ndelta + 1) + j] += new_dw;
+      oldw[k * (ndelta + 1) + j] = new_dw;
+    }
+  }
+}
+"""
+
+HIDDEN_UNITS = 16
+UNROLL_FACTOR = 8
+
+
+class BpBenchmark(Benchmark):
+    meta = BenchmarkMeta(
+        name="Back Propagation",
+        short="bp",
+        dwarf="Unstructured Grid",
+        domain="Pattern Recognition",
+        input_size="20M layers",
+        paper_size=20 * 1024 * 1024,
+        test_size=64,
+    )
+
+    def module(self) -> Module:
+        return parse_module(SOURCE, "bp")
+
+    # -- stages ---------------------------------------------------------------
+
+    def _with_independent(self, module: Module) -> Module:
+        """Force ``independent``: the forward pass only on its outer loop
+        (the inner loop is a reduction), the weight update on both loops
+        (every (j, k) pair is independent) — the 2-D parallelism the
+        Rodinia port exposes."""
+        out = clone_module(module)
+        kernels = []
+        for kernel in out.kernels:
+            if kernel.name == "bp_layer_forward":
+                kernels.append(
+                    add_independent(kernel, force_vars={"j"},
+                                    only_top_level=True).kernel
+                )
+            else:
+                kernels.append(
+                    add_independent(kernel, force_vars={"j", "k"}).kernel
+                )
+        out.kernels = kernels
+        return out
+
+    def _with_unroll(self, module: Module) -> Module:
+        """``#pragma hmppcg unroll(8), jam`` on the weight-update outer
+        loop: the CAPS CUDA backend fails silently (nested bodies need a
+        real jam) while the OpenCL backend applies it, sharing the
+        ``ly[k]`` operand across the jammed copies — "the OpenCL codes
+        generated by the unroll-and-jam version runs faster than the
+        generated CUDA codes" (V-D1)."""
+        out = self._with_independent(module)
+        adjust = out.kernel("bp_adjust_weights")
+        outer = adjust.loop_by_var("j")
+        outer.directives = outer.directives.with_added(
+            HmppUnroll(UNROLL_FACTOR, jam=True)
+        )
+        return out
+
+    def _with_reduction(self, module: Module) -> Module:
+        out = self._with_independent(module)
+        forward = out.kernel("bp_layer_forward")
+        k_loop = forward.loop_by_var("k")
+        out.kernels = [
+            add_reduction(forward, k_loop.loop_id, "sum"),
+            out.kernel("bp_adjust_weights"),
+        ]
+        return out
+
+    def stages(self) -> dict[str, Module]:
+        base = self.module()
+        return {
+            "base": base,
+            "indep": self._with_independent(base),
+            "unroll": self._with_unroll(base),
+            "reduction": self._with_reduction(base),
+        }
+
+    # -- OpenCL ---------------------------------------------------------------
+
+    def opencl_program(self) -> OpenCLProgram:
+        forward = parse_kernel(OPENCL_FORWARD)
+        adjust = parse_kernel(OPENCL_ADJUST)
+        return OpenCLProgram(
+            "bp-opencl",
+            [
+                OpenCLKernelSpec(
+                    kernel=forward,
+                    # the hand kernel blocks the dot product: work-items
+                    # cover (hidden unit, input chunk) pairs and combine
+                    # partials with a local-memory tree — the Fig. 1a
+                    # pattern OpenACC cannot express
+                    parallel_loop_ids=[
+                        forward.loop_by_var("j").loop_id,
+                        forward.loop_by_var("k").loop_id,
+                    ],
+                    local_size=(16, 16),
+                    shared_staged=("l1",),
+                    traffic_reuse=0.55,
+                ),
+                OpenCLKernelSpec(
+                    kernel=adjust,
+                    parallel_loop_ids=[
+                        adjust.loop_by_var("j").loop_id,
+                        adjust.loop_by_var("k").loop_id,
+                    ],
+                    local_size=(16, 16),
+                ),
+            ],
+        )
+
+    # -- data ---------------------------------------------------------------------
+
+    def inputs(self, n: int, seed: int = 0) -> dict[str, object]:
+        rng = np.random.default_rng(seed)
+        hid = HIDDEN_UNITS
+        l1 = rng.random(n + 1)
+        l1[0] = 1.0
+        w = rng.random((n + 1) * (hid + 1)) * 0.1
+        delta = rng.random(hid + 1) * 0.1
+        oldw = rng.random((n + 1) * (hid + 1)) * 0.01
+        return {
+            "l1": l1,
+            "l2": np.zeros(hid + 1),
+            "w": w,
+            "delta": delta,
+            "oldw": oldw,
+            "n1": n,
+            "n2": hid,
+        }
+
+    def reference(self, inputs: dict[str, object]) -> dict[str, np.ndarray]:
+        n = int(inputs["n1"])  # type: ignore[arg-type]
+        hid = int(inputs["n2"])  # type: ignore[arg-type]
+        l1 = np.asarray(inputs["l1"], dtype=np.float64)
+        w = np.asarray(inputs["w"], dtype=np.float64).reshape(n + 1, hid + 1).copy()
+        delta = np.asarray(inputs["delta"], dtype=np.float64)
+        oldw = np.asarray(inputs["oldw"], dtype=np.float64).reshape(
+            n + 1, hid + 1
+        ).copy()
+
+        # forward
+        sums = l1 @ w  # (hid+1,)
+        l2 = np.zeros(hid + 1)
+        l2[1:] = 1.0 / (1.0 + np.exp(-sums[1:]))
+
+        # adjust weights (uses the *original* oldw, like the kernels)
+        new_dw = ETA * np.outer(l1, delta) + MOMENTUM * oldw
+        w2 = w + new_dw
+        w2[:, 0] = w[:, 0]
+        new_dw[:, 0] = oldw[:, 0]
+        return {"l2": l2, "w": w2.flatten(), "oldw": new_dw.flatten()}
+
+    # -- driver ---------------------------------------------------------------------
+
+    def run(
+        self,
+        accelerator: Accelerator,
+        compiled: CompilationResult,
+        n: int,
+        inputs: dict[str, object] | None = None,
+    ) -> RunResult:
+        functional = inputs is not None
+        names = {k.name for k in compiled.kernels}
+        prefix = "ocl_" if "ocl_layer_forward" in names else "bp_"
+        forward = compiled.kernel(
+            prefix + ("layer_forward" if prefix == "ocl_" else "layer_forward")
+        )
+        adjust = compiled.kernel(prefix + "adjust_weights")
+        hid = HIDDEN_UNITS
+
+        if functional:
+            accelerator.to_device(
+                l1=np.asarray(inputs["l1"], dtype=np.float64),
+                l2=np.asarray(inputs["l2"], dtype=np.float64),
+                w=np.asarray(inputs["w"], dtype=np.float64),
+                delta=np.asarray(inputs["delta"], dtype=np.float64),
+                ly=np.asarray(inputs["l1"], dtype=np.float64),
+                oldw=np.asarray(inputs["oldw"], dtype=np.float64),
+            )
+        else:
+            f4 = 4
+            accelerator.declare(
+                l1=(n + 1) * f4,
+                l2=(hid + 1) * f4,
+                w=(n + 1) * (hid + 1) * f4,
+                delta=(hid + 1) * f4,
+                ly=(n + 1) * f4,
+                oldw=(n + 1) * (hid + 1) * f4,
+            )
+            accelerator.upload_declared("l1", "w", "delta", "ly", "oldw")
+
+        accelerator.launch(forward, n1=n, n2=hid)
+        accelerator.launch(adjust, ndelta=hid, nly=n)
+
+        outputs: dict[str, np.ndarray] = {}
+        if functional:
+            outputs = accelerator.from_device("l2", "w", "oldw")
+        else:
+            accelerator.download_declared("l2", "w")
+        return RunResult(accelerator.elapsed_s, accelerator, outputs)

@@ -1,0 +1,299 @@
+"""Gaussian Elimination (GE) — Rodinia "gaussian" (paper V-B).
+
+Solves ``A x = b`` by forward elimination.  The host iterates over pivot
+columns ``t``; per iteration the baseline launches three kernels:
+``ge_fan1`` (multiplier column), ``ge_fan2`` (trailing-matrix update,
+a nested loop pair), and ``ge_fan3`` (right-hand-side update).  "It must
+synchronize between iterations, but the values calculated in each
+iteration can be computed in parallel" (Table IV: 8K matrix).
+
+Optimization stages (V-B1):
+
+* ``indep`` — forced ``independent`` on every fan loop: "Adding
+  independent directives makes the CAPS and PGI compilers automatically
+  apply the thread distribution optimization"; CAPS gridifies 2-D
+  ([32,4]), PGI goes 1-D ([128,1]) with the inner loop sequential.
+* ``unroll`` — ``#pragma hmppcg unroll(8), jam`` on the fan2 outer loop
+  (CAPS: fake success, PTX unchanged) and ``-Munroll`` for PGI (real,
+  PTX arithmetic/data movement ~doubles, no speedup).
+* ``tile`` — ``#pragma acc tile`` on fan1: real strip-mine, no shared
+  memory, performance unchanged.
+* ``reorganized`` — fan2+fan3 fused: "turn three kernel loops into two",
+  matching the 2-kernel OpenCL version (kernel launches drop 3N -> 2N).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..compilers.framework import CompilationResult
+from ..compilers.opencl import OpenCLKernelSpec, OpenCLProgram
+from ..frontend.parser import parse_kernel, parse_module
+from ..ir.directives import AccLoop, HmppUnroll
+from ..ir.stmt import Module
+from ..ir.visitors import clone_module
+from ..runtime.launcher import Accelerator
+from ..transforms.independent import add_independent
+from .base import Benchmark, BenchmarkMeta, RunResult
+
+SOURCE = """
+#pragma acc kernels
+void ge_fan1(float *a, float *m, int size, int t) {
+  int i;
+  for (i = 0; i < size - 1 - t; i++) {
+    m[size * (i + t + 1) + t] = a[size * (i + t + 1) + t] / a[size * t + t];
+  }
+}
+
+#pragma acc kernels
+void ge_fan2(float *a, float *m, int size, int t) {
+  int i, j;
+  for (i = 0; i < size - 1 - t; i++) {
+    for (j = 0; j < size - t; j++) {
+      a[size * (i + 1 + t) + (j + t)] -= m[size * (i + 1 + t) + t] * a[size * t + (j + t)];
+    }
+  }
+}
+
+#pragma acc kernels
+void ge_fan3(float *m, float *b, int size, int t) {
+  int i;
+  for (i = 0; i < size - 1 - t; i++) {
+    b[i + 1 + t] -= m[size * (i + 1 + t) + t] * b[t];
+  }
+}
+"""
+
+#: hand-written OpenCL: two kernels, full-range loops with interior guards
+#: and CONSTANT work sizes — "the OpenCL version usually only sets global
+#: work size to constant input numbers" (V-B1)
+OPENCL_FAN1 = """
+void ocl_fan1(float *a, float *m, int size, int t) {
+  int i;
+  for (i = 0; i < size; i++) {
+    if (i < size - 1 - t) {
+      m[size * (i + t + 1) + t] = a[size * (i + t + 1) + t] / a[size * t + t];
+    }
+  }
+}
+"""
+
+OPENCL_FAN2 = """
+void ocl_fan2(float *a, float *m, float *b, int size, int t) {
+  int i, j;
+  for (i = 0; i < size; i++) {
+    for (j = 0; j < size; j++) {
+      if (i < size - 1 - t) {
+        if (j < size - t) {
+          a[size * (i + 1 + t) + (j + t)] -= m[size * (i + 1 + t) + t] * a[size * t + (j + t)];
+          if (j == 0) {
+            b[i + 1 + t] -= m[size * (i + 1 + t) + t] * b[t];
+          }
+        }
+      }
+    }
+  }
+}
+"""
+
+#: advanced variant: exact sub-ranges, sized per launch like the CAPS
+#: codelet (paper Fig. 8)
+OPENCL_FAN1_ADV = """
+void ocl_fan1(float *a, float *m, int size, int t) {
+  int i;
+  for (i = 0; i < size - 1 - t; i++) {
+    m[size * (i + t + 1) + t] = a[size * (i + t + 1) + t] / a[size * t + t];
+  }
+}
+"""
+
+OPENCL_FAN2_ADV = """
+void ocl_fan2(float *a, float *m, float *b, int size, int t) {
+  int i, j;
+  for (i = 0; i < size - 1 - t; i++) {
+    for (j = 0; j < size - t; j++) {
+      a[size * (i + 1 + t) + (j + t)] -= m[size * (i + 1 + t) + t] * a[size * t + (j + t)];
+      if (j == 0) {
+        b[i + 1 + t] -= m[size * (i + 1 + t) + t] * b[t];
+      }
+    }
+  }
+}
+"""
+
+#: the reorganized fan2 (paper V-B1: "turn three kernel loops into two"):
+#: the right-hand-side update folds into the trailing-matrix nest behind a
+#: j == 0 guard, keeping the perfect nest CAPS gridifies 2-D — the same
+#: structure as the hand-written OpenCL kernel
+SOURCE_FAN2_REORGANIZED = """
+#pragma acc kernels
+void ge_fan2(float *a, float *m, float *b, int size, int t) {
+  int i, j;
+  for (i = 0; i < size - 1 - t; i++) {
+    for (j = 0; j < size - t; j++) {
+      a[size * (i + 1 + t) + (j + t)] -= m[size * (i + 1 + t) + t] * a[size * t + (j + t)];
+      if (j == 0) {
+        b[i + 1 + t] -= m[size * (i + 1 + t) + t] * b[t];
+      }
+    }
+  }
+}
+"""
+
+UNROLL_FACTOR = 8
+TILE_SIZE = 16
+
+
+class GeBenchmark(Benchmark):
+    meta = BenchmarkMeta(
+        name="Gaussian Elimination",
+        short="ge",
+        dwarf="Dense Linear Algebra",
+        domain="Linear Algebra",
+        input_size="8K matrix",
+        paper_size=8192,
+        test_size=20,
+    )
+
+    def module(self) -> Module:
+        return parse_module(SOURCE, "ge")
+
+    # -- stages ---------------------------------------------------------------
+
+    def _with_independent(self, module: Module) -> Module:
+        out = clone_module(module)
+        out.kernels = [
+            add_independent(kernel, force_vars={"i", "j"}).kernel
+            for kernel in out.kernels
+        ]
+        return out
+
+    def _with_unroll(self, module: Module) -> Module:
+        out = self._with_independent(module)
+        fan2 = out.kernel("ge_fan2")
+        outer = fan2.loop_by_var("i")
+        outer.directives = outer.directives.with_added(
+            HmppUnroll(UNROLL_FACTOR, jam=True)
+        )
+        return out
+
+    def _with_tile(self, module: Module) -> Module:
+        out = self._with_independent(module)
+        fan1 = out.kernel("ge_fan1")
+        loop = fan1.loop_by_var("i")
+        acc = loop.directives.first(AccLoop)
+        loop.directives = loop.directives.with_replaced(
+            AccLoop, dataclasses.replace(acc, tile=(TILE_SIZE,))  # type: ignore[arg-type]
+        )
+        return out
+
+    def _reorganized(self, module: Module) -> Module:
+        """Two kernels instead of three: fan1 plus the hand-reorganized
+        fan2 (with the guarded right-hand-side update)."""
+        out = self._with_independent(module)
+        fan2 = add_independent(
+            parse_kernel(SOURCE_FAN2_REORGANIZED), force_vars={"i", "j"}
+        ).kernel
+        return Module("ge-reorganized", [out.kernel("ge_fan1"), fan2])
+
+    def stages(self) -> dict[str, Module]:
+        base = self.module()
+        return {
+            "base": base,
+            "indep": self._with_independent(base),
+            "unroll": self._with_unroll(base),
+            "tile": self._with_tile(base),
+            "reorganized": self._reorganized(base),
+        }
+
+    # -- OpenCL ---------------------------------------------------------------
+
+    def opencl_program(self, advanced: bool = False) -> OpenCLProgram:
+        fan1_src = OPENCL_FAN1_ADV if advanced else OPENCL_FAN1
+        fan2_src = OPENCL_FAN2_ADV if advanced else OPENCL_FAN2
+        fan1 = parse_kernel(fan1_src)
+        fan2 = parse_kernel(fan2_src)
+        # the baseline host code sizes every launch to the full matrix (the
+        # loops run 0..size with interior guards), so the work size is a
+        # "constant input number" per V-B1; the advanced variant derives
+        # exact per-iteration sizes like the CAPS codelet (Fig. 8)
+        specs = [
+            OpenCLKernelSpec(
+                kernel=fan1,
+                parallel_loop_ids=[fan1.loop_by_var("i").loop_id],
+                local_size=(128, 1),
+                advanced_distribution=advanced,
+            ),
+            OpenCLKernelSpec(
+                kernel=fan2,
+                parallel_loop_ids=[
+                    fan2.loop_by_var("i").loop_id,
+                    fan2.loop_by_var("j").loop_id,
+                ],
+                local_size=(32, 4),
+                advanced_distribution=advanced,
+            ),
+        ]
+        return OpenCLProgram("ge-opencl", specs)
+
+    # -- data ---------------------------------------------------------------------
+
+    def inputs(self, n: int, seed: int = 0) -> dict[str, object]:
+        rng = np.random.default_rng(seed)
+        a = rng.random((n, n)) + n * np.eye(n)
+        b = rng.random(n)
+        m = np.zeros((n, n))
+        return {"a": a.flatten(), "b": b, "m": m.flatten(), "size": n}
+
+    def reference(self, inputs: dict[str, object]) -> dict[str, np.ndarray]:
+        n = int(inputs["size"])  # type: ignore[arg-type]
+        a = np.array(inputs["a"], dtype=np.float64).reshape(n, n).copy()
+        b = np.array(inputs["b"], dtype=np.float64).copy()
+        for t in range(n - 1):
+            mult = a[t + 1:, t] / a[t, t]
+            a[t + 1:, t:] -= np.outer(mult, a[t, t:])
+            b[t + 1:] -= mult * b[t]
+        return {"a": a.flatten(), "b": b}
+
+    # -- driver ---------------------------------------------------------------------
+
+    def run(
+        self,
+        accelerator: Accelerator,
+        compiled: CompilationResult,
+        n: int,
+        inputs: dict[str, object] | None = None,
+    ) -> RunResult:
+        functional = inputs is not None
+        names = {k.name for k in compiled.kernels}
+        is_opencl = "ocl_fan1" in names
+        reorganized = "ge_fan3" not in names and not is_opencl
+
+        if functional:
+            accelerator.to_device(
+                a=np.asarray(inputs["a"], dtype=np.float64),
+                b=np.asarray(inputs["b"], dtype=np.float64),
+                m=np.asarray(inputs["m"], dtype=np.float64),
+            )
+        else:
+            accelerator.declare(a=n * n * 4, b=n * 4, m=n * n * 4)
+            accelerator.upload_declared("a", "b", "m")
+
+        for t in range(n - 1):
+            if is_opencl:
+                accelerator.launch(compiled.kernel("ocl_fan1"), size=n, t=t)
+                accelerator.launch(compiled.kernel("ocl_fan2"), size=n, t=t)
+            else:
+                accelerator.launch(compiled.kernel("ge_fan1"), size=n, t=t)
+                accelerator.launch(compiled.kernel("ge_fan2"), size=n, t=t)
+                if not reorganized:
+                    accelerator.launch(compiled.kernel("ge_fan3"), size=n, t=t)
+
+        outputs: dict[str, np.ndarray] = {}
+        if functional:
+            outputs = accelerator.from_device("a", "b")
+        else:
+            accelerator.download_declared("a", "b")
+        return RunResult(accelerator.elapsed_s, accelerator, outputs)

@@ -1,0 +1,485 @@
+"""Hydro — the RAMSES-derived hydrodynamics mini-application (paper V-E).
+
+A 2-D dimensional-split Godunov solver on an ``nx x ny`` grid with a
+Rusanov (local Lax-Friedrichs) flux: per time step the host computes a
+CFL time step from a device reduction, then runs an x sweep and a y sweep
+(primitives -> sound speed -> interface fluxes -> conservative update ->
+reflective boundaries).  Conserved fields are SoA arrays (``rho``,
+``momx``, ``momy``, ``ener``); the primitive scratch ``q`` is a rank-2
+array (``q[IV][cell]``, as in the real Hydro code) — exactly the pointer
+shape PGI 14.9 chokes on: "we cannot compile Hydro with the PGI compiler
+because PGI is sensitive with pointer allocations and pointer
+conversions" (V-E).
+
+The shipped OpenACC port carries explicit ``gang(192) worker(256)``
+clauses (the Gang-mode tuning of its CAPS-era authors); the paper's
+optimization replaces them with forced ``independent`` + Gridify, which
+barely moves the GPU (~1.3x) but transforms the MIC ("200 times"),
+because explicit Gang-mode work-item indexing defeats the Intel OpenCL
+vectorizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compilers.framework import CompilationResult
+from ..compilers.opencl import OpenCLKernelSpec, OpenCLProgram
+from ..frontend.parser import parse_kernel, parse_module
+from ..ir.stmt import Module
+from ..ir.visitors import clone_module
+from ..runtime.launcher import Accelerator
+from ..transforms.distribute import clear_distribution, set_gang_worker
+from ..transforms.independent import add_independent
+from .base import Benchmark, BenchmarkMeta, RunResult
+
+GAMMA = 1.4
+CFL = 0.4
+SMALLR = 1e-10
+#: chunks of the two-stage courant (dt) reduction; the host reduces the
+#: per-chunk partial maxima
+NCHUNKS = 3840
+
+SOURCE = """
+#pragma acc kernels
+void hydro_primitives(const double *rho, const double *momx, const double *momy,
+                      const double *ener, double **q, int n, double gamma) {
+  int i;
+  for (i = 0; i < n; i++) {
+    double r = fmax(rho[i], 0.0000000001);
+    q[0][i] = r;
+    q[1][i] = momx[i] / r;
+    q[2][i] = momy[i] / r;
+    double ek = 0.5 * r * (q[1][i] * q[1][i] + q[2][i] * q[2][i]);
+    q[3][i] = fmax((gamma - 1.0) * (ener[i] - ek), 0.0000000001);
+  }
+}
+
+#pragma acc kernels
+void hydro_soundspeed(double **q, double *c, int n, double gamma) {
+  int i;
+  for (i = 0; i < n; i++) {
+    c[i] = sqrt(gamma * q[3][i] / q[0][i]);
+  }
+}
+
+#pragma acc kernels
+void hydro_courant(double **q, const double *c, double *partial,
+                   int nchunks, int chunk, int n) {
+  int b, i;
+  for (b = 0; b < nchunks; b++) {
+    double cmax = 0.0;
+    for (i = b * chunk; i < (b + 1) * chunk; i++) {
+      if (i < n) {
+        cmax = fmax(cmax, fabs(q[1][i]) + c[i]);
+        cmax = fmax(cmax, fabs(q[2][i]) + c[i]);
+      }
+    }
+    partial[b] = cmax;
+  }
+}
+
+#pragma acc kernels
+void hydro_flux_x(const double *rho, const double *momx, const double *momy,
+                  const double *ener, double **q, const double *c,
+                  double *frho, double *fmx, double *fmy, double *fe,
+                  int nx, int ny) {
+  int jy, ix;
+  for (jy = 0; jy < ny; jy++) {
+    for (ix = 0; ix < nx - 1; ix++) {
+      int il = jy * nx + ix;
+      int ir = il + 1;
+      double ul = q[1][il];
+      double ur = q[1][ir];
+      double pl = q[3][il];
+      double pr = q[3][ir];
+      double smax = fmax(fabs(ul) + c[il], fabs(ur) + c[ir]);
+      frho[il] = 0.5 * (rho[il] * ul + rho[ir] * ur) - 0.5 * smax * (rho[ir] - rho[il]);
+      fmx[il] = 0.5 * (momx[il] * ul + pl + momx[ir] * ur + pr) - 0.5 * smax * (momx[ir] - momx[il]);
+      fmy[il] = 0.5 * (momy[il] * ul + momy[ir] * ur) - 0.5 * smax * (momy[ir] - momy[il]);
+      fe[il] = 0.5 * ((ener[il] + pl) * ul + (ener[ir] + pr) * ur) - 0.5 * smax * (ener[ir] - ener[il]);
+    }
+  }
+}
+
+#pragma acc kernels
+void hydro_update_x(double *rho, double *momx, double *momy, double *ener,
+                    const double *frho, const double *fmx, const double *fmy,
+                    const double *fe, double dtdx, int nx, int ny) {
+  int jy, ix;
+  for (jy = 0; jy < ny; jy++) {
+    for (ix = 1; ix < nx - 1; ix++) {
+      int ic = jy * nx + ix;
+      rho[ic] -= dtdx * (frho[ic] - frho[ic - 1]);
+      momx[ic] -= dtdx * (fmx[ic] - fmx[ic - 1]);
+      momy[ic] -= dtdx * (fmy[ic] - fmy[ic - 1]);
+      ener[ic] -= dtdx * (fe[ic] - fe[ic - 1]);
+    }
+  }
+}
+
+#pragma acc kernels
+void hydro_boundary_x(double *rho, double *momx, double *momy, double *ener,
+                      int nx, int ny) {
+  int jy;
+  for (jy = 0; jy < ny; jy++) {
+    rho[jy * nx] = rho[jy * nx + 1];
+    momx[jy * nx] = -momx[jy * nx + 1];
+    momy[jy * nx] = momy[jy * nx + 1];
+    ener[jy * nx] = ener[jy * nx + 1];
+    rho[jy * nx + nx - 1] = rho[jy * nx + nx - 2];
+    momx[jy * nx + nx - 1] = -momx[jy * nx + nx - 2];
+    momy[jy * nx + nx - 1] = momy[jy * nx + nx - 2];
+    ener[jy * nx + nx - 1] = ener[jy * nx + nx - 2];
+  }
+}
+
+#pragma acc kernels
+void hydro_flux_y(const double *rho, const double *momx, const double *momy,
+                  const double *ener, double **q, const double *c,
+                  double *frho, double *fmx, double *fmy, double *fe,
+                  int nx, int ny) {
+  int jy, ix;
+  for (jy = 0; jy < ny - 1; jy++) {
+    for (ix = 0; ix < nx; ix++) {
+      int il = jy * nx + ix;
+      int ir = il + nx;
+      double vl = q[2][il];
+      double vr = q[2][ir];
+      double pl = q[3][il];
+      double pr = q[3][ir];
+      double smax = fmax(fabs(vl) + c[il], fabs(vr) + c[ir]);
+      frho[il] = 0.5 * (rho[il] * vl + rho[ir] * vr) - 0.5 * smax * (rho[ir] - rho[il]);
+      fmx[il] = 0.5 * (momx[il] * vl + momx[ir] * vr) - 0.5 * smax * (momx[ir] - momx[il]);
+      fmy[il] = 0.5 * (momy[il] * vl + pl + momy[ir] * vr + pr) - 0.5 * smax * (momy[ir] - momy[il]);
+      fe[il] = 0.5 * ((ener[il] + pl) * vl + (ener[ir] + pr) * vr) - 0.5 * smax * (ener[ir] - ener[il]);
+    }
+  }
+}
+
+#pragma acc kernels
+void hydro_update_y(double *rho, double *momx, double *momy, double *ener,
+                    const double *frho, const double *fmx, const double *fmy,
+                    const double *fe, double dtdx, int nx, int ny) {
+  int jy, ix;
+  for (jy = 1; jy < ny - 1; jy++) {
+    for (ix = 0; ix < nx; ix++) {
+      int ic = jy * nx + ix;
+      rho[ic] -= dtdx * (frho[ic] - frho[ic - nx]);
+      momx[ic] -= dtdx * (fmx[ic] - fmx[ic - nx]);
+      momy[ic] -= dtdx * (fmy[ic] - fmy[ic - nx]);
+      ener[ic] -= dtdx * (fe[ic] - fe[ic - nx]);
+    }
+  }
+}
+
+#pragma acc kernels
+void hydro_boundary_y(double *rho, double *momx, double *momy, double *ener,
+                      int nx, int ny) {
+  int ix;
+  for (ix = 0; ix < nx; ix++) {
+    rho[ix] = rho[nx + ix];
+    momx[ix] = momx[nx + ix];
+    momy[ix] = -momy[nx + ix];
+    ener[ix] = ener[nx + ix];
+    rho[(ny - 1) * nx + ix] = rho[(ny - 2) * nx + ix];
+    momx[(ny - 1) * nx + ix] = momx[(ny - 2) * nx + ix];
+    momy[(ny - 1) * nx + ix] = -momy[(ny - 2) * nx + ix];
+    ener[(ny - 1) * nx + ix] = ener[(ny - 2) * nx + ix];
+  }
+}
+"""
+
+#: kernels whose loops get Gang-mode clauses in the shipped port and
+#: forced `independent` in the optimized version (the courant kernel
+#: computes per-chunk partial maxima; the host finishes the reduction)
+PARALLEL_KERNELS = (
+    "hydro_primitives",
+    "hydro_soundspeed",
+    "hydro_courant",
+    "hydro_flux_x",
+    "hydro_update_x",
+    "hydro_boundary_x",
+    "hydro_flux_y",
+    "hydro_update_y",
+    "hydro_boundary_y",
+)
+
+PORT_GANG = 192
+PORT_WORKER = 256
+
+
+class HydroBenchmark(Benchmark):
+    meta = BenchmarkMeta(
+        name="Hydro",
+        short="hydro",
+        dwarf="Structured Grid",
+        domain="Astrophysics (galaxy formation)",
+        input_size="2K x 2K grid",
+        paper_size=2048,
+        test_size=24,
+    )
+
+    def module(self) -> Module:
+        """The shipped OpenACC port: Gang-mode clauses on the outer loops."""
+        module = parse_module(SOURCE, "hydro")
+        kernels = []
+        for kernel in module.kernels:
+            if kernel.name in PARALLEL_KERNELS:
+                outer = kernel.top_level_loops()[0]
+                kernel = set_gang_worker(
+                    kernel, outer.loop_id, PORT_GANG, PORT_WORKER
+                )
+            kernels.append(kernel)
+        module.kernels = kernels
+        return module
+
+    def _optimized(self, module: Module) -> Module:
+        """Forced ``independent`` + Gridify (drop the Gang clauses)."""
+        out = clone_module(module)
+        kernels = []
+        for kernel in out.kernels:
+            if kernel.name in PARALLEL_KERNELS:
+                for loop in kernel.loops():
+                    kernel = clear_distribution(kernel, loop.loop_id)
+                if kernel.name == "hydro_courant":
+                    # only the chunk loop is independent; the inner loop
+                    # accumulates the chunk maximum sequentially
+                    kernel = add_independent(
+                        kernel, force_vars={"b"}, only_top_level=True
+                    ).kernel
+                else:
+                    kernel = add_independent(
+                        kernel, force_vars={"jy", "ix", "i"}
+                    ).kernel
+            kernels.append(kernel)
+        out.kernels = kernels
+        return out
+
+    def stages(self) -> dict[str, Module]:
+        base = self.module()
+        return {"base": base, "optimized": self._optimized(base)}
+
+    # -- OpenCL ---------------------------------------------------------------
+
+    def opencl_program(self) -> OpenCLProgram:
+        """The hand-written OpenCL port: one NDRange kernel per loop nest."""
+        module = parse_module(SOURCE.replace("hydro_", "ocl_hydro_"), "hydro-opencl")
+        specs = []
+        for kernel in module.kernels:
+            name = kernel.name.replace("ocl_", "")
+            if name in PARALLEL_KERNELS:
+                loops = kernel.top_level_loops()
+                outer = loops[0]
+                ids = [outer.loop_id]
+                inner = outer.body.stmts[0] if outer.body.stmts else None
+                from ..ir.stmt import For
+
+                if len(outer.body.stmts) == 1 and isinstance(inner, For):
+                    ids.append(inner.loop_id)
+                specs.append(
+                    OpenCLKernelSpec(
+                        kernel=kernel,
+                        parallel_loop_ids=ids,
+                        local_size=(32, 4) if len(ids) > 1 else (128, 1),
+                    )
+                )
+            else:
+                specs.append(OpenCLKernelSpec(kernel=kernel, parallel_loop_ids=[]))
+        return OpenCLProgram("hydro-opencl", specs)
+
+    # -- data ---------------------------------------------------------------------
+
+    def inputs(self, n: int, seed: int = 0) -> dict[str, object]:
+        nx = ny = n
+        rho = np.full(nx * ny, 0.125)
+        pressure = np.full(nx * ny, 0.1)
+        half = (np.arange(nx * ny) % nx) < nx // 2
+        rho[half] = 1.0
+        pressure[half] = 1.0
+        return {
+            "rho": rho,
+            "momx": np.zeros(nx * ny),
+            "momy": np.zeros(nx * ny),
+            "ener": pressure / (GAMMA - 1.0),
+            "nx": nx,
+            "ny": ny,
+        }
+
+    def reference(
+        self, inputs: dict[str, object], steps: int = 2
+    ) -> dict[str, np.ndarray]:
+        nx = int(inputs["nx"])  # type: ignore[arg-type]
+        ny = int(inputs["ny"])  # type: ignore[arg-type]
+        rho = np.asarray(inputs["rho"], dtype=np.float64).reshape(ny, nx).copy()
+        momx = np.asarray(inputs["momx"], dtype=np.float64).reshape(ny, nx).copy()
+        momy = np.asarray(inputs["momy"], dtype=np.float64).reshape(ny, nx).copy()
+        ener = np.asarray(inputs["ener"], dtype=np.float64).reshape(ny, nx).copy()
+
+        def primitives():
+            r = np.maximum(rho, SMALLR)
+            u = momx / r
+            v = momy / r
+            p = np.maximum((GAMMA - 1.0) * (ener - 0.5 * r * (u * u + v * v)),
+                           SMALLR)
+            c = np.sqrt(GAMMA * p / r)
+            return r, u, v, p, c
+
+        for _ in range(steps):
+            r, u, v, p, c = primitives()
+            cmax = max(
+                float(np.max(np.abs(u) + c)), float(np.max(np.abs(v) + c))
+            )
+            dtdx = CFL / cmax
+
+            # x sweep
+            def rusanov_x(fl_u, fl_p):
+                smax = np.maximum(
+                    np.abs(fl_u[:, :-1]) + c[:, :-1], np.abs(fl_u[:, 1:]) + c[:, 1:]
+                )
+                return smax
+
+            smax = rusanov_x(u, p)
+            frho = 0.5 * (rho[:, :-1] * u[:, :-1] + rho[:, 1:] * u[:, 1:]) \
+                - 0.5 * smax * (rho[:, 1:] - rho[:, :-1])
+            fmx = 0.5 * (momx[:, :-1] * u[:, :-1] + p[:, :-1]
+                         + momx[:, 1:] * u[:, 1:] + p[:, 1:]) \
+                - 0.5 * smax * (momx[:, 1:] - momx[:, :-1])
+            fmy = 0.5 * (momy[:, :-1] * u[:, :-1] + momy[:, 1:] * u[:, 1:]) \
+                - 0.5 * smax * (momy[:, 1:] - momy[:, :-1])
+            fe = 0.5 * ((ener[:, :-1] + p[:, :-1]) * u[:, :-1]
+                        + (ener[:, 1:] + p[:, 1:]) * u[:, 1:]) \
+                - 0.5 * smax * (ener[:, 1:] - ener[:, :-1])
+            rho[:, 1:-1] -= dtdx * (frho[:, 1:] - frho[:, :-1])
+            momx[:, 1:-1] -= dtdx * (fmx[:, 1:] - fmx[:, :-1])
+            momy[:, 1:-1] -= dtdx * (fmy[:, 1:] - fmy[:, :-1])
+            ener[:, 1:-1] -= dtdx * (fe[:, 1:] - fe[:, :-1])
+            # reflective boundary x
+            rho[:, 0] = rho[:, 1]
+            momx[:, 0] = -momx[:, 1]
+            momy[:, 0] = momy[:, 1]
+            ener[:, 0] = ener[:, 1]
+            rho[:, -1] = rho[:, -2]
+            momx[:, -1] = -momx[:, -2]
+            momy[:, -1] = momy[:, -2]
+            ener[:, -1] = ener[:, -2]
+
+            # y sweep (fresh primitives)
+            r, u, v, p, c = primitives()
+            smax = np.maximum(
+                np.abs(v[:-1, :]) + c[:-1, :], np.abs(v[1:, :]) + c[1:, :]
+            )
+            frho = 0.5 * (rho[:-1, :] * v[:-1, :] + rho[1:, :] * v[1:, :]) \
+                - 0.5 * smax * (rho[1:, :] - rho[:-1, :])
+            fmx = 0.5 * (momx[:-1, :] * v[:-1, :] + momx[1:, :] * v[1:, :]) \
+                - 0.5 * smax * (momx[1:, :] - momx[:-1, :])
+            fmy = 0.5 * (momy[:-1, :] * v[:-1, :] + p[:-1, :]
+                         + momy[1:, :] * v[1:, :] + p[1:, :]) \
+                - 0.5 * smax * (momy[1:, :] - momy[:-1, :])
+            fe = 0.5 * ((ener[:-1, :] + p[:-1, :]) * v[:-1, :]
+                        + (ener[1:, :] + p[1:, :]) * v[1:, :]) \
+                - 0.5 * smax * (ener[1:, :] - ener[:-1, :])
+            rho[1:-1, :] -= dtdx * (frho[1:, :] - frho[:-1, :])
+            momx[1:-1, :] -= dtdx * (fmx[1:, :] - fmx[:-1, :])
+            momy[1:-1, :] -= dtdx * (fmy[1:, :] - fmy[:-1, :])
+            ener[1:-1, :] -= dtdx * (fe[1:, :] - fe[:-1, :])
+            # reflective boundary y
+            rho[0, :] = rho[1, :]
+            momx[0, :] = momx[1, :]
+            momy[0, :] = -momy[1, :]
+            ener[0, :] = ener[1, :]
+            rho[-1, :] = rho[-2, :]
+            momx[-1, :] = momx[-2, :]
+            momy[-1, :] = -momy[-2, :]
+            ener[-1, :] = ener[-2, :]
+
+        return {
+            "rho": rho.flatten(),
+            "momx": momx.flatten(),
+            "momy": momy.flatten(),
+            "ener": ener.flatten(),
+        }
+
+    # -- driver ---------------------------------------------------------------------
+
+    #: estimated host-side seconds per step per cell with GCC (I/O,
+    #: orchestration, dt finalization) [calibrated: Fig. 15 GCC-vs-Intel gap]
+    HOST_SECONDS_PER_CELL = 5e-9
+
+    def run(
+        self,
+        accelerator: Accelerator,
+        compiled: CompilationResult,
+        n: int,
+        inputs: dict[str, object] | None = None,
+        steps: int = 2,
+    ) -> RunResult:
+        functional = inputs is not None
+        prefix = (
+            "ocl_" if any(k.name.startswith("ocl_") for k in compiled.kernels)
+            else ""
+        )
+
+        def kern(name: str):
+            return compiled.kernel(prefix + name)
+
+        nx = ny = n
+        cells = nx * ny
+
+        if functional:
+            accelerator.to_device(
+                rho=np.asarray(inputs["rho"], dtype=np.float64),
+                momx=np.asarray(inputs["momx"], dtype=np.float64),
+                momy=np.asarray(inputs["momy"], dtype=np.float64),
+                ener=np.asarray(inputs["ener"], dtype=np.float64),
+                q=np.zeros((4, cells)),
+                c=np.zeros(cells),
+                partial=np.zeros(NCHUNKS),
+                frho=np.zeros(cells),
+                fmx=np.zeros(cells),
+                fmy=np.zeros(cells),
+                fe=np.zeros(cells),
+                courant=np.zeros(1),
+            )
+        else:
+            f8 = 8
+            accelerator.declare(
+                rho=cells * f8, momx=cells * f8, momy=cells * f8,
+                ener=cells * f8, q=4 * cells * f8, c=cells * f8,
+                frho=cells * f8, fmx=cells * f8, fmy=cells * f8,
+                fe=cells * f8, partial=NCHUNKS * f8,
+            )
+            accelerator.upload_declared("rho", "momx", "momy", "ener")
+
+        for _ in range(steps):
+            chunk = max(1, -(-cells // NCHUNKS))
+            accelerator.launch(kern("hydro_primitives"), n=cells, gamma=GAMMA)
+            accelerator.launch(kern("hydro_soundspeed"), n=cells, gamma=GAMMA)
+            accelerator.launch(kern("hydro_courant"), nchunks=NCHUNKS,
+                               chunk=chunk, n=cells)
+            if functional:
+                cmax = float(accelerator.from_device("partial")["partial"].max())
+            else:
+                accelerator.download_declared("partial")
+                cmax = 2.0
+            dtdx = CFL / max(cmax, 1e-10)
+            accelerator.host_compute(
+                "hydro step bookkeeping", self.HOST_SECONDS_PER_CELL * cells
+            )
+
+            accelerator.launch(kern("hydro_flux_x"), nx=nx, ny=ny)
+            accelerator.launch(kern("hydro_update_x"), dtdx=dtdx, nx=nx, ny=ny)
+            accelerator.launch(kern("hydro_boundary_x"), nx=nx, ny=ny)
+
+            accelerator.launch(kern("hydro_primitives"), n=cells, gamma=GAMMA)
+            accelerator.launch(kern("hydro_soundspeed"), n=cells, gamma=GAMMA)
+            accelerator.launch(kern("hydro_flux_y"), nx=nx, ny=ny)
+            accelerator.launch(kern("hydro_update_y"), dtdx=dtdx, nx=nx, ny=ny)
+            accelerator.launch(kern("hydro_boundary_y"), nx=nx, ny=ny)
+
+        outputs: dict[str, np.ndarray] = {}
+        if functional:
+            outputs = accelerator.from_device("rho", "momx", "momy", "ener")
+        else:
+            accelerator.download_declared("rho", "momx", "momy", "ener")
+        return RunResult(accelerator.elapsed_s, accelerator, outputs)

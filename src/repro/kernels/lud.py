@@ -1,0 +1,174 @@
+"""LU Decomposition (LUD) — Rodinia, dense linear algebra (paper V-A).
+
+In-place Doolittle factorization of an ``size x size`` matrix: the host
+iterates over pivot rows; two device kernels per iteration update the
+pivot row and the pivot column.  "LUD is a compute-intensive kernel and
+can be seen as a matrix form of GE" (Table IV: 4K matrix).
+
+Every loop carries (or appears to carry) dependences, so Step 1 of the
+method does not apply: "the independent directives cannot be added due to
+the dependencies found in the loops" (V-A1).  The optimization stages are
+thread distribution (Gang mode), unrolling, and tiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compilers.framework import CompilationResult
+from ..frontend.parser import parse_module
+from ..ir.directives import AccLoop, HmppUnroll
+from ..ir.stmt import Module
+from ..ir.visitors import clone_module
+from ..runtime.launcher import Accelerator
+from ..transforms.distribute import set_gang_worker
+from .base import Benchmark, BenchmarkMeta, RunResult
+
+SOURCE = """
+#pragma acc kernels
+void lud_row(float *a, int size, int i) {
+  int j, k;
+  for (j = i; j < size; j++) {
+    float sum = a[i * size + j];
+    for (k = 0; k < i; k++) {
+      sum -= a[i * size + k] * a[k * size + j];
+    }
+    a[i * size + j] = sum;
+  }
+}
+
+#pragma acc kernels
+void lud_column(float *a, int size, int i) {
+  int j, k;
+  for (j = i + 1; j < size; j++) {
+    float sum = a[j * size + i];
+    for (k = 0; k < i; k++) {
+      sum -= a[j * size + k] * a[k * size + i];
+    }
+    a[j * size + i] = sum / a[i * size + i];
+  }
+}
+"""
+
+#: the portable-best thread distribution found in the heat maps (Fig. 4):
+#: "the gang and worker for the best performance of LUD on GPU K40 are
+#: (>256, 16) ... the thread distribution for the best performance
+#: portability across GPU and MIC can be found in (>256, 16)"
+BEST_GANG = 256
+BEST_WORKER = 16
+UNROLL_FACTOR = 8
+TILE_SIZE = 16
+
+
+class LudBenchmark(Benchmark):
+    meta = BenchmarkMeta(
+        name="LU Decomposition",
+        short="lud",
+        dwarf="Dense Linear Algebra",
+        domain="Linear Algebra",
+        input_size="4K matrix",
+        paper_size=4096,
+        test_size=24,
+    )
+
+    # -- sources ---------------------------------------------------------------
+
+    def module(self) -> Module:
+        return parse_module(SOURCE, "lud")
+
+    def _with_distribution(self, module: Module) -> Module:
+        out = clone_module(module)
+        kernels = []
+        for kernel in out.kernels:
+            j_loop = kernel.loop_by_var("j")
+            kernels.append(
+                set_gang_worker(kernel, j_loop.loop_id, BEST_GANG, BEST_WORKER)
+            )
+        out.kernels = kernels
+        return out
+
+    def _with_unroll(self, module: Module) -> Module:
+        """Attach ``#pragma hmppcg unroll(8)`` to the inner k loops.
+
+        The directive is plain unrolling of an innermost loop, which the
+        CAPS CUDA backend applies for real (Fig. 6: CAPS unroll PTX grows);
+        PGI's unroll comes from -Munroll at compile time and skips this
+        reduction-carried loop (Fig. 6: PGI unroll PTX unchanged).
+        """
+        out = self._with_distribution(module)
+        for kernel in out.kernels:
+            k_loop = kernel.loop_by_var("k")
+            k_loop.directives = k_loop.directives.with_added(
+                HmppUnroll(UNROLL_FACTOR, jam=False)
+            )
+        return out
+
+    def _with_tile(self, module: Module) -> Module:
+        """Attach ``#pragma acc tile(16)`` to the j loops.
+
+        These loops are not independent, so CAPS accepts the directive but
+        generates nothing (Fig. 6: tile PTX identical to thread-dist).
+        """
+        out = self._with_distribution(module)
+        for kernel in out.kernels:
+            j_loop = kernel.loop_by_var("j")
+            acc = j_loop.directives.first(AccLoop)
+            import dataclasses
+
+            new_acc = dataclasses.replace(acc, tile=(TILE_SIZE,))  # type: ignore[arg-type]
+            j_loop.directives = j_loop.directives.with_replaced(AccLoop, new_acc)
+        return out
+
+    def stages(self) -> dict[str, Module]:
+        base = self.module()
+        return {
+            "base": base,
+            "threaddist": self._with_distribution(base),
+            "unroll": self._with_unroll(base),
+            "tile": self._with_tile(base),
+        }
+
+    # -- data ---------------------------------------------------------------------
+
+    def inputs(self, n: int, seed: int = 0) -> dict[str, object]:
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((n, n)) + n * np.eye(n)  # diagonally dominant
+        return {"a": matrix.flatten(), "size": n}
+
+    def reference(self, inputs: dict[str, object]) -> dict[str, np.ndarray]:
+        n = int(inputs["size"])  # type: ignore[arg-type]
+        a = np.array(inputs["a"], dtype=np.float64).reshape(n, n).copy()
+        for i in range(n):
+            a[i, i:] -= a[i, :i] @ a[:i, i:]
+            a[i + 1:, i] = (a[i + 1:, i] - a[i + 1:, :i] @ a[:i, i]) / a[i, i]
+        return {"a": a.flatten()}
+
+    # -- driver ---------------------------------------------------------------------
+
+    def run(
+        self,
+        accelerator: Accelerator,
+        compiled: CompilationResult,
+        n: int,
+        inputs: dict[str, object] | None = None,
+    ) -> RunResult:
+        functional = inputs is not None
+        row = compiled.kernel("lud_row")
+        column = compiled.kernel("lud_column")
+
+        if functional:
+            accelerator.to_device(a=np.asarray(inputs["a"], dtype=np.float64))
+        else:
+            accelerator.declare(a=n * n * 4)
+            accelerator.upload_declared("a")
+
+        for i in range(n):
+            accelerator.launch(row, size=n, i=i)
+            accelerator.launch(column, size=n, i=i)
+
+        outputs: dict[str, np.ndarray] = {}
+        if functional:
+            outputs = accelerator.from_device("a")
+        else:
+            accelerator.download_declared("a")
+        return RunResult(accelerator.elapsed_s, accelerator, outputs)

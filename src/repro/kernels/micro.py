@@ -1,0 +1,200 @@
+"""Microbenchmarks from the authors' previous study (paper section VI).
+
+"The authors' previous work [11] evaluated the OpenACC kernels from SHOC,
+STREAM, and EPCC benchmark suites by using the CAPS compiler.  This work
+extends the previous work..."  These small kernels are the natural smoke
+tests of the simulated tool-chain and the calibration probes of the
+performance model:
+
+* ``stream_triad``   — STREAM: bandwidth-bound a[i] = b[i] + s*c[i]
+* ``shoc_reduction`` — SHOC: a sum reduction (the Fig. 13 pattern)
+* ``epcc_stencil``   — EPCC-style 1-D three-point stencil
+* ``shoc_md_gather`` — an indirect-gather kernel (the BFS access class)
+
+Each provides the same interface pieces as the full benchmarks: a mini-C
+source, a NumPy reference, and input generation.  They are not part of the
+paper's evaluation matrix (Table IV), so they carry no ``stages()``
+pipeline; :func:`run_micro` drives one kernel through one tool-chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..compilers.framework import CompilationResult
+from ..frontend.parser import parse_module
+from ..ir.stmt import Module
+from ..runtime.launcher import Accelerator
+
+STREAM_TRIAD = """
+#pragma acc kernels
+void stream_triad(float *a, const float *b, const float *c, float s, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    a[i] = b[i] + s * c[i];
+  }
+}
+"""
+
+SHOC_REDUCTION = """
+#pragma acc kernels
+void shoc_reduction(const float *in, float *out, int n) {
+  int i;
+  float sum = 0.0f;
+  #pragma acc loop reduction(+:sum)
+  for (i = 0; i < n; i++) {
+    sum += in[i];
+  }
+  out[0] = sum;
+}
+"""
+
+EPCC_STENCIL = """
+#pragma acc kernels
+void epcc_stencil(float *out, const float *in, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 1; i < n - 1; i++) {
+    out[i] = 0.25f * in[i - 1] + 0.5f * in[i] + 0.25f * in[i + 1];
+  }
+}
+"""
+
+SHOC_MD_GATHER = """
+#pragma acc kernels
+void shoc_md_gather(float *force, const float *pos, const int *neighbors,
+                    int degree, int n) {
+  int i, j;
+  for (i = 0; i < n; i++) {
+    float acc = 0.0f;
+    for (j = 0; j < degree; j++) {
+      acc += pos[neighbors[i * degree + j]];
+    }
+    force[i] = acc;
+  }
+}
+"""
+
+
+@dataclass(frozen=True)
+class MicroKernel:
+    """One microbenchmark: source + data + reference."""
+
+    name: str
+    source: str
+    make_inputs: Callable[[int, int], dict[str, object]]
+    reference: Callable[[dict[str, object]], dict[str, np.ndarray]]
+    output_names: tuple[str, ...]
+
+    def module(self) -> Module:
+        return parse_module(self.source, self.name)
+
+
+def _triad_inputs(n: int, seed: int = 0) -> dict[str, object]:
+    rng = np.random.default_rng(seed)
+    return {
+        "a": np.zeros(n), "b": rng.random(n), "c": rng.random(n),
+        "s": 2.5, "n": n,
+    }
+
+
+def _triad_reference(inputs: dict[str, object]) -> dict[str, np.ndarray]:
+    return {"a": np.asarray(inputs["b"]) + 2.5 * np.asarray(inputs["c"])}
+
+
+def _reduction_inputs(n: int, seed: int = 0) -> dict[str, object]:
+    rng = np.random.default_rng(seed)
+    return {"in": rng.random(n), "out": np.zeros(1), "n": n}
+
+
+def _reduction_reference(inputs: dict[str, object]) -> dict[str, np.ndarray]:
+    return {"out": np.array([np.asarray(inputs["in"]).sum()])}
+
+
+def _stencil_inputs(n: int, seed: int = 0) -> dict[str, object]:
+    rng = np.random.default_rng(seed)
+    data = rng.random(n)
+    return {"out": data.copy(), "in": data, "n": n}
+
+
+def _stencil_reference(inputs: dict[str, object]) -> dict[str, np.ndarray]:
+    data = np.asarray(inputs["in"])
+    out = data.copy()
+    out[1:-1] = 0.25 * data[:-2] + 0.5 * data[1:-1] + 0.25 * data[2:]
+    return {"out": out}
+
+
+DEGREE = 8
+
+
+def _gather_inputs(n: int, seed: int = 0) -> dict[str, object]:
+    rng = np.random.default_rng(seed)
+    return {
+        "force": np.zeros(n),
+        "pos": rng.random(n),
+        "neighbors": rng.integers(0, n, size=n * DEGREE),
+        "degree": DEGREE,
+        "n": n,
+    }
+
+
+def _gather_reference(inputs: dict[str, object]) -> dict[str, np.ndarray]:
+    pos = np.asarray(inputs["pos"])
+    neighbors = np.asarray(inputs["neighbors"]).reshape(-1, DEGREE)
+    return {"force": pos[neighbors].sum(axis=1)}
+
+
+MICRO_KERNELS: dict[str, MicroKernel] = {
+    "stream_triad": MicroKernel(
+        "stream_triad", STREAM_TRIAD, _triad_inputs, _triad_reference, ("a",)
+    ),
+    "shoc_reduction": MicroKernel(
+        "shoc_reduction", SHOC_REDUCTION, _reduction_inputs,
+        _reduction_reference, ("out",),
+    ),
+    "epcc_stencil": MicroKernel(
+        "epcc_stencil", EPCC_STENCIL, _stencil_inputs, _stencil_reference,
+        ("out",),
+    ),
+    "shoc_md_gather": MicroKernel(
+        "shoc_md_gather", SHOC_MD_GATHER, _gather_inputs, _gather_reference,
+        ("force",),
+    ),
+}
+
+
+def run_micro(
+    name: str,
+    compiled: CompilationResult,
+    accelerator: Accelerator,
+    n: int,
+    seed: int = 0,
+) -> tuple[dict[str, np.ndarray], float]:
+    """Drive one compiled microbenchmark functionally; returns (outputs,
+    modeled elapsed seconds)."""
+    micro = MICRO_KERNELS[name]
+    inputs = micro.make_inputs(n, seed)
+    arrays = {k: np.asarray(v) for k, v in inputs.items()
+              if isinstance(v, np.ndarray)}
+    scalars = {k: v for k, v in inputs.items()
+               if not isinstance(v, np.ndarray)}
+    accelerator.to_device(**arrays)
+    for kernel in compiled.kernels:
+        accelerator.launch(kernel, **scalars)
+    outputs = accelerator.from_device(*micro.output_names)
+    return outputs, accelerator.elapsed_s
+
+
+def validate_micro(name: str, outputs: dict[str, np.ndarray], n: int,
+                   seed: int = 0) -> bool:
+    """Check a micro run's outputs against the NumPy reference."""
+    micro = MICRO_KERNELS[name]
+    expected = micro.reference(micro.make_inputs(n, seed))
+    return all(
+        np.allclose(outputs[key], expected[key], rtol=1e-5, atol=1e-7)
+        for key in expected
+    )

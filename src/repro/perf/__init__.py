@@ -1,0 +1,21 @@
+"""Calibrated analytical performance models for the simulated devices."""
+
+from .model import (
+    model_overrides,
+    CPI,
+    KernelTimeline,
+    LaunchConfig,
+    TimeBreakdown,
+    WorkProfile,
+    estimate_time,
+)
+
+__all__ = [
+    "CPI",
+    "KernelTimeline",
+    "LaunchConfig",
+    "TimeBreakdown",
+    "WorkProfile",
+    "estimate_time",
+    "model_overrides",
+]

@@ -1,0 +1,27 @@
+"""PTX-subset generation and static instruction analysis (paper IV-C)."""
+
+from .codegen import (
+    CodegenStyle,
+    ParallelMapping,
+    PtxGenerator,
+    empty_ptx,
+    generate_ptx,
+)
+from .counter import InstructionProfile, compare_profiles, format_comparison
+from .isa import CATEGORY_OF, TABLE_V, Category, PtxInst, PtxKernel
+
+__all__ = [
+    "CATEGORY_OF",
+    "TABLE_V",
+    "Category",
+    "CodegenStyle",
+    "InstructionProfile",
+    "ParallelMapping",
+    "PtxGenerator",
+    "PtxInst",
+    "PtxKernel",
+    "compare_profiles",
+    "empty_ptx",
+    "format_comparison",
+    "generate_ptx",
+]

@@ -1,0 +1,626 @@
+"""PTX code generation from scheduled IR kernels.
+
+The generator walks a kernel body and emits a PTX-subset instruction
+stream.  Loops that the compiler mapped onto device threads become
+thread-index computations (``mov %ctaid`` / ``mov %tid`` / ``mad``) with a
+bounds guard; remaining loops become sequential control flow inside the
+kernel.
+
+A :class:`CodegenStyle` captures the *translation-strategy* differences
+the paper observes between CAPS, PGI, and the OpenCL compiler:
+
+* ``cse_addresses`` — CAPS-style common-subexpression elimination of
+  address arithmetic (one ``cvta.to.global`` per array, reused address
+  registers).  Without it every access re-derives its address, which is
+  why "the CAPS compiler generates fewer data movement instructions,
+  especially the expensive global memory access instructions" (Fig. 11).
+* ``mov_per_stmt`` — extra register-shuffling ``mov``s per statement
+  (PGI's more literal translation: "PGI generates more PTX instructions
+  than CAPS", Figs. 6/14).
+* ``extra_param_loads`` — additional ``ld.param`` bookkeeping arguments
+  (the HMPP codelet descriptor: "the CAPS compiler generated five more
+  global instructions than the OpenCL compiler", Fig. 9).
+* ``use_fma`` — fuse ``a*b + c`` into one ``fma``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.directives import AccLoop
+from ..ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cast,
+    Expr,
+    FloatLit,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from ..ir.stmt import (
+    Assign,
+    Barrier,
+    Block,
+    Decl,
+    For,
+    If,
+    KernelFunction,
+    Stmt,
+    While,
+)
+from ..ir.types import ArrayType, DType
+from .isa import PtxInst, PtxKernel
+
+
+@dataclass(frozen=True)
+class CodegenStyle:
+    """Knobs capturing a compiler's PTX translation strategy."""
+
+    name: str = "generic"
+    cse_addresses: bool = True
+    mov_per_stmt: int = 0
+    extra_param_loads: int = 0
+    use_fma: bool = True
+    bounds_guard: bool = True
+    #: optimizing backends encode literals as immediate operands; literal
+    #: translators materialize every constant into a register with a mov
+    fold_immediates: bool = True
+    #: value-CSE of loads: HMPP codelets are restrict-qualified, so CAPS
+    #: reuses a loaded value instead of re-issuing ld.global; hand-written
+    #: OpenCL (no restrict) and PGI must re-load ("the CAPS compiler
+    #: generates fewer ... global memory access instructions", Fig. 11)
+    cse_loads: bool = False
+
+
+@dataclass
+class ParallelMapping:
+    """Which loops were mapped onto thread dimensions (loop_id -> dim)."""
+
+    dims: dict[int, int] = field(default_factory=dict)
+    #: loops lowered as shared-memory tree reductions
+    shared_reductions: set[int] = field(default_factory=set)
+
+
+_SUFFIX = {
+    DType.INT32: "s32",
+    DType.INT64: "s64",
+    DType.FLOAT32: "f32",
+    DType.FLOAT64: "f64",
+    DType.BOOL: "pred",
+}
+
+_REG_PREFIX = {
+    DType.INT32: "%r",
+    DType.INT64: "%rd",
+    DType.FLOAT32: "%f",
+    DType.FLOAT64: "%fd",
+    DType.BOOL: "%p",
+}
+
+_DIM_NAME = {0: "x", 1: "y", 2: "z"}
+
+
+class PtxGenerator:
+    """Generates one :class:`PtxKernel` from an IR kernel + schedule."""
+
+    def __init__(
+        self,
+        kernel: KernelFunction,
+        mapping: ParallelMapping | None = None,
+        style: CodegenStyle | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.mapping = mapping or ParallelMapping()
+        self.style = style or CodegenStyle()
+        self.out = PtxKernel(kernel.name)
+        self._reg_counters: dict[str, int] = {}
+        self._var_regs: dict[str, str] = {}
+        self._dtypes: dict[str, DType] = {}
+        self._array_dtypes: dict[str, DType] = {}
+        self._addr_cache: dict[str, str] = {}
+        self._load_cache: dict[str, str] = {}
+        self._label_counter = 0
+        for param in kernel.params:
+            if isinstance(param.type, ArrayType):
+                self._array_dtypes[param.name] = param.type.dtype
+            else:
+                self._dtypes[param.name] = param.type.dtype
+
+    # -- low-level helpers --------------------------------------------------
+
+    def _emit(self, opcode: str, suffix: str = "", *operands: str,
+              label: str | None = None) -> None:
+        self.out.instructions.append(PtxInst(opcode, suffix, tuple(operands), label))
+
+    def _reg(self, dtype: DType) -> str:
+        prefix = _REG_PREFIX[dtype]
+        self._reg_counters[prefix] = self._reg_counters.get(prefix, 0) + 1
+        return f"{prefix}{self._reg_counters[prefix]}"
+
+    def _label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"$L_{stem}_{self._label_counter}"
+
+    def _mark_label(self, label: str) -> None:
+        self.out.labels[len(self.out.instructions)] = label
+
+    def _dtype_of(self, expr: Expr) -> DType:
+        if isinstance(expr, IntLit):
+            return DType.INT32
+        if isinstance(expr, FloatLit):
+            return expr.dtype
+        if isinstance(expr, Var):
+            return self._dtypes.get(expr.name, DType.INT32)
+        if isinstance(expr, ArrayRef):
+            return self._array_dtypes.get(expr.name, DType.FLOAT32)
+        if isinstance(expr, BinOp):
+            if expr.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+                return DType.BOOL
+            from ..ir.types import promote
+
+            return promote(self._dtype_of(expr.lhs), self._dtype_of(expr.rhs))
+        if isinstance(expr, UnaryOp):
+            return DType.BOOL if expr.op == "!" else self._dtype_of(expr.operand)
+        if isinstance(expr, Call):
+            if expr.func in ("min", "max", "abs"):
+                return self._dtype_of(expr.args[0])
+            return DType.FLOAT32
+        if isinstance(expr, Ternary):
+            from ..ir.types import promote
+
+            return promote(self._dtype_of(expr.then), self._dtype_of(expr.otherwise))
+        if isinstance(expr, Cast):
+            return expr.dtype
+        return DType.INT32
+
+    # -- prologue -----------------------------------------------------------
+
+    def _prologue(self) -> None:
+        for param in self.kernel.params:
+            if isinstance(param.type, ArrayType):
+                reg = self._reg(DType.INT64)
+                self._emit("ld.param", "u64", reg, f"[{param.name}]")
+                if self.style.cse_addresses:
+                    greg = self._reg(DType.INT64)
+                    self._emit("cvta.to.global", "u64", greg, reg)
+                    self._addr_cache[f"base:{param.name}"] = greg
+                self._var_regs[f"@ptr:{param.name}"] = reg
+            else:
+                reg = self._reg(param.type.dtype)  # type: ignore[union-attr]
+                self._emit(
+                    "ld.param", _SUFFIX[param.type.dtype], reg, f"[{param.name}]"  # type: ignore[union-attr]
+                )
+                self._var_regs[param.name] = reg
+        for _ in range(self.style.extra_param_loads):
+            # HMPP codelet descriptor words (grid geometry, error status...)
+            reg = self._reg(DType.INT64)
+            self._emit("ld.param", "u64", reg, "[__hmpp_desc]")
+
+    def _thread_index(self, loop: For, dim: int) -> None:
+        """Compute the global index for a thread-mapped loop."""
+        name = _DIM_NAME.get(dim, "x")
+        ctaid = self._reg(DType.INT32)
+        ntid = self._reg(DType.INT32)
+        tid = self._reg(DType.INT32)
+        self._emit("mov", "u32", ctaid, f"%ctaid.{name}")
+        self._emit("mov", "u32", ntid, f"%ntid.{name}")
+        self._emit("mov", "u32", tid, f"%tid.{name}")
+        gid = self._reg(DType.INT32)
+        self._emit("mad", "lo.s32", gid, ctaid, ntid, tid)
+        if not (isinstance(loop.lower, IntLit) and loop.lower.value == 0):
+            lo = self.gen_expr(loop.lower)
+            shifted = self._reg(DType.INT32)
+            self._emit("add", "s32", shifted, gid, lo)
+            gid = shifted
+        if loop.step != 1:
+            stepped = self._reg(DType.INT32)
+            self._emit("mul", "lo.s32", stepped, gid, str(loop.step))
+            gid = stepped
+        self._var_regs[loop.var] = gid
+        self._dtypes[loop.var] = DType.INT32
+        if self.style.bounds_guard:
+            hi = self.gen_expr(loop.upper)
+            pred = self._reg(DType.BOOL)
+            self._emit("setp", "ge.s32", pred, gid, hi)
+            exit_label = self._label("exit")
+            self._emit("bra", "", f"@{pred}", label=exit_label)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _operand(self, expr: Expr) -> str:
+        """Literals become immediate operands (no mov) when the style
+        folds immediates; otherwise they are materialized with a mov."""
+        if self.style.fold_immediates:
+            if isinstance(expr, IntLit):
+                return str(expr.value)
+            if isinstance(expr, FloatLit):
+                return f"0f{abs(hash(expr.value)) % 16**8:08X}"
+        return self.gen_expr(expr)
+
+    def gen_expr(self, expr: Expr) -> str:
+        if isinstance(expr, IntLit):
+            reg = self._reg(DType.INT32)
+            self._emit("mov", "u32", reg, str(expr.value))
+            return reg
+        if isinstance(expr, FloatLit):
+            reg = self._reg(expr.dtype)
+            immediate = f"0f{abs(hash(expr.value)) % 16**8:08X}"
+            self._emit("mov", _SUFFIX[expr.dtype], reg, immediate)
+            return reg
+        if isinstance(expr, Var):
+            if expr.name not in self._var_regs:
+                reg = self._reg(self._dtypes.get(expr.name, DType.INT32))
+                self._var_regs[expr.name] = reg
+            return self._var_regs[expr.name]
+        if isinstance(expr, ArrayRef):
+            load_key = str(expr)
+            if self.style.cse_loads and load_key in self._load_cache:
+                return self._load_cache[load_key]
+            addr = self._address_of(expr)
+            dtype = self._array_dtypes.get(expr.name, DType.FLOAT32)
+            reg = self._reg(dtype)
+            self._emit("ld.global", _SUFFIX[dtype], reg, f"[{addr}]")
+            if self.style.cse_loads:
+                self._load_cache[load_key] = reg
+            return reg
+        if isinstance(expr, BinOp):
+            return self._gen_binop(expr)
+        if isinstance(expr, UnaryOp):
+            operand = self.gen_expr(expr.operand)
+            dtype = self._dtype_of(expr)
+            reg = self._reg(dtype)
+            if expr.op == "-":
+                self._emit("neg", _SUFFIX[dtype], reg, operand)
+            elif expr.op == "!":
+                self._emit("not", "pred", reg, operand)
+            elif expr.op == "~":
+                self._emit("not", "b32", reg, operand)
+            else:
+                self._emit("mov", _SUFFIX[dtype], reg, operand)
+            return reg
+        if isinstance(expr, Call):
+            return self._gen_call(expr)
+        if isinstance(expr, Ternary):
+            pred = self.gen_expr(expr.cond)
+            then = self._operand(expr.then)
+            other = self._operand(expr.otherwise)
+            dtype = self._dtype_of(expr)
+            reg = self._reg(dtype)
+            self._emit("selp", _SUFFIX[dtype], reg, then, other, pred)
+            return reg
+        if isinstance(expr, Cast):
+            inner = self.gen_expr(expr.operand)
+            src = self._dtype_of(expr.operand)
+            reg = self._reg(expr.dtype)
+            self._emit("cvt", f"{_SUFFIX[expr.dtype]}.{_SUFFIX[src]}", reg, inner)
+            return reg
+        raise TypeError(f"cannot generate PTX for {type(expr).__name__}")
+
+    def _gen_binop(self, expr: BinOp) -> str:
+        dtype = self._dtype_of(expr)
+        # fma fusion: (a*b) + c
+        if (
+            self.style.use_fma
+            and expr.op in ("+", "-")
+            and dtype.is_float
+            and isinstance(expr.lhs, BinOp)
+            and expr.lhs.op == "*"
+        ):
+            a = self._operand(expr.lhs.lhs)
+            b = self._operand(expr.lhs.rhs)
+            c = self._operand(expr.rhs)
+            reg = self._reg(dtype)
+            self._emit("fma", f"rn.{_SUFFIX[dtype]}", reg, a, b, c)
+            return reg
+        lhs = self._operand(expr.lhs)
+        rhs = self._operand(expr.rhs)
+        if expr.op in ("<", "<=", ">", ">=", "==", "!="):
+            cmp_dtype = self._dtype_of(expr.lhs)
+            cc = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+                  "==": "eq", "!=": "ne"}[expr.op]
+            reg = self._reg(DType.BOOL)
+            self._emit("setp", f"{cc}.{_SUFFIX.get(cmp_dtype, 's32')}", reg, lhs, rhs)
+            return reg
+        if expr.op in ("&&", "||"):
+            reg = self._reg(DType.BOOL)
+            self._emit("and" if expr.op == "&&" else "or", "pred", reg, lhs, rhs)
+            return reg
+        if expr.op in ("&", "|", "^", "<<", ">>"):
+            opcode = {"&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}[
+                expr.op
+            ]
+            reg = self._reg(dtype)
+            self._emit(opcode, "b32", reg, lhs, rhs)
+            return reg
+        opcode = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem"}[expr.op]
+        suffix = _SUFFIX[dtype]
+        if opcode == "mul" and dtype.is_integer:
+            suffix = f"lo.{suffix}"
+        if opcode == "div" and dtype.is_float:
+            suffix = f"rn.{suffix}"
+        reg = self._reg(dtype)
+        self._emit(opcode, suffix, reg, lhs, rhs)
+        return reg
+
+    def _gen_call(self, expr: Call) -> str:
+        args = [self.gen_expr(a) for a in expr.args]
+        dtype = self._dtype_of(expr)
+        reg = self._reg(dtype)
+        suffix = _SUFFIX[dtype]
+        if expr.func == "sqrt":
+            self._emit("sqrt", f"rn.{suffix}", reg, args[0])
+        elif expr.func in ("fabs", "abs"):
+            self._emit("abs", suffix, reg, args[0])
+        elif expr.func == "exp":
+            self._emit("mul", f"rn.{suffix}", reg, args[0], "0f3FB8AA3B")
+            self._emit("ex2", f"approx.{suffix}", reg, reg)
+        elif expr.func == "log":
+            self._emit("lg2", f"approx.{suffix}", reg, args[0])
+            self._emit("mul", f"rn.{suffix}", reg, reg, "0f3F317218")
+        elif expr.func == "pow":
+            self._emit("lg2", f"approx.{suffix}", reg, args[0])
+            self._emit("mul", f"rn.{suffix}", reg, reg, args[1])
+            self._emit("ex2", f"approx.{suffix}", reg, reg)
+        elif expr.func in ("fmin", "min"):
+            self._emit("min", suffix, reg, args[0], args[1])
+        elif expr.func in ("fmax", "max"):
+            self._emit("max", suffix, reg, args[0], args[1])
+        elif expr.func in ("floor", "ceil"):
+            mode = "rmi" if expr.func == "floor" else "rpi"
+            self._emit("cvt", f"{mode}.{suffix}.{suffix}", reg, args[0])
+        else:  # pragma: no cover - INTRINSICS is closed
+            raise TypeError(f"no PTX lowering for {expr.func!r}")
+        return reg
+
+    def _address_of(self, ref: ArrayRef) -> str:
+        """Emit address arithmetic for an array access; returns the address
+        register.  With ``cse_addresses`` identical accesses reuse both the
+        base conversion and the offset chain."""
+        key = f"{ref.name}:{ref}"
+        if self.style.cse_addresses and key in self._addr_cache:
+            return self._addr_cache[key]
+
+        # flatten multi-dim refs: offset = (((i)*extent)+j)... we emit the
+        # index expressions as given; multi-dim arrays use a mad chain.
+        offset: str | None = None
+        for index in ref.indices:
+            idx_reg = self.gen_expr(index)
+            if offset is None:
+                offset = idx_reg
+            else:
+                combined = self._reg(DType.INT32)
+                self._emit("mad", "lo.s32", combined, offset, "%pitch", idx_reg)
+                offset = combined
+        assert offset is not None
+
+        wide = self._reg(DType.INT64)
+        self._emit("mul", "wide.s32", wide, offset,
+                   str(self._array_dtypes.get(ref.name, DType.FLOAT32).size_bytes))
+
+        if self.style.cse_addresses:
+            base = self._addr_cache[f"base:{ref.name}"]
+        else:
+            ptr = self._var_regs[f"@ptr:{ref.name}"]
+            base = self._reg(DType.INT64)
+            self._emit("cvta.to.global", "u64", base, ptr)
+        addr = self._reg(DType.INT64)
+        self._emit("add", "s64", addr, base, wide)
+        if self.style.cse_addresses:
+            self._addr_cache[key] = addr
+        return addr
+
+    # -- statements -----------------------------------------------------------
+
+    def _stmt_overhead(self) -> None:
+        for _ in range(self.style.mov_per_stmt):
+            reg = self._reg(DType.INT32)
+            self._emit("mov", "u32", reg, reg)
+
+    def gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                self.gen_stmt(child)
+            return
+        if isinstance(stmt, Decl):
+            self._dtypes[stmt.name] = stmt.type.dtype
+            reg = self._reg(stmt.type.dtype)
+            self._var_regs[stmt.name] = reg
+            if stmt.init is not None:
+                value = self._operand(stmt.init)
+                self._emit("mov", _SUFFIX[stmt.type.dtype], reg, value)
+            self._stmt_overhead()
+            return
+        if isinstance(stmt, Assign):
+            self._gen_assign(stmt)
+            self._stmt_overhead()
+            return
+        if isinstance(stmt, If):
+            pred = self.gen_expr(stmt.cond)
+            else_label = self._label("else")
+            end_label = self._label("endif")
+            self._emit("bra", "", f"@!{pred}",
+                       label=else_label if stmt.else_body else end_label)
+            self.gen_stmt(stmt.then_body)
+            if stmt.else_body is not None and len(stmt.else_body) > 0:
+                self._emit("bra", "", label=end_label)
+                self._mark_label(else_label)
+                self.gen_stmt(stmt.else_body)
+            self._mark_label(end_label)
+            return
+        if isinstance(stmt, For):
+            self._gen_for(stmt)
+            return
+        if isinstance(stmt, While):
+            head = self._label("while")
+            end = self._label("wend")
+            self._mark_label(head)
+            pred = self.gen_expr(stmt.cond)
+            self._emit("bra", "", f"@!{pred}", label=end)
+            self.gen_stmt(stmt.body)
+            self._emit("bra", "", label=head)
+            self._mark_label(end)
+            return
+        if isinstance(stmt, Barrier):
+            self._emit("bar.sync", "", "0")
+            return
+        raise TypeError(f"cannot generate PTX for {type(stmt).__name__}")
+
+    def _invalidate_loads(self, array: str) -> None:
+        stale = [k for k in self._load_cache if k.startswith(array + "[")]
+        for key in stale:
+            del self._load_cache[key]
+
+    def _gen_assign(self, stmt: Assign) -> None:
+        if isinstance(stmt.target, ArrayRef):
+            self._invalidate_loads(stmt.target.name)
+            if stmt.atomic and stmt.op is not None:
+                # OpenACC 2.0 atomic update -> a global reduction op
+                dtype = self._array_dtypes.get(stmt.target.name, DType.FLOAT32)
+                value = self.gen_expr(stmt.value)
+                addr = self._address_of(stmt.target)
+                opcode = {"+": "add", "-": "add", "*": "mul", "/": "mul"}[stmt.op]
+                self._emit("red", f"global.{opcode}.{_SUFFIX[dtype]}",
+                           f"[{addr}]", value)
+                return
+            dtype = self._array_dtypes.get(stmt.target.name, DType.FLOAT32)
+            if stmt.op is not None:
+                addr = self._address_of(stmt.target)
+                old = self._reg(dtype)
+                self._emit("ld.global", _SUFFIX[dtype], old, f"[{addr}]")
+                value = self.gen_expr(stmt.value)
+                result = self._reg(dtype)
+                opcode = {"+": "add", "-": "sub", "*": "mul", "/": "div"}[stmt.op]
+                self._emit(opcode, _SUFFIX[dtype], result, old, value)
+                self._emit("st.global", _SUFFIX[dtype], f"[{addr}]", result)
+            else:
+                value = self.gen_expr(stmt.value)
+                addr = self._address_of(stmt.target)
+                self._emit("st.global", _SUFFIX[dtype], f"[{addr}]", value)
+            return
+        # scalar target
+        name = stmt.target.name
+        dtype = self._dtypes.get(name, self._dtype_of(stmt.value))
+        self._dtypes[name] = dtype
+        if name not in self._var_regs:
+            self._var_regs[name] = self._reg(dtype)
+        reg = self._var_regs[name]
+        value = self.gen_expr(stmt.value)
+        if stmt.op is not None:
+            opcode = {"+": "add", "-": "sub", "*": "mul", "/": "div"}[stmt.op]
+            self._emit(opcode, _SUFFIX[dtype], reg, reg, value)
+        else:
+            self._emit("mov", _SUFFIX[dtype], reg, value)
+
+    def _gen_for(self, loop: For) -> None:
+        if loop.loop_id in self.mapping.shared_reductions:
+            self._gen_shared_reduction(loop)
+            return
+        if loop.loop_id in self.mapping.dims:
+            self._thread_index(loop, self.mapping.dims[loop.loop_id])
+            self.gen_stmt(loop.body)
+            return
+        # sequential loop inside the kernel: values do not survive the
+        # back-edge unless invariant; be conservative and reset the cache
+        self._load_cache.clear()
+        self._dtypes[loop.var] = DType.INT32
+        reg = self._reg(DType.INT32)
+        self._var_regs[loop.var] = reg
+        lo = self._operand(loop.lower)
+        self._emit("mov", "u32", reg, lo)
+        head = self._label("loop")
+        end = self._label("lend")
+        self._mark_label(head)
+        hi = self.gen_expr(loop.upper)
+        pred = self._reg(DType.BOOL)
+        self._emit("setp", "ge.s32", pred, reg, hi)
+        self._emit("bra", "", f"@{pred}", label=end)
+        self.gen_stmt(loop.body)
+        self._emit("add", "s32", reg, reg, str(loop.step))
+        self._emit("bra", "", label=head)
+        self._mark_label(end)
+
+    def _gen_shared_reduction(self, loop: For) -> None:
+        """Tree reduction over shared memory (paper Fig. 13 skeleton).
+
+        Each thread accumulates its slice (the loop body), stores the
+        partial into shared memory, then log-steps combine pairs with
+        barrier synchronization; thread 0 publishes the block result.
+        """
+        # per-thread partial accumulation: body executed with the loop
+        # strided by the block size — statically, one body instance plus
+        # the stride loop control.
+        self._dtypes[loop.var] = DType.INT32
+        reg = self._reg(DType.INT32)
+        self._var_regs[loop.var] = reg
+        self._emit("mov", "u32", reg, "%tid.x")
+        head = self._label("racc")
+        end = self._label("raccend")
+        self._mark_label(head)
+        hi = self.gen_expr(loop.upper)
+        pred = self._reg(DType.BOOL)
+        self._emit("setp", "ge.s32", pred, reg, hi)
+        self._emit("bra", "", f"@{pred}", label=end)
+        self.gen_stmt(loop.body)
+        self._emit("add", "s32", reg, reg, "%ntid.x")
+        self._emit("bra", "", label=head)
+        self._mark_label(end)
+
+        # shared-memory tree combine
+        partial = self._reg(DType.FLOAT32)
+        self._emit("st.shared", "f32", "[%sdata+%tid.x*4]", partial)
+        self._emit("bar.sync", "", "0")
+        stride = self._reg(DType.INT32)
+        self._emit("mov", "u32", stride, "1")
+        tree_head = self._label("tree")
+        tree_end = self._label("treeend")
+        self._mark_label(tree_head)
+        tpred = self._reg(DType.BOOL)
+        self._emit("setp", "ge.u32", tpred, stride, "%ntid.x")
+        self._emit("bra", "", f"@{tpred}", label=tree_end)
+        lhs = self._reg(DType.FLOAT32)
+        rhs = self._reg(DType.FLOAT32)
+        self._emit("ld.shared", "f32", lhs, "[%sdata+%tid.x*4]")
+        self._emit("ld.shared", "f32", rhs, "[%sdata+(%tid.x+%s)*4]")
+        acc = self._reg(DType.FLOAT32)
+        self._emit("add", "f32", acc, lhs, rhs)
+        self._emit("st.shared", "f32", "[%sdata+%tid.x*4]", acc)
+        self._emit("bar.sync", "", "0")
+        self._emit("shl", "b32", stride, stride, "1")
+        self._emit("bra", "", label=tree_head)
+        self._mark_label(tree_end)
+        zero_pred = self._reg(DType.BOOL)
+        self._emit("setp", "ne.u32", zero_pred, "%tid.x", "0")
+        done = self._label("rdone")
+        self._emit("bra", "", f"@{zero_pred}", label=done)
+        final = self._reg(DType.FLOAT32)
+        self._emit("ld.shared", "f32", final, "[%sdata]")
+        self._emit("st.global", "f32", "[%result]", final)
+        self._mark_label(done)
+
+    # -- driver ---------------------------------------------------------------
+
+    def generate(self) -> PtxKernel:
+        self._prologue()
+        self.gen_stmt(self.kernel.body)
+        self._emit("ret", "")
+        return self.out
+
+
+def generate_ptx(
+    kernel: KernelFunction,
+    mapping: ParallelMapping | None = None,
+    style: CodegenStyle | None = None,
+) -> PtxKernel:
+    """Generate the PTX listing for *kernel* under a parallel mapping."""
+    return PtxGenerator(kernel, mapping, style).generate()
+
+
+def empty_ptx(name: str) -> PtxKernel:
+    """A stub kernel that only returns — what an elided kernel looks like
+    (the PGI BFS baseline, paper Fig. 11: 'we find few PTX instructions')."""
+    out = PtxKernel(name)
+    out.instructions.append(PtxInst("ret", ""))
+    return out

@@ -1,0 +1,148 @@
+"""PTX-subset instruction set and the category scheme of paper Table V.
+
+The paper's analysis counts *static* PTX instructions grouped into five
+categories (plus shared-memory instructions, reported inside data movement
+but distinguished in the text):
+
+    Arithmetic:        add, sub, mul, div, max, min, fma, mad, rcp, abs, neg
+    Flow control:      setp, selp, bra
+    Logical & shift:   or, not, shl, shr        (we also admit and, xor)
+    Data movement:     cvt, mov
+    Global memory:     cvta.to.global, ld.global, st.global, ld.param
+    Shared memory:     ld.shared, st.shared
+
+``Category.DATA_MOVEMENT`` covers register moves/conversions; the memory
+instructions get their own categories exactly as in the paper's plots,
+where "data movement encompasses both data transfers to shared and global
+memory" but the expensive global instructions are called out separately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Category(enum.Enum):
+    ARITHMETIC = "arithmetic"
+    FLOW_CONTROL = "flow control"
+    LOGICAL_SHIFT = "logical & shift"
+    DATA_MOVEMENT = "data movement"
+    GLOBAL_MEMORY = "global memory"
+    SHARED_MEMORY = "shared memory"
+    BARRIER = "barrier"
+
+
+#: opcode -> category, the normative mapping (paper Table V rows).
+CATEGORY_OF: dict[str, Category] = {
+    # arithmetic
+    "add": Category.ARITHMETIC,
+    "sub": Category.ARITHMETIC,
+    "mul": Category.ARITHMETIC,
+    "div": Category.ARITHMETIC,
+    "max": Category.ARITHMETIC,
+    "min": Category.ARITHMETIC,
+    "fma": Category.ARITHMETIC,
+    "mad": Category.ARITHMETIC,
+    "rcp": Category.ARITHMETIC,
+    "abs": Category.ARITHMETIC,
+    "neg": Category.ARITHMETIC,
+    "sqrt": Category.ARITHMETIC,
+    "ex2": Category.ARITHMETIC,
+    "lg2": Category.ARITHMETIC,
+    "rem": Category.ARITHMETIC,
+    # flow control
+    "setp": Category.FLOW_CONTROL,
+    "selp": Category.FLOW_CONTROL,
+    "bra": Category.FLOW_CONTROL,
+    "ret": Category.FLOW_CONTROL,
+    # logical & shift
+    "or": Category.LOGICAL_SHIFT,
+    "and": Category.LOGICAL_SHIFT,
+    "xor": Category.LOGICAL_SHIFT,
+    "not": Category.LOGICAL_SHIFT,
+    "shl": Category.LOGICAL_SHIFT,
+    "shr": Category.LOGICAL_SHIFT,
+    # data movement (register)
+    "cvt": Category.DATA_MOVEMENT,
+    "mov": Category.DATA_MOVEMENT,
+    # global memory
+    "cvta.to.global": Category.GLOBAL_MEMORY,
+    "ld.global": Category.GLOBAL_MEMORY,
+    "st.global": Category.GLOBAL_MEMORY,
+    "ld.param": Category.GLOBAL_MEMORY,
+    # atomics (OpenACC 2.0 `acc atomic` lowers to reduction ops)
+    "red": Category.GLOBAL_MEMORY,
+    "atom": Category.GLOBAL_MEMORY,
+    # shared memory
+    "ld.shared": Category.SHARED_MEMORY,
+    "st.shared": Category.SHARED_MEMORY,
+    # synchronization
+    "bar.sync": Category.BARRIER,
+}
+
+#: Table V as printed in the paper (category -> opcodes), used by the
+#: Table V regeneration bench.
+TABLE_V: dict[Category, tuple[str, ...]] = {
+    Category.ARITHMETIC: (
+        "add", "sub", "mul", "div", "max", "min", "fma", "mad", "rcp", "abs", "neg",
+    ),
+    Category.FLOW_CONTROL: ("setp", "selp", "bra"),
+    Category.LOGICAL_SHIFT: ("or", "not", "shl", "shr"),
+    Category.DATA_MOVEMENT: ("cvt", "mov"),
+    Category.GLOBAL_MEMORY: ("cvta.to.global", "ld.global", "st.global", "ld.param"),
+    Category.SHARED_MEMORY: ("ld.shared", "st.shared"),
+}
+
+
+@dataclass(frozen=True)
+class PtxInst:
+    """One PTX instruction: opcode, type suffix, rendered operands."""
+
+    opcode: str
+    suffix: str = ""  # e.g. "s32", "f32", "rn.f32"
+    operands: tuple[str, ...] = field(default_factory=tuple)
+    label: str | None = None  # branch target or attached label
+
+    def __post_init__(self) -> None:
+        if self.opcode not in CATEGORY_OF:
+            raise ValueError(f"unknown PTX opcode {self.opcode!r}")
+
+    @property
+    def category(self) -> Category:
+        return CATEGORY_OF[self.opcode]
+
+    def __str__(self) -> str:
+        name = self.opcode + (f".{self.suffix}" if self.suffix else "")
+        text = f"{name} {', '.join(self.operands)};" if self.operands else f"{name};"
+        if self.label is not None and self.opcode == "bra":
+            text = f"bra {self.label};"
+        return text
+
+
+@dataclass
+class PtxKernel:
+    """A generated PTX body for one device kernel."""
+
+    name: str
+    instructions: list[PtxInst] = field(default_factory=list)
+    labels: dict[int, str] = field(default_factory=dict)  # position -> label
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def render(self) -> str:
+        """A readable .ptx-style listing."""
+        lines = [f".visible .entry {self.name}(", ")", "{"]
+        for pos, inst in enumerate(self.instructions):
+            if pos in self.labels:
+                lines.append(f"{self.labels[pos]}:")
+            lines.append(f"    {inst}")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def opcodes(self) -> list[str]:
+        return [inst.opcode for inst in self.instructions]

@@ -1,0 +1,27 @@
+"""Simulated accelerator runtime: buffers, launches, profiling, execution."""
+
+from .executor import (
+    ExecMode,
+    ExecutionError,
+    LoopSemantics,
+    compile_kernel_fn,
+    execute_kernel,
+    kernel_python_source,
+)
+from .launcher import Accelerator, LaunchRecord, RuntimeError_, kernel_host_profile
+from .profiler import ProfileEvent, Profiler
+
+__all__ = [
+    "Accelerator",
+    "ExecMode",
+    "ExecutionError",
+    "LaunchRecord",
+    "LoopSemantics",
+    "ProfileEvent",
+    "Profiler",
+    "RuntimeError_",
+    "compile_kernel_fn",
+    "execute_kernel",
+    "kernel_host_profile",
+    "kernel_python_source",
+]

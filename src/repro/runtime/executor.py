@@ -1,0 +1,412 @@
+"""Functional execution of IR kernels over NumPy buffers.
+
+The executor turns a kernel into a Python function (source generation +
+``exec``) and runs it on concrete arrays.  It is the *semantic ground
+truth* of the simulated tool-chain: every benchmark validates its compiled
+versions against this executor, and this executor against a vectorized
+NumPy reference.
+
+Three per-loop execution semantics are supported:
+
+* ``SEQUENTIAL`` — plain C semantics.
+* ``PARALLEL_SNAPSHOT`` — all iterations logically start from the same
+  memory state (reads of arrays the loop writes go to a snapshot taken at
+  loop entry).  For a genuinely independent loop this equals sequential
+  execution; for a dependent loop wrongly executed in parallel it produces
+  the wrong answer a real device race would — deterministically.
+* ``REDUCTION_LAST_CHUNK`` — emulates a *broken* parallel reduction with
+  lost updates: the iteration range is split into chunks and only the last
+  chunk's contribution survives.  This is how we reproduce "the CAPS
+  version ... even cannot get the correct results on MIC" (paper V-D2).
+"""
+
+from __future__ import annotations
+
+import enum
+import keyword
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.directives import AccLoop
+from ..ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cast,
+    Expr,
+    FloatLit,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from ..ir.stmt import (
+    Assign,
+    Barrier,
+    Block,
+    Decl,
+    For,
+    If,
+    KernelFunction,
+    Stmt,
+    While,
+)
+from ..ir.types import ArrayType, DType
+from ..ir.visitors import writes_and_reads
+
+
+class ExecMode(enum.Enum):
+    SEQUENTIAL = "sequential"
+    PARALLEL_SNAPSHOT = "parallel-snapshot"
+    REDUCTION_LAST_CHUNK = "reduction-last-chunk"
+
+
+@dataclass(frozen=True)
+class LoopSemantics:
+    mode: ExecMode = ExecMode.SEQUENTIAL
+    chunks: int = 4  # for REDUCTION_LAST_CHUNK
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a kernel cannot be executed (bad args, codegen hole)."""
+
+
+def _idiv(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _imod(a: int, b: int) -> int:
+    """C-style remainder (sign of the dividend)."""
+    return a - _idiv(a, b) * b
+
+
+_HELPERS = {
+    "_idiv": _idiv,
+    "_imod": _imod,
+    "_sqrt": math.sqrt,
+    "_exp": math.exp,
+    "_log": math.log,
+    "_pow": pow,
+    "_floor": math.floor,
+    "_ceil": math.ceil,
+    "_abs": abs,
+    "_min": min,
+    "_max": max,
+}
+
+def _pyname(name: str) -> str:
+    """Mangle C identifiers that collide with Python keywords (``in``,
+    ``while``-style parameter names are legal mini-C)."""
+    return name + "__kw" if keyword.iskeyword(name) else name
+
+
+_CALL_MAP = {
+    "sqrt": "_sqrt",
+    "exp": "_exp",
+    "log": "_log",
+    "pow": "_pow",
+    "fabs": "_abs",
+    "abs": "_abs",
+    "fmin": "_min",
+    "min": "_min",
+    "fmax": "_max",
+    "max": "_max",
+    "floor": "_floor",
+    "ceil": "_ceil",
+}
+
+
+class _CodeGen:
+    """Generates the Python source of one kernel function."""
+
+    def __init__(
+        self,
+        kernel: KernelFunction,
+        semantics: dict[int, LoopSemantics] | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.semantics = semantics or {}
+        self.lines: list[str] = []
+        self.level = 1
+        self.dtypes: dict[str, DType] = {}
+        self.array_dtypes: dict[str, DType] = {}
+        self._snapshot_stack: list[frozenset[str]] = []
+        self._tmp = 0
+        for param in kernel.params:
+            if isinstance(param.type, ArrayType):
+                self.array_dtypes[param.name] = param.type.dtype
+            else:
+                self.dtypes[param.name] = param.type.dtype
+
+    # -- emit helpers -------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.lines.append("    " * self.level + text)
+
+    def _fresh(self, prefix: str) -> str:
+        self._tmp += 1
+        return f"_{prefix}{self._tmp}"
+
+    # -- expressions --------------------------------------------------------
+
+    def _dtype_of(self, expr: Expr) -> DType:
+        if isinstance(expr, IntLit):
+            return expr.dtype
+        if isinstance(expr, FloatLit):
+            return expr.dtype
+        if isinstance(expr, Var):
+            return self.dtypes.get(expr.name, DType.INT32)
+        if isinstance(expr, ArrayRef):
+            return self.array_dtypes.get(expr.name, DType.FLOAT32)
+        if isinstance(expr, BinOp):
+            if expr.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+                return DType.BOOL
+            from ..ir.types import promote
+
+            return promote(self._dtype_of(expr.lhs), self._dtype_of(expr.rhs))
+        if isinstance(expr, UnaryOp):
+            return DType.BOOL if expr.op == "!" else self._dtype_of(expr.operand)
+        if isinstance(expr, Call):
+            if expr.func in ("min", "max", "abs"):
+                return self._dtype_of(expr.args[0])
+            return DType.FLOAT64
+        if isinstance(expr, Ternary):
+            from ..ir.types import promote
+
+            return promote(self._dtype_of(expr.then), self._dtype_of(expr.otherwise))
+        if isinstance(expr, Cast):
+            return expr.dtype
+        raise ExecutionError(f"cannot type {type(expr).__name__}")
+
+    def _snapshot_name(self, array: str) -> str | None:
+        for frame in reversed(self._snapshot_stack):
+            if array in frame:
+                return f"_snap_{array}"
+        return None
+
+    def gen_expr(self, expr: Expr, as_store_target: bool = False) -> str:
+        if isinstance(expr, IntLit):
+            return repr(expr.value)
+        if isinstance(expr, FloatLit):
+            return repr(expr.value)
+        if isinstance(expr, Var):
+            return _pyname(expr.name)
+        if isinstance(expr, ArrayRef):
+            name = expr.name
+            if not as_store_target:
+                snap = self._snapshot_name(name)
+                if snap is not None:
+                    name = snap
+            name = _pyname(name) if not name.startswith("_snap_") else name
+            index = ", ".join(self.gen_expr(i) for i in expr.indices)
+            return f"{name}[{index}]"
+        if isinstance(expr, BinOp):
+            lhs = self.gen_expr(expr.lhs)
+            rhs = self.gen_expr(expr.rhs)
+            if expr.op == "/" and (
+                self._dtype_of(expr.lhs).is_integer
+                and self._dtype_of(expr.rhs).is_integer
+            ):
+                return f"_idiv({lhs}, {rhs})"
+            if expr.op == "%" and (
+                self._dtype_of(expr.lhs).is_integer
+                and self._dtype_of(expr.rhs).is_integer
+            ):
+                return f"_imod({lhs}, {rhs})"
+            op = {"&&": "and", "||": "or"}.get(expr.op, expr.op)
+            return f"({lhs} {op} {rhs})"
+        if isinstance(expr, UnaryOp):
+            operand = self.gen_expr(expr.operand)
+            if expr.op == "!":
+                return f"(not {operand})"
+            return f"({expr.op}{operand})"
+        if isinstance(expr, Call):
+            func = _CALL_MAP.get(expr.func)
+            if func is None:
+                raise ExecutionError(f"no executor mapping for intrinsic {expr.func!r}")
+            args = ", ".join(self.gen_expr(a) for a in expr.args)
+            return f"{func}({args})"
+        if isinstance(expr, Ternary):
+            return (
+                f"({self.gen_expr(expr.then)} if {self.gen_expr(expr.cond)} "
+                f"else {self.gen_expr(expr.otherwise)})"
+            )
+        if isinstance(expr, Cast):
+            inner = self.gen_expr(expr.operand)
+            return f"int({inner})" if expr.dtype.is_integer else f"float({inner})"
+        raise ExecutionError(f"cannot generate {type(expr).__name__}")
+
+    # -- statements ---------------------------------------------------------
+
+    def gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            if not stmt.stmts:
+                self._emit("pass")
+            for child in stmt.stmts:
+                self.gen_stmt(child)
+            return
+        if isinstance(stmt, Decl):
+            self.dtypes[stmt.name] = stmt.type.dtype
+            if stmt.init is not None:
+                self._emit(f"{_pyname(stmt.name)} = {self.gen_expr(stmt.init)}")
+            else:
+                zero = "0" if stmt.type.dtype.is_integer else "0.0"
+                self._emit(f"{_pyname(stmt.name)} = {zero}")
+            return
+        if isinstance(stmt, Assign):
+            target = self.gen_expr(stmt.target, as_store_target=True)
+            value = self.gen_expr(stmt.value)
+            if stmt.op is None:
+                self._emit(f"{target} = {value}")
+            elif (
+                isinstance(stmt.target, ArrayRef)
+                and not stmt.atomic  # atomics serialize on live memory
+                and self._snapshot_name(stmt.target.name)
+            ):
+                # compound update under snapshot semantics: read the snapshot
+                read = self.gen_expr(stmt.target)  # snapshot read
+                self._emit(f"{target} = {read} {stmt.op} ({value})")
+            else:
+                self._emit(f"{target} {stmt.op}= {value}")
+            return
+        if isinstance(stmt, If):
+            self._emit(f"if {self.gen_expr(stmt.cond)}:")
+            self.level += 1
+            self.gen_stmt(stmt.then_body)
+            self.level -= 1
+            if stmt.else_body is not None and len(stmt.else_body) > 0:
+                self._emit("else:")
+                self.level += 1
+                self.gen_stmt(stmt.else_body)
+                self.level -= 1
+            return
+        if isinstance(stmt, For):
+            self._gen_for(stmt)
+            return
+        if isinstance(stmt, While):
+            self._emit(f"while {self.gen_expr(stmt.cond)}:")
+            self.level += 1
+            self.gen_stmt(stmt.body)
+            self.level -= 1
+            return
+        if isinstance(stmt, Barrier):
+            self._emit("pass  # barrier")
+            return
+        raise ExecutionError(f"cannot execute {type(stmt).__name__}")
+
+    def _gen_for(self, loop: For) -> None:
+        self.dtypes[loop.var] = DType.INT32
+        semantics = self.semantics.get(loop.loop_id, LoopSemantics())
+        lower = self.gen_expr(loop.lower)
+        upper = self.gen_expr(loop.upper)
+
+        if semantics.mode is ExecMode.SEQUENTIAL:
+            self._emit(
+                f"for {_pyname(loop.var)} in range(int({lower}), int({upper}), {loop.step}):"
+            )
+            self.level += 1
+            self.gen_stmt(loop.body)
+            self.level -= 1
+            return
+
+        if semantics.mode is ExecMode.PARALLEL_SNAPSHOT:
+            written = sorted({ref.name for ref in writes_and_reads(loop.body)[0]})
+            for name in written:
+                self._emit(f"_snap_{name} = {_pyname(name)}.copy()")
+            self._snapshot_stack.append(frozenset(written))
+            self._emit(
+                f"for {_pyname(loop.var)} in range(int({lower}), int({upper}), {loop.step}):"
+            )
+            self.level += 1
+            self.gen_stmt(loop.body)
+            self.level -= 1
+            self._snapshot_stack.pop()
+            return
+
+        if semantics.mode is ExecMode.REDUCTION_LAST_CHUNK:
+            length = self._fresh("len")
+            chunk = self._fresh("chunk")
+            start = self._fresh("start")
+            self._emit(f"{length} = max(0, -(-(int({upper}) - int({lower})) // {loop.step}))")
+            self._emit(f"{chunk} = -(-{length} // {semantics.chunks})")
+            self._emit(
+                f"{start} = int({lower}) + max(0, {length} - {chunk}) * {loop.step}"
+            )
+            self._emit(
+                f"for {_pyname(loop.var)} in range({start}, int({upper}), "
+                f"{loop.step}):"
+            )
+            self.level += 1
+            self.gen_stmt(loop.body)
+            self.level -= 1
+            return
+
+        raise ExecutionError(f"unknown execution mode {semantics.mode}")
+
+    # -- driver -------------------------------------------------------------
+
+    def source(self) -> str:
+        params = ", ".join(_pyname(p.name) for p in self.kernel.params)
+        header = f"def _kernel({params}):"
+        self.gen_stmt(self.kernel.body)
+        body = self.lines or ["    pass"]
+        return "\n".join([header, *body])
+
+
+def compile_kernel_fn(
+    kernel: KernelFunction,
+    semantics: dict[int, LoopSemantics] | None = None,
+):
+    """Compile *kernel* into a callable ``f(**args)``."""
+    gen = _CodeGen(kernel, semantics)
+    source = gen.source()
+    namespace: dict[str, object] = dict(_HELPERS)
+    try:
+        exec(compile(source, f"<kernel {kernel.name}>", "exec"), namespace)
+    except SyntaxError as exc:  # pragma: no cover - codegen bug guard
+        raise ExecutionError(f"generated code failed to compile:\n{source}") from exc
+    return namespace["_kernel"], source
+
+
+def _check_args(kernel: KernelFunction, args: dict[str, object]) -> None:
+    for param in kernel.params:
+        if param.name not in args:
+            raise ExecutionError(f"missing argument {param.name!r}")
+        value = args[param.name]
+        if isinstance(param.type, ArrayType):
+            if not isinstance(value, np.ndarray):
+                raise ExecutionError(f"argument {param.name!r} must be an ndarray")
+            if value.ndim != param.type.rank:
+                raise ExecutionError(
+                    f"argument {param.name!r} has rank {value.ndim}, "
+                    f"expected {param.type.rank}"
+                )
+        else:
+            if isinstance(value, np.ndarray):
+                raise ExecutionError(f"argument {param.name!r} must be a scalar")
+    extra = set(args) - {p.name for p in kernel.params}
+    if extra:
+        raise ExecutionError(f"unexpected arguments: {sorted(extra)}")
+
+
+def execute_kernel(
+    kernel: KernelFunction,
+    args: dict[str, object],
+    semantics: dict[int, LoopSemantics] | None = None,
+) -> None:
+    """Execute *kernel* in place on the NumPy arrays in *args*."""
+    _check_args(kernel, args)
+    fn, _ = compile_kernel_fn(kernel, semantics)
+    fn(**{_pyname(name): value for name, value in args.items()})
+
+
+def kernel_python_source(
+    kernel: KernelFunction,
+    semantics: dict[int, LoopSemantics] | None = None,
+) -> str:
+    """The generated Python source (debugging / documentation aid)."""
+    return _CodeGen(kernel, semantics).source()

@@ -1,0 +1,93 @@
+"""Event profiler for the simulated runtime (the nvprof / PGI_ACC_TIME
+stand-in).
+
+Records host<->device transfers and kernel launches with their modeled
+durations; the BFS discovery of paper V-C1 ("we find the kernels do not
+run on GPU after we set the environment variable PGI_ACC_TIME to 1 and
+profile the kernels with nvprof") and the transfer counts of Table VII
+are read off this timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProfileEvent:
+    kind: str        # "h2d" | "d2h" | "launch" | "host"
+    label: str
+    seconds: float
+    nbytes: int = 0
+    device: str = ""
+
+    def __str__(self) -> str:
+        size = f" {self.nbytes} B" if self.nbytes else ""
+        return f"[{self.kind:>6}] {self.label}{size}: {self.seconds * 1e3:.3f} ms"
+
+
+@dataclass
+class Profiler:
+    events: list[ProfileEvent] = field(default_factory=list)
+
+    def record(self, kind: str, label: str, seconds: float, nbytes: int = 0,
+               device: str = "") -> None:
+        if seconds < 0:
+            raise ValueError("event duration must be non-negative")
+        self.events.append(ProfileEvent(kind, label, seconds, nbytes, device))
+
+    # -- queries -------------------------------------------------------------
+
+    def count(self, kind: str, label: str | None = None) -> int:
+        return sum(
+            1
+            for event in self.events
+            if event.kind == kind and (label is None or event.label == label)
+        )
+
+    @property
+    def memcpy_h2d(self) -> int:
+        return self.count("h2d")
+
+    @property
+    def memcpy_d2h(self) -> int:
+        return self.count("d2h")
+
+    @property
+    def kernel_launches(self) -> int:
+        return self.count("launch")
+
+    def device_kernel_launches(self) -> int:
+        """Launches that actually ran on the device (PGI_ACC_TIME view)."""
+        return sum(
+            1
+            for event in self.events
+            if event.kind == "launch" and event.device not in ("", "host")
+        )
+
+    @property
+    def total_s(self) -> float:
+        return sum(event.seconds for event in self.events)
+
+    def time_by_kind(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0.0) + event.seconds
+        return out
+
+    def transfer_bytes(self) -> int:
+        return sum(
+            event.nbytes for event in self.events if event.kind in ("h2d", "d2h")
+        )
+
+    def report(self) -> str:
+        lines = [str(event) for event in self.events]
+        lines.append(
+            f"-- total {self.total_s * 1e3:.3f} ms over {len(self.events)} events "
+            f"({self.memcpy_h2d} H2D, {self.memcpy_d2h} D2H, "
+            f"{self.kernel_launches} launches)"
+        )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,61 @@
+"""Source-level optimization passes — the paper's systematic method.
+
+Step 1  :func:`add_independent`      — ``#pragma acc loop independent``
+Step 2  :func:`set_gang_worker` / :func:`set_gridify_blocksize`
+Step 3  :func:`unroll_in_kernel`     — unroll(-and-jam)
+Step 4  :func:`tile_in_kernel`       — strip-mine / 2-D tiling
+Aux     :func:`fuse_adjacent_loops`, :func:`fuse_kernels`, :func:`add_reduction`
+"""
+
+from .data import (
+    DataRegionError,
+    add_data_region,
+    add_data_regions,
+    has_data_region,
+    infer_data_region,
+)
+from .distribute import (
+    DistributionError,
+    clear_distribution,
+    set_gang_worker,
+    set_gridify_blocksize,
+)
+from .independent import IndependentResult, add_independent, is_independent
+from .reduction import ReductionError, add_reduction
+from .reorganize import (
+    ReorganizeError,
+    fuse_adjacent_loops,
+    fuse_kernels,
+    split_loop,
+)
+from .tile import TileError, nest_is_tileable, tile_in_kernel, tile_loop, tile_nest
+from .unroll import UnrollError, unroll_in_kernel, unroll_loop
+
+__all__ = [
+    "DataRegionError",
+    "DistributionError",
+    "IndependentResult",
+    "ReductionError",
+    "ReorganizeError",
+    "TileError",
+    "UnrollError",
+    "add_data_region",
+    "add_data_regions",
+    "add_independent",
+    "add_reduction",
+    "clear_distribution",
+    "fuse_adjacent_loops",
+    "fuse_kernels",
+    "has_data_region",
+    "infer_data_region",
+    "is_independent",
+    "nest_is_tileable",
+    "set_gang_worker",
+    "set_gridify_blocksize",
+    "split_loop",
+    "tile_in_kernel",
+    "tile_loop",
+    "tile_nest",
+    "unroll_in_kernel",
+    "unroll_loop",
+]

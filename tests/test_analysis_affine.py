@@ -1,0 +1,104 @@
+"""Tests for the monomial-map (affine) canonicalizer."""
+
+from repro.analysis.affine import (
+    coefficient_of,
+    constant_value,
+    difference,
+    evaluate,
+    forms_equal,
+    linearize,
+    split_on,
+    variables,
+)
+from repro.frontend import parse_expr
+
+
+def lin(text):
+    return linearize(parse_expr(text))
+
+
+class TestLinearize:
+    def test_constant(self):
+        assert lin("7") == {(): 7}
+        assert lin("0") == {}
+
+    def test_variable(self):
+        assert lin("i") == {("i",): 1}
+
+    def test_linear_combination(self):
+        assert lin("i * n + j") == {("i", "n"): 1, ("j",): 1}
+
+    def test_cancellation(self):
+        assert lin("i - i") == {}
+        assert lin("2 * i - i - i") == {}
+
+    def test_distribution(self):
+        assert lin("(i + 1) * n") == {("i", "n"): 1, ("n",): 1}
+
+    def test_nested_products(self):
+        assert lin("i * j * 3") == {("i", "j"): 3}
+
+    def test_monomials_sorted(self):
+        assert lin("n * i") == lin("i * n")
+
+    def test_unary_minus(self):
+        assert lin("-i + i") == {}
+
+    def test_division_unanalyzable(self):
+        assert lin("i / 2") is None
+
+    def test_indirect_unanalyzable(self):
+        assert lin("e[i]") is None
+
+    def test_call_unanalyzable(self):
+        assert lin("min(i, j)") is None
+
+    def test_paper_subscripts(self):
+        # GE fan2 subscript: size*(i+1+t)+(j+t)
+        form = lin("size * (i + 1 + t) + (j + t)")
+        assert form == {
+            ("i", "size"): 1, ("size",): 1, ("size", "t"): 1,
+            ("j",): 1, ("t",): 1,
+        }
+
+
+class TestAlgebra:
+    def test_split_on(self):
+        form = lin("i * n + j + 4")
+        with_i, without = split_on(form, "i")
+        assert with_i == {("i", "n"): 1}
+        assert without == {("j",): 1, (): 4}
+
+    def test_coefficient_of(self):
+        assert coefficient_of(lin("i * n + j"), "i") == {("n",): 1}
+        assert coefficient_of(lin("3 * i + j"), "i") == {(): 3}
+        assert coefficient_of(lin("j"), "i") == {}
+
+    def test_coefficient_nonlinear(self):
+        assert coefficient_of(lin("i * i"), "i") is None
+
+    def test_constant_value(self):
+        assert constant_value(lin("5")) == 5
+        assert constant_value(lin("0")) == 0
+        assert constant_value(lin("i")) is None
+
+    def test_difference(self):
+        assert difference(lin("i + 1"), lin("i")) == {(): 1}
+        assert difference(lin("i"), lin("i")) == {}
+
+    def test_forms_equal(self):
+        assert forms_equal(lin("i * n + j"), lin("j + n * i"))
+        assert not forms_equal(lin("i"), lin("j"))
+        assert not forms_equal(None, lin("i"))
+
+    def test_variables(self):
+        assert variables(lin("i * n + j")) == {"i", "n", "j"}
+
+    def test_evaluate(self):
+        assert evaluate(lin("i * n + j + 2"), {"i": 3, "n": 10, "j": 4}) == 36
+
+    def test_evaluate_matches_python(self):
+        env = {"i": 5, "j": 7, "n": 11, "t": 2, "size": 13}
+        text = "size * (i + 1 + t) + (j + t)"
+        expected = env["size"] * (env["i"] + 1 + env["t"]) + env["j"] + env["t"]
+        assert evaluate(lin(text), env) == expected

@@ -1,0 +1,204 @@
+"""Tests for loop dependence analysis (paper Table II and beyond)."""
+
+import pytest
+
+from repro.analysis.dependence import (
+    PairClass,
+    Verdict,
+    analyze_kernel,
+    analyze_loop,
+    has_opaque_or_invariant_writes,
+    loop_pair_classes,
+    parallelizable_loops,
+)
+from repro.frontend import parse_kernel
+
+
+def loop_of(source, var=None):
+    k = parse_kernel(source)
+    return k.loop_by_var(var) if var else k.loops()[0]
+
+
+class TestTableII:
+    def test_dependent_example(self):
+        loop = loop_of(
+            "void f(float *A) { int i; for (i = 2; i < 5; i++) A[i] = A[i-1] + 1.0f; }"
+        )
+        report = analyze_loop(loop)
+        assert report.verdict is Verdict.DEPENDENT
+        assert any("distance" in r for r in report.reasons)
+
+    def test_independent_example(self):
+        loop = loop_of(
+            "void f(float *A) { int i; for (i = 2; i < 5; i++) A[i] = A[i] + 1.0f; }"
+        )
+        assert analyze_loop(loop).verdict is Verdict.INDEPENDENT
+
+
+class TestVerdicts:
+    def test_disjoint_arrays(self):
+        loop = loop_of(
+            "void f(float *a, const float *b, int n) { int i; "
+            "for (i = 0; i < n; i++) a[i] = b[i] * 2.0f; }"
+        )
+        assert analyze_loop(loop).verdict is Verdict.INDEPENDENT
+
+    def test_reduction_recognized(self):
+        loop = loop_of(
+            "void f(const float *a, float *out, int n) { int i; float s = 0.0f; "
+            "for (i = 0; i < n; i++) s += a[i]; out[0] = s; }"
+        )
+        report = analyze_loop(loop)
+        assert report.verdict is Verdict.REDUCTION
+        assert report.reductions[0].var == "s"
+        assert report.reductions[0].op == "+"
+        assert report.parallelizable
+
+    def test_subtraction_is_plus_reduction(self):
+        loop = loop_of(
+            "void f(const float *a, float *out, int n) { int i; float s = 0.0f; "
+            "for (i = 0; i < n; i++) s -= a[i]; out[0] = s; }"
+        )
+        assert analyze_loop(loop).reductions[0].op == "+"
+
+    def test_private_scalar_ok(self):
+        loop = loop_of(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) "
+            "{ float t = a[i] * 2.0f; a[i] = t; } }"
+        )
+        assert analyze_loop(loop).verdict is Verdict.INDEPENDENT
+
+    def test_cross_iteration_scalar(self):
+        loop = loop_of(
+            "void f(float *a, int n) { int i; float last = 0.0f; "
+            "for (i = 0; i < n; i++) { a[i] = last; last = a[i] + 1.0f; } }"
+        )
+        report = analyze_loop(loop)
+        assert report.verdict is Verdict.DEPENDENT
+        assert any("scalar" in r for r in report.reasons)
+
+    def test_invariant_write(self):
+        loop = loop_of(
+            "void f(int *stop, int n) { int i; for (i = 0; i < n; i++) stop[0] = 1; }"
+        )
+        report = analyze_loop(loop)
+        assert report.verdict is Verdict.DEPENDENT
+        assert any("invariant" in r for r in report.reasons)
+
+    def test_indirect_write(self):
+        loop = loop_of(
+            "void f(int *c, const int *e, int n) { int i; "
+            "for (i = 0; i < n; i++) c[e[i]] = 1; }"
+        )
+        report = analyze_loop(loop)
+        assert report.verdict is Verdict.DEPENDENT
+        assert any("unanalyzable" in r for r in report.reasons)
+
+    def test_strided_disjoint(self):
+        loop = loop_of(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) "
+            "a[2 * i] = a[2 * i] + 1.0f; }"
+        )
+        assert analyze_loop(loop).verdict is Verdict.INDEPENDENT
+
+    def test_data_variant_scalar_subscript(self):
+        loop = loop_of(
+            "void f(int *c, const int *e, int n) { int i; "
+            "for (i = 0; i < n; i++) { int id = e[i]; c[id] = 1; } }"
+        )
+        report = analyze_loop(loop)
+        assert any("unanalyzable" in r for r in report.reasons)
+
+
+class TestPairClasses:
+    def test_broadcast_read(self):
+        loop = loop_of(
+            "void f(float *a, int n, int t) { int i; for (i = 0; i < n; i++) "
+            "a[i + t + 1] = a[t] * 2.0f; }"
+        )
+        classes = {c for _, c in loop_pair_classes(loop)}
+        assert PairClass.BROADCAST in classes
+
+    def test_symbolic_distance(self):
+        loop = loop_of(
+            "void f(float *a, int n, int t) { int i; for (i = 0; i < n; i++) "
+            "a[i + t] = a[i] + 1.0f; }"
+        )
+        classes = {c for _, c in loop_pair_classes(loop)}
+        assert PairClass.DISTANCE_SYMBOLIC in classes
+
+    def test_constant_distance(self):
+        loop = loop_of(
+            "void f(float *a, int n) { int i; for (i = 1; i < n; i++) "
+            "a[i] = a[i - 1]; }"
+        )
+        classes = {c for _, c in loop_pair_classes(loop)}
+        assert PairClass.DISTANCE_CONST in classes
+
+    def test_mismatch(self):
+        loop = loop_of(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) "
+            "a[i] = a[2 * i]; }"
+        )
+        classes = {c for _, c in loop_pair_classes(loop)}
+        assert PairClass.MISMATCH in classes
+
+    def test_same(self):
+        loop = loop_of(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) "
+            "a[i] = a[i] * 2.0f; }"
+        )
+        assert {c for _, c in loop_pair_classes(loop)} == {PairClass.SAME}
+
+    def test_variant_stride(self):
+        loop = loop_of(
+            "void f(float *a, int n) { int i, j; for (i = 0; i < n; i++) "
+            "for (j = 0; j < n; j++) a[i * j] = a[i * j] + 1.0f; }", "i"
+        )
+        classes = {c for _, c in loop_pair_classes(loop)}
+        assert PairClass.VARIANT_STRIDE in classes
+
+
+class TestOpaqueWrites:
+    def test_affine_writes_ok(self):
+        loop = loop_of(
+            "void f(int *c, const int *e, int n) { int i; "
+            "for (i = 0; i < n; i++) c[i] = e[i] + 1; }"
+        )
+        assert not has_opaque_or_invariant_writes(loop)
+
+    def test_indirect_write_flagged(self):
+        loop = loop_of(
+            "void f(int *c, const int *e, int n) { int i; "
+            "for (i = 0; i < n; i++) c[e[i]] = 1; }"
+        )
+        assert has_opaque_or_invariant_writes(loop)
+
+    def test_invariant_write_flagged(self):
+        loop = loop_of(
+            "void f(int *s, int n) { int i; for (i = 0; i < n; i++) s[0] = 1; }"
+        )
+        assert has_opaque_or_invariant_writes(loop)
+
+    def test_indirect_read_only_ok(self):
+        loop = loop_of(
+            "void f(int *c, const int *e, const int *x, int n) { int i; "
+            "for (i = 0; i < n; i++) c[i] = x[e[i]]; }"
+        )
+        assert not has_opaque_or_invariant_writes(loop)
+
+
+class TestKernelLevel:
+    def test_analyze_kernel_covers_all_loops(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i, j; for (i = 0; i < n; i++) "
+            "for (j = 0; j < n; j++) a[i * n + j] = 0.0f; }"
+        )
+        assert len(analyze_kernel(k)) == 2
+
+    def test_parallelizable_loops(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) "
+            "a[i] = a[i] + 1.0f; }"
+        )
+        assert len(parallelizable_loops(k)) == 1

@@ -1,0 +1,116 @@
+"""Tests for OpenACC 2.0 atomic support (paper section II-B, feature 3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dependence import (
+    Verdict,
+    analyze_loop,
+    has_opaque_or_invariant_writes,
+)
+from repro.compilers import CapsCompiler, PgiCompiler
+from repro.devices import K40
+from repro.frontend import parse_kernel, parse_module
+from repro.ir import print_kernel
+from repro.ptx.counter import InstructionProfile
+from repro.runtime import Accelerator
+from repro.runtime.executor import ExecMode, LoopSemantics, execute_kernel
+
+HISTOGRAM = """
+#pragma acc kernels
+void histogram(int *h, const int *bins, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    #pragma acc atomic
+    h[bins[i]] += 1;
+  }
+}
+"""
+
+HISTOGRAM_RACY = HISTOGRAM.replace("    #pragma acc atomic\n", "")
+
+
+class TestParsing:
+    def test_atomic_flag_set(self):
+        k = parse_kernel(HISTOGRAM)
+        from repro.ir import Assign
+        assigns = [s for s in k.body.walk() if isinstance(s, Assign)]
+        assert assigns[0].atomic
+
+    def test_round_trip(self):
+        k = parse_kernel(HISTOGRAM)
+        text = print_kernel(k)
+        assert "#pragma acc atomic update" in text
+        assert print_kernel(parse_kernel(text)) == text
+
+
+class TestAnalysis:
+    def test_atomic_indirect_write_is_parallelizable(self):
+        loop = parse_kernel(HISTOGRAM).loops()[0]
+        assert analyze_loop(loop).verdict is Verdict.INDEPENDENT
+        assert not has_opaque_or_invariant_writes(loop)
+
+    def test_non_atomic_version_is_not(self):
+        loop = parse_kernel(HISTOGRAM_RACY).loops()[0]
+        assert analyze_loop(loop).verdict is Verdict.DEPENDENT
+        assert has_opaque_or_invariant_writes(loop)
+
+
+class TestExecution:
+    def _run(self, source, parallel):
+        k = parse_kernel(source)
+        n = 64
+        rng = np.random.default_rng(0)
+        bins = rng.integers(0, 4, size=n)  # heavy collisions
+        h = np.zeros(4, dtype=np.int64)
+        semantics = {}
+        if parallel:
+            semantics = {
+                k.loops()[0].loop_id:
+                LoopSemantics(ExecMode.PARALLEL_SNAPSHOT)
+            }
+        execute_kernel(k, {"h": h, "bins": bins, "n": n}, semantics)
+        return h, np.bincount(bins, minlength=4)
+
+    def test_atomic_parallel_is_correct(self):
+        got, want = self._run(HISTOGRAM, parallel=True)
+        assert np.array_equal(got, want)
+
+    def test_racy_parallel_loses_updates(self):
+        got, want = self._run(HISTOGRAM_RACY, parallel=True)
+        assert not np.array_equal(got, want)  # the race is real
+
+    def test_racy_sequential_is_fine(self):
+        got, want = self._run(HISTOGRAM_RACY, parallel=False)
+        assert np.array_equal(got, want)
+
+
+class TestCompilers:
+    def test_pgi_accepts_independent_with_atomic(self):
+        compiled = PgiCompiler().compile(parse_module(HISTOGRAM, "m"), "cuda")
+        kernel = compiled.kernels[0]
+        assert kernel.parallel_loop_ids and not kernel.elided
+
+    def test_pgi_refuses_racy_version(self):
+        compiled = PgiCompiler().compile(
+            parse_module(HISTOGRAM_RACY, "m"), "cuda"
+        )
+        assert compiled.kernels[0].sequential or compiled.kernels[0].elided
+
+    def test_ptx_uses_red_instruction(self):
+        compiled = CapsCompiler().compile(parse_module(HISTOGRAM, "m"), "cuda")
+        profile = InstructionProfile.of(compiled.kernels[0].ptx)
+        assert profile.count("red") == 1
+        assert profile.count("st.global") == 0  # the store became atomic
+
+    def test_end_to_end_on_device(self):
+        compiled = CapsCompiler().compile(parse_module(HISTOGRAM, "m"), "cuda")
+        accelerator = Accelerator(K40)
+        n = 128
+        rng = np.random.default_rng(1)
+        bins = rng.integers(0, 8, size=n)
+        accelerator.to_device(h=np.zeros(8, dtype=np.int64), bins=bins)
+        accelerator.launch(compiled.kernels[0], n=n)
+        got = accelerator.from_device("h")["h"]
+        assert np.array_equal(got, np.bincount(bins, minlength=8))

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+DEMO = """
+#pragma acc kernels
+void demo(float *a, const float *b, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    a[i] = b[i] * 2.0f;
+  }
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestCompile:
+    def test_caps(self, demo_file, capsys):
+        assert main(["compile", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "CAPS -> cuda" in out and "gridify 1D" in out
+
+    def test_pgi_with_ptx(self, demo_file, capsys):
+        assert main(["compile", demo_file, "--compiler", "pgi", "--ptx"]) == 0
+        out = capsys.readouterr().out
+        assert ".visible .entry demo(" in out
+
+
+class TestAnalyze:
+    def test_reports_verdicts(self, demo_file, capsys):
+        assert main(["analyze", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "loop over 'i': independent" in out
+
+
+class TestExperiment:
+    def test_single(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out and "[FAIL]" not in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_multiple(self, capsys):
+        assert main(["experiment", "table1", "table3"]) == 0
+
+
+class TestBenchAndTools:
+    def test_bench_bfs(self, capsys):
+        assert main(["bench", "bfs", "--size", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "indep" in out and "dataregion" in out
+
+    def test_heatmap(self, capsys):
+        assert main(["heatmap", "--size", "512"]) == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_autotune(self, capsys):
+        assert main(["autotune", "--size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out and "portable" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,192 @@
+"""Tests for the CAPS compiler model and its documented quirks."""
+
+import pytest
+
+from repro.compilers import CapsCompiler, CompilationError, FlagSet
+from repro.compilers.framework import DistStrategy
+from repro.frontend import parse_module
+from repro.ptx.counter import InstructionProfile
+
+
+def compile_src(source, target="cuda", flags=None):
+    return CapsCompiler(flags).compile(parse_module(source, "m"), target)
+
+
+BASE = """
+#pragma acc kernels
+void k(float *a, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = a[i] * 2.0f;
+  }
+}
+"""
+
+INDEP = BASE.replace("for (i", "#pragma acc loop independent\n  for (i")
+
+
+class TestDefaultBug:
+    def test_advertises_but_runs_sequential(self):
+        kernel = compile_src(BASE).kernels[0]
+        assert kernel.distribution.strategy is DistStrategy.SEQUENTIAL
+        assert any("gangs(192)" in m and "workers(256)" in m
+                   for m in kernel.messages)
+
+    def test_launch_is_1x1(self):
+        kernel = compile_src(BASE).kernels[0]
+        assert kernel.launch_config({"n": 1024}).sequential
+
+
+class TestGangMode:
+    def test_explicit_sizes_honored(self):
+        src = BASE.replace(
+            "for (i", "#pragma acc loop gang(64) worker(8)\n  for (i"
+        )
+        kernel = compile_src(src).kernels[0]
+        assert kernel.distribution.strategy is DistStrategy.GANG_MODE
+        config = kernel.launch_config({"n": 1024})
+        assert config.grid[0] == 64 and config.block_threads == 8
+
+
+class TestGridify:
+    def test_independent_triggers_gridify(self):
+        kernel = compile_src(INDEP).kernels[0]
+        assert kernel.distribution.strategy is DistStrategy.GRIDIFY_1D
+        config = kernel.launch_config({"n": 1024})
+        assert config.block[:2] == (32, 4)
+        assert config.grid[0] == 8  # ceil(1024 / 128)
+
+    def test_flag_overrides_blocksize(self):
+        flags = FlagSet("CAPS", ("-Xhmppcg -grid-block-size,64x2",))
+        kernel = compile_src(INDEP, flags=flags).kernels[0]
+        assert kernel.launch_config({"n": 1024}).block[:2] == (64, 2)
+
+    def test_2d_for_nested_independent(self):
+        src = """
+#pragma acc kernels
+void k(float *a, int n) {
+  int i, j;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    #pragma acc loop independent
+    for (j = 0; j < n; j++) {
+      a[i * n + j] = 0.0f;
+    }
+  }
+}
+"""
+        kernel = compile_src(src).kernels[0]
+        assert kernel.distribution.strategy is DistStrategy.GRIDIFY_2D
+        assert len(kernel.parallel_loop_ids) == 2
+
+
+class TestUnrollQuirk:
+    NESTED = """
+#pragma acc kernels
+void k(float *a, const float *b, int n, int m) {
+  int i, j;
+  #pragma acc loop independent
+  #pragma hmppcg unroll(4), jam
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < m; j++) {
+      a[i * m + j] += b[j];
+    }
+  }
+}
+"""
+
+    def test_cuda_fake_success_on_jam(self):
+        result = compile_src(self.NESTED, "cuda")
+        kernel = result.kernels[0]
+        assert any("unrolled" in m for m in kernel.messages)  # the lie
+        assert kernel.ir.loop_by_var("i").step == 1  # nothing happened
+
+    def test_opencl_applies_jam(self):
+        result = compile_src(self.NESTED, "opencl")
+        assert result.kernels[0].ir.loop_by_var("i").step == 4
+
+    def test_cuda_applies_plain_innermost_unroll(self):
+        src = INDEP.replace(
+            "#pragma acc loop independent",
+            "#pragma acc loop independent\n  #pragma hmppcg unroll(4)",
+        )
+        result = compile_src(src, "cuda")
+        assert result.kernels[0].ir.loops()[0].step == 4
+
+
+class TestTileQuirk:
+    def test_tile_requires_independent(self):
+        src = BASE.replace("for (i", "#pragma acc tile(8)\n  for (i")
+        kernel = compile_src(src).kernels[0]
+        assert len(kernel.ir.loops()) == 1  # accepted, not applied
+
+    def test_tile_applies_with_independent(self):
+        src = BASE.replace(
+            "for (i", "#pragma acc loop independent tile(8)\n  for (i"
+        )
+        kernel = compile_src(src).kernels[0]
+        assert len(kernel.ir.loops()) == 2  # strip-mined
+
+    def test_tiled_code_has_no_shared_memory(self):
+        src = BASE.replace(
+            "for (i", "#pragma acc loop independent tile(8)\n  for (i"
+        )
+        kernel = compile_src(src).kernels[0]
+        assert not InstructionProfile.of(kernel.ptx).uses_shared_memory
+
+
+class TestReductionQuirk:
+    RED = """
+#pragma acc kernels
+void k(const float *a, float *out, int n) {
+  int i;
+  float s = 0.0f;
+  #pragma acc loop reduction(+:s)
+  for (i = 0; i < n; i++) {
+    s += a[i];
+  }
+  out[0] = s;
+}
+"""
+
+    def test_cuda_emits_shared_but_correct(self):
+        kernel = compile_src(self.RED, "cuda").kernels[0]
+        assert InstructionProfile.of(kernel.ptx).uses_shared_memory
+        assert not kernel.broken_reduction_loops
+
+    def test_opencl_breaks_on_mic_only(self):
+        kernel = compile_src(self.RED, "opencl").kernels[0]
+        assert kernel.broken_reduction_loops
+        assert kernel.broken_reduction_device == "mic"
+        assert kernel.executor_semantics("gpu") == {}
+        assert kernel.executor_semantics("mic")
+
+
+class TestBackends:
+    def test_ptx_only_for_cuda(self):
+        assert compile_src(BASE, "cuda").kernels[0].ptx is not None
+        assert compile_src(BASE, "opencl").kernels[0].ptx is None
+
+    def test_unknown_target(self):
+        with pytest.raises(CompilationError):
+            compile_src(BASE, "vulkan")
+
+    def test_descriptor_only_on_first_kernel(self):
+        two = BASE + BASE.replace("void k", "void k2")
+        result = compile_src(two)
+        first = InstructionProfile.of(result.kernels[0].ptx)
+        second = InstructionProfile.of(result.kernels[1].ptx)
+        assert first.count("ld.param") - second.count("ld.param") == 5
+
+    def test_dispatch_overhead_set(self):
+        assert compile_src(BASE).kernels[0].dispatch_overhead_us > 0
+
+    def test_ptx_identical_across_launch_configs(self):
+        # thread distribution is runtime configuration; the codelet PTX
+        # does not change (paper V-A3)
+        base = compile_src(BASE).kernels[0]
+        gang = compile_src(
+            BASE.replace("for (i", "#pragma acc loop gang(64) worker(8)\n  for (i")
+        ).kernels[0]
+        assert (InstructionProfile.of(base.ptx).by_opcode
+                == InstructionProfile.of(gang.ptx).by_opcode)

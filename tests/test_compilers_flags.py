@@ -1,0 +1,43 @@
+"""Tests for compiler flag validation (Table I)."""
+
+import pytest
+
+from repro.compilers.flags import TABLE_I, FlagError, FlagSet
+
+
+class TestTableI:
+    def test_row_count(self):
+        assert len(TABLE_I) == 10
+
+    def test_compilers(self):
+        assert {info.compiler for info in TABLE_I} == {"PGI", "CUDA C", "CAPS"}
+
+
+class TestFlagSet:
+    def test_valid_pgi(self):
+        flags = FlagSet("PGI", ("-O4", "-fast", "-Munroll"))
+        assert flags.unroll_requested and flags.fast_math
+
+    def test_valid_cuda(self):
+        flags = FlagSet("CUDA C", ("-fastmath", "-arch=compute_35"))
+        assert flags.fast_math
+
+    def test_gridify_flag_parsed(self):
+        flags = FlagSet("CAPS", ("-Xhmppcg -grid-block-size,64x2",))
+        assert flags.gridify_blocksize == (64, 2)
+
+    def test_gridify_flag_wrong_compiler(self):
+        with pytest.raises(FlagError):
+            FlagSet("PGI", ("-Xhmppcg -grid-block-size,32x4",))
+
+    def test_unknown_flag(self):
+        with pytest.raises(FlagError):
+            FlagSet("PGI", ("-O9",))
+
+    def test_pgi_flag_on_cuda(self):
+        with pytest.raises(FlagError):
+            FlagSet("CUDA C", ("-Munroll",))
+
+    def test_has(self):
+        assert FlagSet("PGI", ("-Mvect",)).has("-Mvect")
+        assert not FlagSet("PGI").has("-Mvect")

@@ -1,0 +1,91 @@
+"""Tests for the hand-written OpenCL path."""
+
+import pytest
+
+from repro.compilers import (
+    CompilationError,
+    IntelOpenCLCompiler,
+    NvidiaOpenCLCompiler,
+    OpenCLKernelSpec,
+    OpenCLProgram,
+    compile_opencl,
+)
+from repro.compilers.framework import DistStrategy
+from repro.frontend import parse_kernel
+from repro.ptx.counter import InstructionProfile
+
+SRC = """
+void ocl_scale(float *a, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = a[i] * 2.0f;
+  }
+}
+"""
+
+
+def program(**kw):
+    k = parse_kernel(SRC)
+    spec = OpenCLKernelSpec(
+        kernel=k, parallel_loop_ids=[k.loops()[0].loop_id], **kw
+    )
+    return OpenCLProgram("p", [spec])
+
+
+class TestNvidia:
+    def test_generates_ptx(self):
+        result = NvidiaOpenCLCompiler().compile(program())
+        assert result.kernels[0].ptx is not None
+
+    def test_fixed_global_size(self):
+        result = NvidiaOpenCLCompiler().compile(
+            program(local_size=(128, 1), global_size=(8192, 1))
+        )
+        config = result.kernels[0].launch_config({"n": 123})
+        assert config.total_threads == 8192  # constant, ignores n
+
+    def test_auto_size_follows_extent(self):
+        result = NvidiaOpenCLCompiler().compile(program(local_size=(128, 1)))
+        config = result.kernels[0].launch_config({"n": 1024})
+        assert config.grid[0] == 8
+
+    def test_shared_staging_emits_local_memory(self):
+        result = NvidiaOpenCLCompiler().compile(
+            program(shared_staged=("a",), traffic_reuse=0.5)
+        )
+        profile = InstructionProfile.of(result.kernels[0].ptx)
+        assert profile.uses_shared_memory
+        assert result.kernels[0].traffic_reuse == 0.5
+
+    def test_advanced_distribution(self):
+        result = NvidiaOpenCLCompiler().compile(
+            program(advanced_distribution=True)
+        )
+        assert (result.kernels[0].distribution.strategy
+                is DistStrategy.GRIDIFY_2D)
+
+
+class TestIntel:
+    def test_no_ptx_on_mic(self):
+        result = IntelOpenCLCompiler().compile(program())
+        assert result.kernels[0].ptx is None
+
+    def test_local_staging_is_dram_on_mic(self):
+        result = IntelOpenCLCompiler().compile(
+            program(shared_staged=("a",), traffic_reuse=0.5)
+        )
+        assert result.kernels[0].traffic_reuse == 1.0
+
+
+class TestDispatch:
+    def test_by_device_kind(self):
+        assert compile_opencl(program(), "gpu").compiler == "OpenCL"
+        assert compile_opencl(program(), "mic").compiler == "Intel OpenCL"
+        with pytest.raises(CompilationError):
+            compile_opencl(program(), "fpga")
+
+    def test_single_work_item_task(self):
+        k = parse_kernel(SRC)
+        prog = OpenCLProgram("p", [OpenCLKernelSpec(kernel=k)])
+        result = compile_opencl(prog, "gpu")
+        assert result.kernels[0].sequential

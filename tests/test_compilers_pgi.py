@@ -1,0 +1,251 @@
+"""Tests for the PGI compiler model and its documented quirks."""
+
+import pytest
+
+from repro.compilers import CompilationError, FlagSet, PgiCompiler
+from repro.compilers.framework import DistStrategy
+from repro.frontend import parse_module
+from repro.ptx.counter import InstructionProfile
+
+
+def compile_src(source, flags=None):
+    return PgiCompiler(flags).compile(parse_module(source, "m"), "cuda")
+
+
+SIMPLE = """
+#pragma acc kernels
+void k(float *a, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = a[i] * 2.0f;
+  }
+}
+"""
+
+
+class TestAutoParallelization:
+    def test_clean_loop_auto_parallel(self):
+        kernel = compile_src(SIMPLE).kernels[0]
+        assert kernel.distribution.strategy is DistStrategy.AUTO_1D
+        config = kernel.launch_config({"n": 1024})
+        assert config.block == (128, 1, 1) and config.grid[0] == 8
+
+    def test_aliasing_blocks(self):
+        src = """
+#pragma acc kernels
+void k(float *a, float *m, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = m[i] * 2.0f;
+  }
+}
+"""
+        kernel = compile_src(src).kernels[0]
+        assert kernel.sequential  # m may alias a
+
+    def test_const_disarms_aliasing(self):
+        src = """
+#pragma acc kernels
+void k(float *a, const float *m, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = m[i] * 2.0f;
+  }
+}
+"""
+        assert not compile_src(src).kernels[0].sequential
+
+    def test_constant_distance_blocks(self):
+        src = """
+#pragma acc kernels
+void k(float *a, int n) {
+  int i;
+  for (i = 1; i < n; i++) {
+    a[i] = a[i - 1] + 1.0f;
+  }
+}
+"""
+        assert compile_src(src).kernels[0].sequential
+
+    def test_bare_reduction_stays_sequential(self):
+        src = """
+#pragma acc kernels
+void k(const float *a, float *out, int n) {
+  int i;
+  float s = 0.0f;
+  for (i = 0; i < n; i++) {
+    s += a[i];
+  }
+  out[0] = s;
+}
+"""
+        assert compile_src(src).kernels[0].sequential
+
+    def test_nested_clean_inner_collapsed(self):
+        src = """
+#pragma acc kernels
+void k(float *a, int n, int m) {
+  int i, j;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < m; j++) {
+      a[i * m + j] = a[i * m + j] + 1.0f;
+    }
+  }
+}
+"""
+        kernel = compile_src(src).kernels[0]
+        assert len(kernel.parallel_loop_ids) == 2
+
+
+class TestIndependentHandling:
+    COMPLEX = """
+#pragma acc kernels
+void k(int *c, const int *e, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    c[e[i]] = 1;
+  }
+}
+"""
+
+    def test_independent_ignored_on_complex_loop(self):
+        kernel = compile_src(self.COMPLEX).kernels[0]
+        assert kernel.sequential
+        assert any("ignored" in m for m in kernel.messages)
+
+    def test_independent_overrides_aliasing(self):
+        src = """
+#pragma acc kernels
+void k(float *a, float *m, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    a[i] = m[i] * 2.0f;
+  }
+}
+"""
+        assert not compile_src(src).kernels[0].sequential
+
+
+class TestElision:
+    def test_all_complex_kernel_runs_on_host(self):
+        src = """
+#pragma acc kernels
+void k(int *c, const int *e, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    c[e[i]] = 1;
+  }
+}
+"""
+        kernel = compile_src(src).kernels[0]
+        assert kernel.elided
+        assert InstructionProfile.of(kernel.ptx).total <= 2
+
+
+class TestMunroll:
+    TRIPLE = """
+#pragma acc kernels
+void k(float *a, const float *b, int n, int t) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n - t; i++) {
+    a[i + t] = b[i] * 2.0f;
+  }
+}
+"""
+
+    def test_unrolls_invariant_bound_loop(self):
+        flags = FlagSet("PGI", ("-Munroll",))
+        kernel = compile_src(self.TRIPLE, flags).kernels[0]
+        assert kernel.ir.loops()[0].step == 2
+
+    def test_skips_reduction_loop(self):
+        src = """
+#pragma acc kernels
+void k(const float *a, float *out, int n) {
+  int i;
+  float s = 0.0f;
+  for (i = 0; i < n; i++) {
+    s += a[i];
+  }
+  out[0] = s;
+}
+"""
+        flags = FlagSet("PGI", ("-Munroll",))
+        kernel = compile_src(src, flags).kernels[0]
+        assert kernel.ir.loops()[0].step == 1
+
+    def test_skips_loop_variant_bound(self):
+        src = """
+#pragma acc kernels
+void k(float *a, int n) {
+  int i, j;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < i; j++) {
+      a[i * n + j] = 0.0f;
+    }
+  }
+}
+"""
+        flags = FlagSet("PGI", ("-Munroll",))
+        kernel = compile_src(src, flags).kernels[0]
+        assert kernel.ir.loop_by_var("j").step == 1
+
+
+class TestReductionClause:
+    def test_reduction_clause_parallelizes_with_shared_memory(self):
+        src = """
+#pragma acc kernels
+void k(const float *a, float *out, int n, int m) {
+  int i, j;
+  #pragma acc loop independent
+  for (i = 0; i < m; i++) {
+    float s = 0.0f;
+    #pragma acc loop reduction(+:s)
+    for (j = 0; j < n; j++) {
+      s += a[i * n + j];
+    }
+    out[i] = s;
+  }
+}
+"""
+        kernel = compile_src(src).kernels[0]
+        profile = InstructionProfile.of(kernel.ptx)
+        assert profile.uses_shared_memory
+        assert len(kernel.parallel_loop_ids) == 2
+
+
+class TestRestrictions:
+    def test_no_mic_backend(self):
+        with pytest.raises(CompilationError):
+            PgiCompiler().compile(parse_module(SIMPLE, "m"), "opencl")
+
+    def test_multi_level_pointers_rejected(self):
+        src = """
+#pragma acc kernels
+void k(double **q, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    q[0][i] = 1.0;
+  }
+}
+"""
+        with pytest.raises(CompilationError, match="pointer"):
+            compile_src(src)
+
+    def test_explicit_gang_worker_without_independent_honored(self):
+        src = """
+#pragma acc kernels
+void k(float *a, int n) {
+  int i;
+  #pragma acc loop gang(64) worker(16)
+  for (i = 0; i < n; i++) {
+    a[i] = 0.0f;
+  }
+}
+"""
+        kernel = compile_src(src).kernels[0]
+        config = kernel.launch_config({"n": 1024})
+        assert config.grid[0] == 64 and config.block_threads == 16

@@ -1,0 +1,57 @@
+"""Tests for device specs and lookup."""
+
+import pytest
+
+from repro.devices import (
+    E5_2670,
+    GCC,
+    ICC,
+    K40,
+    PCIE,
+    PHI_5110P,
+    DeviceKind,
+    device_by_name,
+)
+
+
+class TestSpecs:
+    def test_k40_datasheet(self):
+        assert K40.kind is DeviceKind.GPU
+        assert K40.num_units == 15 and K40.lanes_per_unit == 192
+        assert K40.total_lanes == 2880
+        assert K40.warp_width == 32
+        assert K40.max_resident_threads == 15 * 2048
+
+    def test_phi_datasheet(self):
+        assert PHI_5110P.kind is DeviceKind.MIC
+        assert PHI_5110P.num_units == 60
+        assert PHI_5110P.threads_per_unit == 4
+
+    def test_host(self):
+        assert E5_2670.kind is DeviceKind.CPU
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name,spec", [
+        ("k40", K40), ("GPU", K40), ("mic", PHI_5110P), ("5110p", PHI_5110P),
+        ("cpu", E5_2670), ("NVIDIA Tesla K40", K40),
+    ])
+    def test_aliases(self, name, spec):
+        assert device_by_name(name) is spec
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            device_by_name("tpu")
+
+
+class TestPcie:
+    def test_transfer_time_monotone(self):
+        assert PCIE.transfer_seconds(1 << 20) < PCIE.transfer_seconds(1 << 24)
+
+    def test_latency_floor(self):
+        assert PCIE.transfer_seconds(0) == pytest.approx(PCIE.latency_us * 1e-6)
+
+
+class TestToolchains:
+    def test_icc_faster(self):
+        assert ICC.host_speed_factor < GCC.host_speed_factor == 1.0

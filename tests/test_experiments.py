@@ -1,0 +1,18 @@
+"""Every regenerated table and figure must reproduce its paper claims."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_claims_hold(name):
+    result = ALL_EXPERIMENTS[name]()
+    failed = result.failed_claims()
+    assert not failed, "\n".join(str(c) for c in failed)
+
+
+def test_reports_render():
+    result = ALL_EXPERIMENTS["table2"]()
+    text = result.report()
+    assert "Table II" in text and "[PASS]" in text

@@ -1,0 +1,46 @@
+"""Tests for the experiment scaffolding helpers."""
+
+from repro.experiments.common import (
+    Claim,
+    ExperimentResult,
+    ordering_claim,
+    ratio_claim,
+    size_for,
+)
+
+
+class TestClaims:
+    def test_ratio_claim_bounds(self):
+        assert ratio_claim("x", 1.5, 1.0, 2.0).passed
+        assert not ratio_claim("x", 2.5, 1.0, 2.0).passed
+        assert not ratio_claim("x", 0.5, 1.0, 2.0).passed
+
+    def test_ordering_claim_margin(self):
+        assert ordering_claim("x", 1.0, 10.0, margin=5.0).passed
+        assert not ordering_claim("x", 1.0, 4.0, margin=5.0).passed
+
+    def test_str_marks(self):
+        assert "[PASS]" in str(Claim("ok", True))
+        assert "[FAIL]" in str(Claim("bad", False, "why"))
+        assert "why" in str(Claim("bad", False, "why"))
+
+
+class TestExperimentResult:
+    def test_all_passed_and_failed(self):
+        result = ExperimentResult(
+            "X", "t", claims=[Claim("a", True), Claim("b", False)]
+        )
+        assert not result.all_passed
+        assert len(result.failed_claims()) == 1
+
+    def test_report_contains_everything(self):
+        result = ExperimentResult("X", "title", rendered="DATA",
+                                  claims=[Claim("a", True)])
+        text = result.report()
+        assert "X" in text and "DATA" in text and "[PASS]" in text
+
+
+class TestSizes:
+    def test_paper_scale_larger(self):
+        for name in ("lud", "ge", "bfs", "bp", "hydro"):
+            assert size_for(name, True) > size_for(name, False)

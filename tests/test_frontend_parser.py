@@ -1,0 +1,199 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.frontend import ParseError, parse_expr, parse_kernel, parse_module
+from repro.ir import (
+    ArrayRef,
+    ArrayType,
+    BinOp,
+    Call,
+    Cast,
+    DType,
+    For,
+    If,
+    IntLit,
+    Ternary,
+    Var,
+    While,
+)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.rhs, BinOp) and expr.rhs.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*" and expr.lhs.op == "+"
+
+    def test_comparison_chain(self):
+        expr = parse_expr("a < b && c >= d")
+        assert expr.op == "&&"
+
+    def test_ternary(self):
+        expr = parse_expr("a < b ? x : y")
+        assert isinstance(expr, Ternary)
+
+    def test_unary_minus_folds_literals(self):
+        assert parse_expr("-5") == IntLit(-5)
+
+    def test_float_suffix(self):
+        expr = parse_expr("2.5f")
+        assert expr.dtype is DType.FLOAT32
+        assert parse_expr("2.5").dtype is DType.FLOAT64
+
+    def test_hex_literal(self):
+        assert parse_expr("0xFF") == IntLit(255)
+
+    def test_intrinsic_call(self):
+        expr = parse_expr("sqrt(x * x)")
+        assert isinstance(expr, Call) and expr.func == "sqrt"
+
+    def test_unknown_function(self):
+        with pytest.raises(ParseError):
+            parse_expr("frobnicate(x)")
+
+    def test_multi_dim_index(self):
+        expr = parse_expr("q[1][i]")
+        assert isinstance(expr, ArrayRef) and len(expr.indices) == 2
+
+    def test_cast(self):
+        expr = parse_expr("(float)i")
+        assert isinstance(expr, Cast) and expr.dtype is DType.FLOAT32
+
+
+class TestKernels:
+    def test_params(self):
+        k = parse_kernel(
+            "void f(const float *a, double **q, int n, unsigned int m) {}"
+        )
+        assert k.param("a").intent == "in"
+        assert isinstance(k.param("q").type, ArrayType)
+        assert k.param("q").type.rank == 2
+        assert not k.param("n").is_array
+
+    def test_restrict_qualifier(self):
+        k = parse_kernel("void f(float * restrict a, int n) {}")
+        assert k.param("a").is_array
+
+    def test_canonical_for(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) a[i] = 0.0f; }"
+        )
+        loop = k.loops()[0]
+        assert loop.var == "i" and loop.step == 1
+
+    def test_le_condition_normalized(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; for (i = 0; i <= n; i++) a[i] = 0.0f; }"
+        )
+        # i <= n becomes i < n + 1
+        loop = k.loops()[0]
+        assert isinstance(loop.upper, BinOp) and loop.upper.op == "+"
+
+    def test_step(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i += 4) a[i] = 0.0f; }"
+        )
+        assert k.loops()[0].step == 4
+
+    def test_inline_declaration_in_for(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { for (int i = 0; i < n; i++) a[i] = 0.0f; }"
+        )
+        assert k.loops()[0].var == "i"
+
+    def test_non_canonical_condition_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel(
+                "void f(float *a, int n) { int i, j; for (i = 0; j < n; i++) a[i] = 0.0f; }"
+            )
+
+    def test_downward_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel(
+                "void f(float *a, int n) { int i; for (i = n; i > 0; i--) a[i] = 0.0f; }"
+            )
+
+    def test_if_else(self):
+        k = parse_kernel(
+            """
+            void f(float *a, int n) {
+              int i;
+              for (i = 0; i < n; i++) {
+                if (i > 2) a[i] = 1.0f; else a[i] = 2.0f;
+              }
+            }
+            """
+        )
+        body = k.loops()[0].body.stmts
+        assert isinstance(body[0], If) and body[0].else_body is not None
+
+    def test_while(self):
+        k = parse_kernel(
+            "void f(float *s) { while (s[0] > 0.0f) { s[0] -= 1.0f; } }"
+        )
+        assert isinstance(k.body.stmts[0], While)
+
+    def test_compound_assignments(self):
+        k = parse_kernel(
+            """
+            void f(float *a) {
+              a[0] += 1.0f;
+              a[1] -= 1.0f;
+              a[2] *= 2.0f;
+              a[3] /= 2.0f;
+            }
+            """
+        )
+        ops = [s.op for s in k.body.stmts]
+        assert ops == ["+", "-", "*", "/"]
+
+    def test_increment_statement(self):
+        k = parse_kernel("void f(int *c) { c[0]++; }")
+        assert k.body.stmts[0].op == "+"
+
+    def test_multi_declarator(self):
+        k = parse_kernel("void f(int n) { int i, j, k; float x = 1.0f, y; }")
+        names = [s.name for s in k.body.walk() if hasattr(s, "name")]
+        assert set(names) >= {"i", "j", "k", "x", "y"}
+
+    def test_pragma_attaches_to_loop(self):
+        k = parse_kernel(
+            """
+            void f(float *a, int n) {
+              int i;
+              #pragma acc loop independent
+              for (i = 0; i < n; i++) a[i] = 0.0f;
+            }
+            """
+        )
+        assert len(k.loops()[0].directives) == 1
+
+    def test_pragma_without_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel(
+                """
+                void f(float *a) {
+                  #pragma acc loop independent
+                  a[0] = 1.0f;
+                }
+                """
+            )
+
+    def test_module_with_multiple_kernels(self):
+        mod = parse_module(
+            "void f(int n) {}\nvoid g(int n) {}", "two"
+        )
+        assert [k.name for k in mod.kernels] == ["f", "g"]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel("void f(int n) {} extra")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_kernel("void f(int n) { int i;")

@@ -1,0 +1,135 @@
+"""Tests for the pragma sub-parser."""
+
+import pytest
+
+from repro.frontend.pragmas import PragmaError, parse_pragma
+from repro.ir import (
+    AccAtomic,
+    AccData,
+    AccKernels,
+    AccLoop,
+    AccParallel,
+    AccRoutine,
+    HmppBlocksize,
+    HmppTile,
+    HmppUnroll,
+)
+
+
+class TestAccLoop:
+    def test_independent(self):
+        d = parse_pragma("#pragma acc loop independent")
+        assert isinstance(d, AccLoop) and d.independent
+
+    def test_gang_worker_vector(self):
+        d = parse_pragma("#pragma acc loop gang(192) worker(256) vector(32)")
+        assert (d.gang, d.worker, d.vector) == (192, 256, 32)
+
+    def test_bare_gang_worker(self):
+        d = parse_pragma("#pragma acc loop gang worker")
+        assert d.gang is None and d.gang_auto
+        assert d.worker is None and d.worker_auto
+
+    def test_collapse(self):
+        assert parse_pragma("#pragma acc loop collapse(2)").collapse == 2
+
+    def test_tile_clause(self):
+        assert parse_pragma("#pragma acc loop tile(8, 4)").tile == (8, 4)
+
+    def test_caps_acc_tile_extension(self):
+        d = parse_pragma("#pragma acc tile(16)")
+        assert isinstance(d, AccLoop) and d.tile == (16,)
+
+    def test_reduction(self):
+        d = parse_pragma("#pragma acc loop reduction(+:sum)")
+        assert d.reduction.op == "+" and d.reduction.var == "sum"
+
+    def test_bad_reduction(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma acc loop reduction(sum)")
+
+    def test_unknown_clause(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma acc loop quantum(3)")
+
+
+class TestAccOthers:
+    def test_parallel(self):
+        d = parse_pragma(
+            "#pragma acc parallel num_gangs(4) num_workers(8) vector_length(32)"
+        )
+        assert isinstance(d, AccParallel)
+        assert (d.num_gangs, d.num_workers, d.vector_length) == (4, 8, 32)
+
+    def test_parallel_reduction(self):
+        d = parse_pragma("#pragma acc parallel reduction(max:m)")
+        assert d.reduction.op == "max"
+
+    def test_kernels(self):
+        assert isinstance(parse_pragma("#pragma acc kernels"), AccKernels)
+
+    def test_data(self):
+        d = parse_pragma("#pragma acc data copyin(a, b) copyout(c) create(t)")
+        assert isinstance(d, AccData)
+        assert d.copyin == ("a", "b") and d.copyout == ("c",)
+
+    def test_routine(self):
+        d = parse_pragma("#pragma acc routine vector")
+        assert isinstance(d, AccRoutine) and d.level == "vector"
+
+    def test_atomic(self):
+        d = parse_pragma("#pragma acc atomic update")
+        assert isinstance(d, AccAtomic) and d.kind == "update"
+
+    def test_unknown_construct(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma acc teleport")
+
+
+class TestHmpp:
+    def test_blocksize(self):
+        d = parse_pragma("#pragma hmppcg blocksize 32x4")
+        assert isinstance(d, HmppBlocksize) and (d.x, d.y) == (32, 4)
+
+    def test_tile(self):
+        d = parse_pragma("#pragma hmppcg tile i:8")
+        assert isinstance(d, HmppTile) and d.var == "i" and d.factor == 8
+
+    def test_unroll(self):
+        d = parse_pragma("#pragma hmppcg unroll(8)")
+        assert isinstance(d, HmppUnroll) and d.factor == 8 and not d.jam
+
+    def test_unroll_jam(self):
+        d = parse_pragma("#pragma hmppcg unroll(4), jam")
+        assert d.jam
+
+    def test_target_specific(self):
+        d = parse_pragma("#pragma hmppcg(cuda) unroll(8), jam")
+        assert d.target == "cuda"
+        d = parse_pragma("#pragma hmppcg(opencl) unroll(2)")
+        assert d.target == "opencl"
+
+    def test_bad_hmpp(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma hmppcg frobnicate 3")
+
+    def test_not_a_pragma(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("int x = 3;")
+
+    def test_unsupported_family(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma omp parallel for")
+
+
+class TestDirectiveStr:
+    def test_round_trip_through_str(self):
+        originals = [
+            "#pragma acc loop independent gang(8) worker(4)",
+            "#pragma acc parallel num_gangs(240)",
+            "#pragma hmppcg blocksize 32x4",
+            "#pragma hmppcg tile i:8",
+        ]
+        for text in originals:
+            directive = parse_pragma(text)
+            assert parse_pragma(str(directive)) == directive

@@ -1,0 +1,89 @@
+"""Tests for directive nodes and DirectiveSet operations."""
+
+import pytest
+
+from repro.ir import (
+    AccAtomic,
+    AccData,
+    AccKernels,
+    AccLoop,
+    AccParallel,
+    AccRoutine,
+    DirectiveSet,
+    HmppBlocksize,
+    HmppTile,
+    HmppUnroll,
+    ReductionClause,
+)
+
+
+class TestValidation:
+    def test_reduction_ops(self):
+        for op in ("+", "*", "min", "max"):
+            ReductionClause(op, "s")
+        with pytest.raises(ValueError):
+            ReductionClause("^", "s")
+
+    def test_unroll_factor(self):
+        with pytest.raises(ValueError):
+            HmppUnroll(1)
+        with pytest.raises(ValueError):
+            HmppUnroll(4, target="metal")
+
+    def test_tile_factor(self):
+        with pytest.raises(ValueError):
+            HmppTile("i", 1)
+
+    def test_atomic_kind(self):
+        AccAtomic("capture")
+        with pytest.raises(ValueError):
+            AccAtomic("fetch")
+
+
+class TestStr:
+    @pytest.mark.parametrize("directive,text", [
+        (AccKernels(), "#pragma acc kernels"),
+        (AccLoop(independent=True), "#pragma acc loop independent"),
+        (AccLoop(gang=8, worker=4), "#pragma acc loop gang(8) worker(4)"),
+        (AccLoop(gang_auto=True), "#pragma acc loop gang"),
+        (AccLoop(tile=(8, 4)), "#pragma acc loop tile(8, 4)"),
+        (AccParallel(num_gangs=240), "#pragma acc parallel num_gangs(240)"),
+        (AccRoutine("vector"), "#pragma acc routine vector"),
+        (HmppBlocksize(32, 4), "#pragma hmppcg blocksize 32x4"),
+        (HmppTile("i", 8), "#pragma hmppcg tile i:8"),
+        (HmppUnroll(8, jam=True), "#pragma hmppcg unroll(8), jam"),
+        (HmppUnroll(8, jam=True, target="cuda"),
+         "#pragma hmppcg(cuda) unroll(8), jam"),
+        (AccData(copyin=("a", "b")), "#pragma acc data copyin(a, b)"),
+    ])
+    def test_rendering(self, directive, text):
+        assert str(directive) == text
+
+
+class TestDirectiveSet:
+    def test_first_and_all(self):
+        ds = DirectiveSet((AccLoop(independent=True), HmppUnroll(4)))
+        assert isinstance(ds.first(AccLoop), AccLoop)
+        assert ds.first(HmppTile) is None
+        assert len(ds.all(HmppUnroll)) == 1
+
+    def test_with_added_is_persistent(self):
+        empty = DirectiveSet()
+        one = empty.with_added(AccKernels())
+        assert len(empty) == 0 and len(one) == 1
+
+    def test_with_replaced(self):
+        ds = DirectiveSet((AccLoop(gang=8),))
+        replaced = ds.with_replaced(AccLoop, AccLoop(gang=16))
+        assert replaced.first(AccLoop).gang == 16
+        appended = DirectiveSet().with_replaced(AccLoop, AccLoop(gang=2))
+        assert len(appended) == 1
+
+    def test_without(self):
+        ds = DirectiveSet((AccLoop(), HmppUnroll(4)))
+        assert ds.without(HmppUnroll).first(HmppUnroll) is None
+
+    def test_iteration_and_bool(self):
+        assert not DirectiveSet()
+        ds = DirectiveSet((AccKernels(),))
+        assert list(ds) == [AccKernels()]

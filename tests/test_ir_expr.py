@@ -1,0 +1,140 @@
+"""Tests for repro.ir.expr."""
+
+import pytest
+
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cast,
+    FloatLit,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+    add,
+    arrays_referenced,
+    as_expr,
+    const,
+    div,
+    free_vars,
+    idx,
+    mul,
+    sub,
+    substitute,
+)
+from repro.ir.types import DType
+
+
+class TestConstructors:
+    def test_const_int(self):
+        lit = const(5)
+        assert isinstance(lit, IntLit) and lit.value == 5
+
+    def test_const_float(self):
+        lit = const(2.5)
+        assert isinstance(lit, FloatLit) and lit.value == 2.5
+
+    def test_const_bool(self):
+        lit = const(True)
+        assert lit.dtype is DType.BOOL
+
+    def test_as_expr_string_is_var(self):
+        assert as_expr("n") == Var("n")
+
+    def test_as_expr_passthrough(self):
+        v = Var("x")
+        assert as_expr(v) is v
+
+    def test_helpers(self):
+        expr = add(mul("a", 2), sub(div("b", "c"), 1))
+        assert isinstance(expr, BinOp) and expr.op == "+"
+
+    def test_idx(self):
+        ref = idx("a", "i", 3)
+        assert ref == ArrayRef("a", (Var("i"), IntLit(3)))
+
+    def test_bad_binop(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Var("a"), Var("b"))
+
+    def test_bad_unary(self):
+        with pytest.raises(ValueError):
+            UnaryOp("?", Var("a"))
+
+    def test_bad_intrinsic(self):
+        with pytest.raises(ValueError):
+            Call("tan", (Var("x"),))
+
+
+class TestWalk:
+    def test_walk_yields_all_nodes(self):
+        expr = add(mul("a", "b"), idx("c", "i"))
+        nodes = list(expr.walk())
+        assert len(nodes) == 6  # +, *, a, b, c[i], i
+
+    def test_walk_ternary(self):
+        expr = Ternary(Var("p"), Var("a"), Var("b"))
+        assert len(list(expr.walk())) == 4
+
+
+class TestFreeVars:
+    def test_scalars_only(self):
+        expr = add(mul("a", "b"), idx("arr", "i"))
+        assert free_vars(expr) == {"a", "b", "i"}
+
+    def test_arrays_referenced(self):
+        expr = add(idx("x", "i"), idx("y", add("i", 1)))
+        assert arrays_referenced(expr) == {"x", "y"}
+
+    def test_nested_array_index(self):
+        expr = idx("cost", idx("edges", "e"))
+        assert arrays_referenced(expr) == {"cost", "edges"}
+        assert free_vars(expr) == {"e"}
+
+
+class TestSubstitute:
+    def test_simple_var(self):
+        expr = add("i", 1)
+        out = substitute(expr, {"i": const(5)})
+        assert out == add(5, 1)
+
+    def test_inside_array_index(self):
+        expr = idx("a", add("i", 2))
+        out = substitute(expr, {"i": Var("j")})
+        assert out == idx("a", add("j", 2))
+
+    def test_array_names_not_substituted(self):
+        expr = idx("i", Var("i"))  # array named like the variable
+        out = substitute(expr, {"i": Var("j")})
+        assert isinstance(out, ArrayRef) and out.name == "i"
+        assert out.indices[0] == Var("j")
+
+    def test_in_call_and_ternary(self):
+        expr = Ternary(BinOp("<", Var("i"), Var("n")),
+                       Call("sqrt", (Var("i"),)), const(0))
+        out = substitute(expr, {"i": const(4)})
+        assert free_vars(out) == {"n"}
+
+    def test_in_cast(self):
+        expr = Cast(DType.FLOAT32, Var("i"))
+        out = substitute(expr, {"i": const(3)})
+        assert out == Cast(DType.FLOAT32, const(3))
+
+    def test_untouched_vars_shared(self):
+        expr = add("i", "j")
+        out = substitute(expr, {"k": const(0)})
+        assert out == expr
+
+
+class TestImmutability:
+    def test_frozen(self):
+        expr = Var("x")
+        with pytest.raises(AttributeError):
+            expr.name = "y"  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({Var("a"), Var("a"), Var("b")}) == 2
+
+    def test_structural_equality(self):
+        assert add(mul("a", 2), "b") == add(mul("a", 2), "b")

@@ -1,0 +1,155 @@
+"""Tests for repro.ir.stmt and the builder."""
+
+import pytest
+
+from repro.ir import (
+    Assign,
+    Block,
+    Decl,
+    DType,
+    For,
+    If,
+    KernelBuilder,
+    Module,
+    Param,
+    ScalarType,
+    Var,
+    add,
+    const,
+    idx,
+    loop_nest_depth,
+    mul,
+    perfect_nest,
+)
+
+
+def _loop(var="i", body=None):
+    return For(var=var, lower=const(0), upper=Var("n"), body=body or Block())
+
+
+class TestFor:
+    def test_unique_loop_ids(self):
+        a, b = _loop(), _loop()
+        assert a.loop_id != b.loop_id
+
+    def test_children(self):
+        loop = _loop(body=Block([Assign(Var("x"), const(1))]))
+        assert len(list(loop.walk())) == 3  # for, block, assign
+
+    def test_nest_depth_single(self):
+        assert loop_nest_depth(_loop()) == 1
+
+    def test_nest_depth_nested(self):
+        inner = _loop("j")
+        outer = _loop("i", Block([inner]))
+        assert loop_nest_depth(outer) == 2
+        assert [l.var for l in perfect_nest(outer)] == ["i", "j"]
+
+    def test_imperfect_nest(self):
+        inner = _loop("j")
+        outer = _loop("i", Block([Assign(Var("s"), const(0)), inner]))
+        assert loop_nest_depth(outer) == 1
+
+
+class TestKernelFunction:
+    def _kernel(self):
+        return (
+            KernelBuilder("k")
+            .array("a", DType.FLOAT32)
+            .scalar("n")
+            .loop("i", 0, "n")
+            .assign(idx("a", "i"), mul(idx("a", "i"), 2.0))
+            .end()
+            .build()
+        )
+
+    def test_params_split(self):
+        k = self._kernel()
+        assert [p.name for p in k.array_params] == ["a"]
+        assert [p.name for p in k.scalar_params] == ["n"]
+
+    def test_param_lookup(self):
+        k = self._kernel()
+        assert k.param("a").is_array
+        with pytest.raises(KeyError):
+            k.param("zzz")
+
+    def test_loops_and_find(self):
+        k = self._kernel()
+        loop = k.loops()[0]
+        assert k.find_loop(loop.loop_id) is loop
+        assert k.loop_by_var("i") is loop
+        with pytest.raises(KeyError):
+            k.find_loop(999999)
+        with pytest.raises(KeyError):
+            k.loop_by_var("zz")
+
+    def test_top_level_loops(self):
+        k = self._kernel()
+        assert len(k.top_level_loops()) == 1
+
+
+class TestModule:
+    def test_kernel_lookup(self):
+        k = KernelBuilder("f").scalar("n").build()
+        mod = Module("m", [k])
+        assert mod.kernel("f") is k
+        with pytest.raises(KeyError):
+            mod.kernel("g")
+        assert len(mod) == 1 and list(mod) == [k]
+
+
+class TestParam:
+    def test_bad_intent(self):
+        with pytest.raises(ValueError):
+            Param("x", ScalarType(DType.INT32), intent="out-of-band")
+
+
+class TestBuilder:
+    def test_unclosed_loop_raises(self):
+        builder = KernelBuilder("k").scalar("n").loop("i", 0, "n")
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_end_without_open(self):
+        with pytest.raises(ValueError):
+            KernelBuilder("k").end()
+
+    def test_if_else(self):
+        k = (
+            KernelBuilder("k")
+            .array("a")
+            .scalar("n")
+            .loop("i", 0, "n")
+            .if_(add("i", 1))
+            .assign(idx("a", "i"), 1.0)
+            .else_()
+            .assign(idx("a", "i"), 2.0)
+            .end()
+            .end()
+            .build()
+        )
+        body = k.loops()[0].body.stmts
+        assert isinstance(body[0], If) and body[0].else_body is not None
+
+    def test_else_needs_if(self):
+        builder = KernelBuilder("k").loop("i", 0, 4)
+        with pytest.raises(ValueError):
+            builder.assign("x", 1).else_()
+
+    def test_loop_directives(self):
+        k = (
+            KernelBuilder("k").array("a").scalar("n")
+            .loop("i", 0, "n", independent=True, gang=8, worker=4)
+            .assign(idx("a", "i"), 0.0).end().build()
+        )
+        from repro.ir import AccLoop
+        acc = k.loops()[0].directives.first(AccLoop)
+        assert acc.independent and acc.gang == 8 and acc.worker == 4
+
+    def test_decl(self):
+        k = (
+            KernelBuilder("k").scalar("n")
+            .decl("s", DType.FLOAT32, 0.0).build()
+        )
+        assert isinstance(k.body.stmts[0], Decl)

@@ -1,0 +1,94 @@
+"""Tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir.types import (
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    ArrayType,
+    DType,
+    ScalarType,
+    promote,
+)
+
+
+class TestDType:
+    def test_integer_classification(self):
+        assert DType.INT32.is_integer
+        assert DType.INT64.is_integer
+        assert DType.BOOL.is_integer
+        assert not DType.FLOAT32.is_integer
+
+    def test_float_classification(self):
+        assert DType.FLOAT32.is_float
+        assert DType.FLOAT64.is_float
+        assert not DType.INT32.is_float
+
+    def test_sizes(self):
+        assert DType.INT32.size_bytes == 4
+        assert DType.INT64.size_bytes == 8
+        assert DType.FLOAT32.size_bytes == 4
+        assert DType.FLOAT64.size_bytes == 8
+        assert DType.BOOL.size_bytes == 1
+
+    def test_c_names_round_trip(self):
+        for dtype in DType:
+            assert DType.from_c_name(dtype.c_name) is dtype
+
+    def test_unknown_c_name(self):
+        with pytest.raises(KeyError):
+            DType.from_c_name("quadruple")
+
+
+class TestScalarType:
+    def test_str(self):
+        assert str(FLOAT32) == "float"
+        assert str(INT64) == "long"
+
+    def test_size(self):
+        assert FLOAT64.size_bytes == 8
+
+    def test_equality(self):
+        assert ScalarType(DType.INT32) == INT32
+        assert INT32 != INT64
+
+
+class TestArrayType:
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            ArrayType(DType.FLOAT32, rank=0)
+
+    def test_str(self):
+        assert str(ArrayType(DType.FLOAT32)) == "float*"
+        assert str(ArrayType(DType.FLOAT64, 2)) == "double**"
+
+    def test_element_size(self):
+        assert ArrayType(DType.FLOAT64, 2).size_bytes == 8
+
+
+class TestPromote:
+    def test_int_int(self):
+        assert promote(DType.INT32, DType.INT32) is DType.INT32
+
+    def test_int_long(self):
+        assert promote(DType.INT32, DType.INT64) is DType.INT64
+
+    def test_int_float(self):
+        assert promote(DType.INT32, DType.FLOAT32) is DType.FLOAT32
+
+    def test_float_double(self):
+        assert promote(DType.FLOAT32, DType.FLOAT64) is DType.FLOAT64
+
+    def test_bool_promotes_up(self):
+        assert promote(DType.BOOL, DType.INT32) is DType.INT32
+
+    def test_symmetry(self):
+        for a in DType:
+            for b in DType:
+                assert promote(a, b) is promote(b, a)
+
+    def test_bool_constants_exist(self):
+        assert BOOL.dtype is DType.BOOL

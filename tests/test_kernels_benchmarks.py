@@ -1,0 +1,140 @@
+"""Functional validation matrix for the five benchmarks.
+
+Every (benchmark, stage, compiler, device) combination executes
+functionally at test size and must match the NumPy reference — except the
+one combination the paper reports as broken: the CAPS reduction on MIC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compilers import (
+    CapsCompiler,
+    CompilationError,
+    PgiCompiler,
+    compile_opencl,
+)
+from repro.devices import K40, PHI_5110P
+from repro.kernels import BENCHMARKS, TABLE_IV_ROWS, get_benchmark
+from repro.runtime import Accelerator
+
+ALL = sorted(BENCHMARKS)
+
+
+@pytest.fixture(scope="module")
+def cases():
+    """(benchmark, inputs, expected) per benchmark, computed once."""
+    out = {}
+    for name in ALL:
+        bench = get_benchmark(name)
+        inputs = bench.inputs(bench.meta.test_size)
+        out[name] = (bench, inputs, bench.reference(inputs))
+    return out
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_benchmark("lud").meta.short == "lud"
+        with pytest.raises(KeyError):
+            get_benchmark("nbody")
+
+    def test_table_iv_rows(self):
+        assert len(TABLE_IV_ROWS) == 4
+
+    def test_metadata_sizes(self):
+        for name in ALL:
+            meta = get_benchmark(name).meta
+            assert meta.test_size < meta.paper_size
+
+
+class TestReferences:
+    def test_lud_reference_factorizes(self, cases):
+        bench, inputs, expected = cases["lud"]
+        n = int(inputs["size"])
+        lu = expected["a"].reshape(n, n)
+        L = np.tril(lu, -1) + np.eye(n)
+        U = np.triu(lu)
+        original = np.asarray(inputs["a"]).reshape(n, n)
+        assert np.allclose(L @ U, original)
+
+    def test_ge_reference_eliminates(self, cases):
+        bench, inputs, expected = cases["ge"]
+        n = int(inputs["size"])
+        a = expected["a"].reshape(n, n)
+        assert np.allclose(np.tril(a, -1), 0.0, atol=1e-9)
+
+    def test_bfs_reference_reaches_root(self, cases):
+        bench, inputs, expected = cases["bfs"]
+        assert expected["cost"][0] == 0
+        assert (expected["cost"] >= -1).all()
+
+    def test_bp_reference_squash_bounds(self, cases):
+        bench, inputs, expected = cases["bp"]
+        assert ((expected["l2"][1:] > 0) & (expected["l2"][1:] < 1)).all()
+
+    def test_hydro_reference_conserves_mass_interior(self, cases):
+        bench, inputs, _ = cases["hydro"]
+        out = bench.reference(inputs, steps=1)
+        assert np.isfinite(out["rho"]).all()
+        assert (out["rho"] > 0).all()
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestCapsCudaStages:
+    def test_all_stages_correct_on_gpu(self, cases, name):
+        bench, inputs, expected = cases[name]
+        for stage, module in bench.stages().items():
+            compiled = CapsCompiler().compile(module, "cuda")
+            acc = Accelerator(K40)
+            res = bench.run(acc, compiled, bench.meta.test_size,
+                            inputs=bench.inputs(bench.meta.test_size))
+            assert bench.validate(res.outputs, expected), (name, stage)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestCapsOpenclMic:
+    def test_stages_on_mic(self, cases, name):
+        bench, inputs, expected = cases[name]
+        for stage, module in bench.stages().items():
+            compiled = CapsCompiler().compile(module, "opencl")
+            acc = Accelerator(PHI_5110P)
+            res = bench.run(acc, compiled, bench.meta.test_size,
+                            inputs=bench.inputs(bench.meta.test_size))
+            ok = bench.validate(res.outputs, expected)
+            if name == "bp" and stage == "reduction":
+                # the paper's broken CAPS reduction on MIC (V-D2)
+                assert not ok
+            else:
+                assert ok, (name, stage)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestPgi:
+    def test_base_stage(self, cases, name):
+        bench, inputs, expected = cases[name]
+        try:
+            compiled = PgiCompiler().compile(bench.stages()["base"], "cuda")
+        except CompilationError:
+            assert name == "hydro"  # the paper's PGI failure (V-E)
+            return
+        acc = Accelerator(K40)
+        res = bench.run(acc, compiled, bench.meta.test_size,
+                        inputs=bench.inputs(bench.meta.test_size))
+        assert bench.validate(res.outputs, expected)
+
+
+@pytest.mark.parametrize("name", [n for n in ALL if n != "lud"])
+class TestOpenCL:
+    def test_gpu_and_mic(self, cases, name):
+        bench, inputs, expected = cases[name]
+        for kind, device in (("gpu", K40), ("mic", PHI_5110P)):
+            compiled = compile_opencl(bench.opencl_program(), kind)
+            acc = Accelerator(device)
+            res = bench.run(acc, compiled, bench.meta.test_size,
+                            inputs=bench.inputs(bench.meta.test_size))
+            assert bench.validate(res.outputs, expected), (name, kind)
+
+
+def test_lud_has_no_opencl():
+    # "different algorithms" (paper V-A1)
+    assert get_benchmark("lud").opencl_program() is None

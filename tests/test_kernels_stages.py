@@ -1,0 +1,139 @@
+"""Structural expectations per benchmark stage — the 'Thread' rows of the
+paper's figures, asserted at the compilation level."""
+
+import pytest
+
+from repro.compilers import CapsCompiler, PgiCompiler
+from repro.compilers.framework import DistStrategy
+from repro.kernels import get_benchmark
+
+
+def caps(module, target="cuda"):
+    return CapsCompiler().compile(module, target)
+
+
+def pgi(module):
+    return PgiCompiler().compile(module, "cuda")
+
+
+class TestLudStages:
+    def test_base_sequential_caps_parallel_pgi(self):
+        stages = get_benchmark("lud").stages()
+        assert all(k.sequential for k in caps(stages["base"]).kernels)
+        assert all(
+            k.distribution.strategy is DistStrategy.AUTO_1D
+            for k in pgi(stages["base"]).kernels
+        )
+
+    def test_threaddist_gang_mode_both(self):
+        stages = get_benchmark("lud").stages()
+        for result in (caps(stages["threaddist"]), pgi(stages["threaddist"])):
+            for kernel in result.kernels:
+                assert kernel.distribution.strategy is DistStrategy.GANG_MODE
+                cfg = kernel.launch_config({"size": 1024, "i": 512})
+                assert cfg.grid[0] == 256 and cfg.block_threads == 16
+
+    def test_unroll_changes_caps_ir_not_pgi(self):
+        from repro.compilers import FlagSet
+        stages = get_benchmark("lud").stages()
+        caps_k = caps(stages["unroll"]).kernel("lud_row")
+        assert caps_k.ir.loop_by_var("k").step == 8  # real unroll
+        pgi_k = PgiCompiler(FlagSet("PGI", ("-Munroll",))).compile(
+            stages["unroll"], "cuda"
+        ).kernel("lud_row")
+        assert pgi_k.ir.loop_by_var("k").step == 1  # skipped (reduction)
+
+    def test_tile_is_noop_for_caps(self):
+        stages = get_benchmark("lud").stages()
+        plain = caps(stages["threaddist"]).kernel("lud_row")
+        tiled = caps(stages["tile"]).kernel("lud_row")
+        assert len(tiled.ir.loops()) == len(plain.ir.loops())
+
+
+class TestGeStages:
+    def test_indep_caps_2d_pgi_1d(self):
+        stages = get_benchmark("ge").stages()
+        fan2_caps = caps(stages["indep"]).kernel("ge_fan2")
+        assert fan2_caps.distribution.strategy is DistStrategy.GRIDIFY_2D
+        fan2_pgi = pgi(stages["indep"]).kernel("ge_fan2")
+        assert fan2_pgi.distribution.strategy is DistStrategy.AUTO_1D
+        assert len(fan2_pgi.parallel_loop_ids) == 1  # inner loop sequential
+
+    def test_reorganized_has_two_kernels(self):
+        stages = get_benchmark("ge").stages()
+        assert len(caps(stages["reorganized"]).kernels) == 2
+
+    def test_fan1_independent_is_provable(self):
+        # fan1 needs no force: write m, read a only
+        from repro.analysis import Verdict, analyze_loop
+        base = get_benchmark("ge").module()
+        fan1 = base.kernel("ge_fan1")
+        assert analyze_loop(fan1.loops()[0]).verdict is Verdict.INDEPENDENT
+
+
+class TestBfsStages:
+    def test_push_requires_force_pull_accepted_by_pgi(self):
+        stages = get_benchmark("bfs").stages()
+        push = pgi(stages["indep"])
+        assert all(k.sequential or k.elided for k in push.kernels)
+        pull = pgi(stages["regrouped"])
+        assert all(k.parallel_loop_ids and not k.elided for k in pull.kernels)
+
+    def test_base_elided_by_pgi(self):
+        stages = get_benchmark("bfs").stages()
+        assert all(k.elided for k in pgi(stages["base"]).kernels)
+
+    def test_dataregion_stage_carries_directives(self):
+        stages = get_benchmark("bfs").stages()
+        compiled = caps(stages["dataregion"])
+        assert all(k.has_data_region for k in compiled.kernels)
+
+
+class TestBpStages:
+    def test_pgi_base_equals_indep_schedule(self):
+        stages = get_benchmark("bp").stages()
+        base = pgi(stages["base"])
+        indep = pgi(stages["indep"])
+        for kb, ki in zip(base.kernels, indep.kernels):
+            assert kb.distribution.strategy is ki.distribution.strategy
+            assert len(kb.parallel_loop_ids) == len(ki.parallel_loop_ids)
+
+    def test_caps_indep_adjust_is_2d(self):
+        stages = get_benchmark("bp").stages()
+        adjust = caps(stages["indep"]).kernel("bp_adjust_weights")
+        assert adjust.distribution.strategy is DistStrategy.GRIDIFY_2D
+
+    def test_unroll_applies_only_in_opencl_backend(self):
+        stages = get_benchmark("bp").stages()
+        cuda = caps(stages["unroll"], "cuda").kernel("bp_adjust_weights")
+        ocl = caps(stages["unroll"], "opencl").kernel("bp_adjust_weights")
+        assert cuda.ir.loop_by_var("j").step == 1   # fake success
+        assert ocl.ir.loop_by_var("j").step == 8    # really jammed
+
+    def test_reduction_clause_reaches_both_compilers(self):
+        from repro.ptx.counter import InstructionProfile
+        stages = get_benchmark("bp").stages()
+        for result in (caps(stages["reduction"]), pgi(stages["reduction"])):
+            forward = result.kernel("bp_layer_forward")
+            assert InstructionProfile.of(forward.ptx).uses_shared_memory
+
+
+class TestHydroStages:
+    def test_base_is_gang_mode(self):
+        stages = get_benchmark("hydro").stages()
+        compiled = caps(stages["base"])
+        flux = compiled.kernel("hydro_flux_x")
+        assert flux.distribution.strategy is DistStrategy.GANG_MODE
+
+    def test_optimized_is_gridify(self):
+        stages = get_benchmark("hydro").stages()
+        compiled = caps(stages["optimized"])
+        flux = compiled.kernel("hydro_flux_x")
+        assert flux.distribution.strategy is DistStrategy.GRIDIFY_2D
+
+    def test_courant_parallel_without_force(self):
+        from repro.analysis import Verdict, analyze_loop
+        base = get_benchmark("hydro").module()
+        courant = base.kernel("hydro_courant")
+        outer = courant.top_level_loops()[0]
+        assert analyze_loop(outer).verdict is Verdict.INDEPENDENT

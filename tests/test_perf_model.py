@@ -1,0 +1,136 @@
+"""Tests for the analytical performance model."""
+
+import pytest
+
+from repro.analysis.patterns import OpCounts
+from repro.devices.specs import E5_2670, K40, PHI_5110P
+from repro.perf.model import LaunchConfig, WorkProfile, estimate_time
+
+
+def profile(items=1 << 20, flops=4, loads=2, stores=1, coal=1.0, ws=0.0,
+            vec=None):
+    return WorkProfile(
+        items=items,
+        ops=OpCounts(flops_add=flops, loads=loads, stores=stores),
+        bytes_per_item=(loads + stores) * 4,
+        coalesced_fraction=coal,
+        working_set_bytes=ws,
+        vectorizable_fraction=vec,
+    )
+
+
+SEQ = LaunchConfig(sequential=True)
+
+
+def par(gang=256, worker=128):
+    return LaunchConfig(grid=(gang, 1, 1), block=(worker, 1, 1))
+
+
+class TestGpu:
+    def test_parallel_beats_serial(self):
+        p = profile()
+        serial = estimate_time(K40, SEQ, p).total_s
+        parallel = estimate_time(K40, par(), p).total_s
+        assert serial / parallel > 100
+
+    def test_more_threads_never_slower_compute_bound(self):
+        p = profile(flops=64, loads=0, stores=0)
+        times = [
+            estimate_time(K40, par(g, 128), p).total_s
+            for g in (1, 4, 16, 64, 256)
+        ]
+        assert all(a >= b * 0.999 for a, b in zip(times, times[1:]))
+
+    def test_uncoalesced_slower(self):
+        fast = estimate_time(K40, par(), profile(coal=1.0)).total_s
+        slow = estimate_time(K40, par(), profile(coal=0.0)).total_s
+        assert slow > fast
+
+    def test_partial_warp_penalty(self):
+        p = profile(flops=64, loads=0, stores=0)
+        full = estimate_time(K40, par(256, 32), p).total_s
+        lone = estimate_time(K40, par(256, 1), p).total_s
+        assert lone > full
+
+    def test_cache_pressure(self):
+        small = estimate_time(K40, par(), profile(ws=1 << 18)).total_s
+        large = estimate_time(K40, par(), profile(ws=1 << 30)).total_s
+        assert large > small
+
+    def test_idle_threads_are_free(self):
+        p = profile(items=100)
+        few = estimate_time(K40, par(4, 32), p).total_s
+        many = estimate_time(K40, par(1024, 256), p).total_s
+        assert many <= few * 1.01
+
+    def test_zero_items(self):
+        b = estimate_time(K40, par(), profile(items=0))
+        assert b.compute_s == 0 and b.memory_s == 0
+
+    def test_limiter_labels(self):
+        mem = estimate_time(K40, par(), profile(loads=64, flops=0))
+        cpu = estimate_time(K40, par(), profile(loads=0, flops=512))
+        assert mem.limiter == "memory" and cpu.limiter == "compute"
+
+
+class TestMic:
+    def test_serial_faster_than_gpu_serial(self):
+        p = profile(flops=16)
+        gpu = estimate_time(K40, SEQ, p).total_s
+        mic = estimate_time(PHI_5110P, SEQ, p).total_s
+        assert mic < gpu
+
+    def test_worker_one_best_for_gang_mode(self):
+        p = profile(vec=0.0)
+        t1 = estimate_time(PHI_5110P, par(240, 1), p).total_s
+        t128 = estimate_time(PHI_5110P, par(240, 128), p).total_s
+        assert t1 < t128
+
+    def test_vectorization_helps(self):
+        p_vec = profile(flops=64, loads=0, stores=0, vec=1.0)
+        p_scalar = profile(flops=64, loads=0, stores=0, vec=0.0)
+        fast = estimate_time(PHI_5110P, par(240, 4), p_vec).total_s
+        slow = estimate_time(PHI_5110P, par(240, 4), p_scalar).total_s
+        assert slow / fast > 3
+
+    def test_scalarized_item_overhead(self):
+        # scalarized fine-grained items pay the KNC dispatch cliff
+        fine = profile(items=1 << 20, flops=4, loads=0, stores=0, vec=0.0)
+        t = estimate_time(PHI_5110P, par(240, 4), fine)
+        vec = profile(items=1 << 20, flops=4, loads=0, stores=0, vec=1.0)
+        tv = estimate_time(PHI_5110P, par(240, 4), vec)
+        assert t.compute_s / tv.compute_s > 20
+
+    def test_gather_kills_vectorization(self):
+        indirect = profile(flops=32, coal=0.2, vec=1.0)
+        direct = profile(flops=32, coal=1.0, vec=1.0)
+        t_ind = estimate_time(PHI_5110P, par(240, 4), indirect)
+        t_dir = estimate_time(PHI_5110P, par(240, 4), direct)
+        assert t_ind.compute_s > t_dir.compute_s
+
+
+class TestCpu:
+    def test_cpu_serial_fastest_serial(self):
+        p = profile(flops=16)
+        cpu = estimate_time(E5_2670, SEQ, p).total_s
+        mic = estimate_time(PHI_5110P, SEQ, p).total_s
+        gpu = estimate_time(K40, SEQ, p).total_s
+        assert cpu < mic < gpu
+
+
+class TestValidation:
+    def test_negative_items(self):
+        with pytest.raises(ValueError):
+            estimate_time(K40, SEQ, profile(items=-1))
+
+    def test_bad_coalescing(self):
+        with pytest.raises(ValueError):
+            estimate_time(K40, SEQ, profile(coal=1.5))
+
+    def test_launch_config_helpers(self):
+        cfg = LaunchConfig(grid=(4, 2, 1), block=(32, 4, 1))
+        assert cfg.num_blocks == 8
+        assert cfg.block_threads == 128
+        assert cfg.total_threads == 1024
+        assert "grid" in cfg.describe()
+        assert LaunchConfig(sequential=True).total_threads == 1

@@ -1,0 +1,48 @@
+"""Tests for the ablation override mechanism."""
+
+import pytest
+
+from repro.analysis.patterns import OpCounts
+from repro.devices import PHI_5110P
+from repro.perf import LaunchConfig, WorkProfile, estimate_time, model_overrides
+from repro.perf import model
+
+
+def _mic_time():
+    profile = WorkProfile(
+        items=1 << 18, ops=OpCounts(flops_add=4), bytes_per_item=0,
+        vectorizable_fraction=0.0,
+    )
+    config = LaunchConfig(grid=(240, 1, 1), block=(4, 1, 1))
+    return estimate_time(PHI_5110P, config, profile).total_s
+
+
+class TestModelOverrides:
+    def test_override_changes_result(self):
+        base = _mic_time()
+        with model_overrides(MIC_SCALARIZED_ITEM_OVERHEAD=0.0):
+            ablated = _mic_time()
+        assert ablated < base / 5
+
+    def test_restored_after_context(self):
+        before = model.MIC_SCALARIZED_ITEM_OVERHEAD
+        with model_overrides(MIC_SCALARIZED_ITEM_OVERHEAD=0.0):
+            pass
+        assert model.MIC_SCALARIZED_ITEM_OVERHEAD == before
+        assert _mic_time() == pytest.approx(_mic_time())
+
+    def test_restored_after_exception(self):
+        before = model.CACHE_ALPHA
+        with pytest.raises(RuntimeError):
+            with model_overrides(CACHE_ALPHA=99.0):
+                raise RuntimeError("boom")
+        assert model.CACHE_ALPHA == before
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(KeyError):
+            with model_overrides(TOTALLY_FAKE=1.0):
+                pass
+
+    def test_multiple_overrides(self):
+        with model_overrides(CACHE_ALPHA=0.0, CACHE_CAP=1.0):
+            assert model.CACHE_ALPHA == 0.0 and model.CACHE_CAP == 1.0

@@ -1,0 +1,164 @@
+"""Tests for PTX code generation from IR kernels."""
+
+import pytest
+
+from repro.frontend import parse_kernel
+from repro.ptx.codegen import (
+    CodegenStyle,
+    ParallelMapping,
+    empty_ptx,
+    generate_ptx,
+)
+from repro.ptx.counter import InstructionProfile
+
+STREAM = """
+void stream(float *a, const float *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = b[i] * 2.0f + 1.0f;
+    }
+}
+"""
+
+
+def profile(source, parallel=True, style=None):
+    k = parse_kernel(source)
+    mapping = ParallelMapping(
+        dims={k.loops()[0].loop_id: 0} if parallel else {}
+    )
+    return InstructionProfile.of(generate_ptx(k, mapping, style))
+
+
+class TestBasics:
+    def test_prologue_params(self):
+        p = profile(STREAM)
+        assert p.count("ld.param") == 3  # a, b, n
+
+    def test_thread_indexing(self):
+        k = parse_kernel(STREAM)
+        ptx = generate_ptx(k, ParallelMapping({k.loops()[0].loop_id: 0}))
+        operands = [op for inst in ptx for op in inst.operands]
+        assert any("%ctaid.x" in op for op in operands)
+        assert any("%tid.x" in op for op in operands)
+
+    def test_bounds_guard(self):
+        p = profile(STREAM)
+        assert p.count("setp") >= 1 and p.count("bra") >= 1
+
+    def test_sequential_loop_form(self):
+        p_seq = profile(STREAM, parallel=False)
+        p_par = profile(STREAM)
+        # the sequential form carries loop-control instructions
+        assert p_seq.count("bra") > p_par.count("bra")
+
+    def test_loads_and_stores(self):
+        p = profile(STREAM)
+        assert p.count("ld.global") == 1 and p.count("st.global") == 1
+
+    def test_fma_fusion(self):
+        p = profile(STREAM, style=CodegenStyle(use_fma=True))
+        no_fma = profile(STREAM, style=CodegenStyle(use_fma=False))
+        assert p.count("fma") >= 1 and no_fma.count("fma") == 0
+
+    def test_ret_terminates(self):
+        k = parse_kernel(STREAM)
+        ptx = generate_ptx(k)
+        assert ptx.instructions[-1].opcode == "ret"
+
+
+class TestStyles:
+    def test_cse_addresses_fewer_cvta(self):
+        src = """
+void f(float *a, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = a[i] + a[i];
+    }
+}
+"""
+        cse = profile(src, style=CodegenStyle(cse_addresses=True))
+        no_cse = profile(src, style=CodegenStyle(cse_addresses=False))
+        assert cse.count("cvta.to.global") < no_cse.count("cvta.to.global")
+
+    def test_cse_loads(self):
+        src = """
+void f(float *a, const float *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = b[0] + b[0];
+    }
+}
+"""
+        cse = profile(src, style=CodegenStyle(cse_loads=True))
+        no_cse = profile(src, style=CodegenStyle(cse_loads=False))
+        assert cse.count("ld.global") < no_cse.count("ld.global")
+
+    def test_cse_loads_invalidated_by_store(self):
+        src = """
+void f(float *a) {
+    float x = a[0];
+    a[0] = 2.0f;
+    float y = a[0];
+    a[1] = x + y;
+}
+"""
+        p = profile(src, parallel=False, style=CodegenStyle(cse_loads=True))
+        assert p.count("ld.global") == 2  # reload after the store
+
+    def test_mov_per_stmt(self):
+        noisy = profile(STREAM, style=CodegenStyle(mov_per_stmt=2))
+        clean = profile(STREAM, style=CodegenStyle(mov_per_stmt=0))
+        assert noisy.count("mov") > clean.count("mov")
+
+    def test_extra_param_loads(self):
+        extra = profile(STREAM, style=CodegenStyle(extra_param_loads=5))
+        base = profile(STREAM, style=CodegenStyle(extra_param_loads=0))
+        assert extra.count("ld.param") - base.count("ld.param") == 5
+
+    def test_fold_immediates(self):
+        folded = profile(STREAM, style=CodegenStyle(fold_immediates=True))
+        literal = profile(STREAM, style=CodegenStyle(fold_immediates=False))
+        assert literal.count("mov") > folded.count("mov")
+
+
+class TestSharedReduction:
+    def test_tree_reduction_skeleton(self):
+        src = """
+void f(const float *a, float *out, int n) {
+    int i;
+    float s = 0.0f;
+    for (i = 0; i < n; i++) {
+        s += a[i];
+    }
+    out[0] = s;
+}
+"""
+        k = parse_kernel(src)
+        mapping = ParallelMapping(
+            dims={}, shared_reductions={k.loops()[0].loop_id}
+        )
+        ptx = generate_ptx(k, mapping)
+        ops = ptx.opcodes()
+        assert "st.shared" in ops and "ld.shared" in ops
+        assert ops.count("bar.sync") >= 2
+        assert "shl" in ops
+
+
+class TestMultiDim:
+    def test_rank2_access(self):
+        src = """
+void f(double **q, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        q[1][i] = q[0][i] * 2.0;
+    }
+}
+"""
+        p = profile(src)
+        assert p.count("ld.global") >= 1 and p.count("mad") >= 1
+
+
+class TestEmptyPtx:
+    def test_stub(self):
+        stub = empty_ptx("gone")
+        assert len(stub) == 1 and stub.instructions[0].opcode == "ret"

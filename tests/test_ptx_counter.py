@@ -1,0 +1,63 @@
+"""Tests for static PTX instruction counting."""
+
+from repro.ptx.counter import InstructionProfile, compare_profiles, format_comparison
+from repro.ptx.isa import Category, PtxInst, PtxKernel
+
+
+def kernel_with(*opcodes):
+    k = PtxKernel("k")
+    for op in opcodes:
+        k.instructions.append(PtxInst(op, ""))
+    return k
+
+
+class TestProfile:
+    def test_counts(self):
+        p = InstructionProfile.of(kernel_with("add", "add", "mov", "ld.global"))
+        assert p.count("add") == 2 and p.total == 4
+
+    def test_categories(self):
+        p = InstructionProfile.of(
+            kernel_with("add", "setp", "bra", "mov", "ld.global", "st.shared")
+        )
+        counts = p.category_counts()
+        assert counts[Category.ARITHMETIC] == 1
+        assert counts[Category.FLOW_CONTROL] == 2
+        assert counts[Category.DATA_MOVEMENT] == 1
+        assert counts[Category.GLOBAL_MEMORY] == 1
+        assert counts[Category.SHARED_MEMORY] == 1
+
+    def test_multiple_kernels_aggregate(self):
+        p = InstructionProfile.of(kernel_with("add"), kernel_with("add", "sub"))
+        assert p.total == 3
+
+    def test_uses_shared_memory(self):
+        assert InstructionProfile.of(kernel_with("st.shared")).uses_shared_memory
+        assert not InstructionProfile.of(kernel_with("add")).uses_shared_memory
+
+    def test_diff(self):
+        a = InstructionProfile.of(kernel_with("add", "add"))
+        b = InstructionProfile.of(kernel_with("add"))
+        assert (a - b)[Category.ARITHMETIC] == 1
+
+    def test_as_row_keys(self):
+        row = InstructionProfile.of(kernel_with("add")).as_row()
+        assert set(row) == {
+            "arithmetic", "flow_control", "logical_shift", "data_movement",
+            "global_memory", "shared_memory", "total",
+        }
+
+
+class TestComparison:
+    def test_compare_and_format(self):
+        profiles = {
+            "a": InstructionProfile.of(kernel_with("add")),
+            "b": InstructionProfile.of(kernel_with("mov", "mov")),
+        }
+        rows = compare_profiles(profiles)
+        assert rows[0]["version"] == "a" and rows[1]["data_movement"] == 2
+        text = format_comparison(profiles)
+        assert "version" in text and "a" in text
+
+    def test_empty(self):
+        assert format_comparison({}) == "(no profiles)"

@@ -1,0 +1,54 @@
+"""Tests for the PTX ISA subset and Table V categories."""
+
+import pytest
+
+from repro.ptx.isa import CATEGORY_OF, TABLE_V, Category, PtxInst, PtxKernel
+
+
+class TestCategories:
+    def test_table_v_partition(self):
+        for category, opcodes in TABLE_V.items():
+            for opcode in opcodes:
+                assert CATEGORY_OF[opcode] is category
+
+    def test_every_opcode_categorized(self):
+        for opcode, category in CATEGORY_OF.items():
+            assert isinstance(category, Category)
+
+    def test_paper_rows(self):
+        assert "fma" in TABLE_V[Category.ARITHMETIC]
+        assert "setp" in TABLE_V[Category.FLOW_CONTROL]
+        assert "shl" in TABLE_V[Category.LOGICAL_SHIFT]
+        assert "cvta.to.global" in TABLE_V[Category.GLOBAL_MEMORY]
+        assert "ld.param" in TABLE_V[Category.GLOBAL_MEMORY]
+        assert "st.shared" in TABLE_V[Category.SHARED_MEMORY]
+
+
+class TestPtxInst:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            PtxInst("frob", "f32")
+
+    def test_category_property(self):
+        assert PtxInst("fma", "rn.f32").category is Category.ARITHMETIC
+
+    def test_str(self):
+        inst = PtxInst("add", "s32", ("%r1", "%r2", "%r3"))
+        assert str(inst) == "add.s32 %r1, %r2, %r3;"
+
+    def test_branch_str(self):
+        inst = PtxInst("bra", "", ("@%p1",), label="$L_x")
+        assert str(inst) == "bra $L_x;"
+
+
+class TestPtxKernel:
+    def test_render_and_opcodes(self):
+        kernel = PtxKernel("k")
+        kernel.instructions = [
+            PtxInst("ld.param", "u64", ("%rd1", "[a]")),
+            PtxInst("ret", ""),
+        ]
+        text = kernel.render()
+        assert ".visible .entry k(" in text and "ret;" in text
+        assert kernel.opcodes() == ["ld.param", "ret"]
+        assert len(kernel) == 2

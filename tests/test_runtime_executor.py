@@ -1,0 +1,160 @@
+"""Tests for the functional executor."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse_kernel
+from repro.runtime.executor import (
+    ExecMode,
+    ExecutionError,
+    LoopSemantics,
+    execute_kernel,
+    kernel_python_source,
+)
+
+
+class TestSequential:
+    def test_stream(self):
+        k = parse_kernel(
+            "void f(float *a, const float *b, int n) { int i; "
+            "for (i = 0; i < n; i++) a[i] = b[i] * 2.0f + 1.0f; }"
+        )
+        a, b = np.zeros(4), np.arange(4, dtype=np.float64)
+        execute_kernel(k, {"a": a, "b": b, "n": 4})
+        assert np.allclose(a, b * 2 + 1)
+
+    def test_c_integer_division(self):
+        k = parse_kernel(
+            "void f(int *o, int a, int b) { o[0] = a / b; o[1] = a % b; }"
+        )
+        out = np.zeros(2, dtype=np.int64)
+        execute_kernel(k, {"o": out, "a": 7, "b": 2})
+        assert list(out) == [3, 1]
+        execute_kernel(k, {"o": out, "a": -7, "b": 2})
+        assert list(out) == [-3, -1]  # trunc toward zero, like C
+
+    def test_intrinsics(self):
+        k = parse_kernel(
+            "void f(float *o, float x) { o[0] = sqrt(x); o[1] = fabs(-x); "
+            "o[2] = fmin(x, 1.0f); o[3] = exp(0.0f); }"
+        )
+        out = np.zeros(4)
+        execute_kernel(k, {"o": out, "x": 4.0})
+        assert np.allclose(out, [2.0, 4.0, 1.0, 1.0])
+
+    def test_while_and_if(self):
+        k = parse_kernel(
+            "void f(float *s) { while (s[0] > 1.0f) { s[0] /= 2.0f; } "
+            "if (s[0] > 0.5f) s[1] = 1.0f; }"
+        )
+        s = np.array([8.0, 0.0])
+        execute_kernel(k, {"s": s})
+        assert s[0] <= 1.0 and s[1] == 1.0
+
+    def test_rank2(self):
+        k = parse_kernel(
+            "void f(double **q, int n) { int i; for (i = 0; i < n; i++) "
+            "q[1][i] = q[0][i] * 3.0; }"
+        )
+        q = np.zeros((2, 4))
+        q[0] = np.arange(4)
+        execute_kernel(k, {"q": q, "n": 4})
+        assert np.allclose(q[1], q[0] * 3)
+
+    def test_ternary(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) "
+            "a[i] = i > 1 ? 1.0f : 0.0f; }"
+        )
+        a = np.zeros(4)
+        execute_kernel(k, {"a": a, "n": 4})
+        assert list(a) == [0, 0, 1, 1]
+
+
+class TestArgChecking:
+    def _kernel(self):
+        return parse_kernel("void f(float *a, int n) { a[0] = 1.0f; }")
+
+    def test_missing_arg(self):
+        with pytest.raises(ExecutionError):
+            execute_kernel(self._kernel(), {"a": np.zeros(1)})
+
+    def test_extra_arg(self):
+        with pytest.raises(ExecutionError):
+            execute_kernel(self._kernel(), {"a": np.zeros(1), "n": 1, "z": 2})
+
+    def test_wrong_rank(self):
+        with pytest.raises(ExecutionError):
+            execute_kernel(self._kernel(), {"a": np.zeros((2, 2)), "n": 1})
+
+    def test_scalar_for_array(self):
+        with pytest.raises(ExecutionError):
+            execute_kernel(self._kernel(), {"a": 5, "n": 1})
+
+
+class TestParallelSnapshot:
+    def test_dependent_loop_races(self):
+        k = parse_kernel(
+            "void f(float *A, int n) { int i; for (i = 1; i < n; i++) "
+            "A[i] = A[i - 1] + 1.0f; }"
+        )
+        seq = np.zeros(6)
+        execute_kernel(k, {"A": seq, "n": 6})
+        racy = np.zeros(6)
+        lid = k.loops()[0].loop_id
+        execute_kernel(k, {"A": racy, "n": 6},
+                       {lid: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT)})
+        assert not np.allclose(seq, racy)
+
+    def test_independent_loop_unaffected(self):
+        k = parse_kernel(
+            "void f(float *A, int n) { int i; for (i = 0; i < n; i++) "
+            "A[i] = A[i] * 2.0f; }"
+        )
+        seq = np.arange(6, dtype=np.float64)
+        par = seq.copy()
+        execute_kernel(k, {"A": seq, "n": 6})
+        lid = k.loops()[0].loop_id
+        execute_kernel(k, {"A": par, "n": 6},
+                       {lid: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT)})
+        assert np.allclose(seq, par)
+
+
+class TestBrokenReduction:
+    def test_lost_updates(self):
+        k = parse_kernel(
+            "void f(const float *a, float *out, int n) { int i; float s = 0.0f; "
+            "for (i = 0; i < n; i++) s += a[i]; out[0] = s; }"
+        )
+        a = np.ones(16)
+        good, bad = np.zeros(1), np.zeros(1)
+        execute_kernel(k, {"a": a, "out": good, "n": 16})
+        lid = k.loops()[0].loop_id
+        execute_kernel(
+            k, {"a": a, "out": bad, "n": 16},
+            {lid: LoopSemantics(ExecMode.REDUCTION_LAST_CHUNK, chunks=4)},
+        )
+        assert good[0] == 16.0 and bad[0] == 4.0
+
+    def test_empty_range_ok(self):
+        k = parse_kernel(
+            "void f(const float *a, float *out, int n) { int i; float s = 0.0f; "
+            "for (i = 0; i < n; i++) s += a[i]; out[0] = s; }"
+        )
+        out = np.ones(1)
+        lid = k.loops()[0].loop_id
+        execute_kernel(
+            k, {"a": np.zeros(4), "out": out, "n": 0},
+            {lid: LoopSemantics(ExecMode.REDUCTION_LAST_CHUNK)},
+        )
+        assert out[0] == 0.0
+
+
+class TestSourceGeneration:
+    def test_source_is_python(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; for (i = 0; i < n; i++) a[i] = 0.0f; }"
+        )
+        source = kernel_python_source(k)
+        assert source.startswith("def _kernel(a, n):")
+        compile(source, "<test>", "exec")

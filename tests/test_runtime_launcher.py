@@ -1,0 +1,139 @@
+"""Tests for the simulated accelerator runtime."""
+
+import numpy as np
+import pytest
+
+from repro.compilers import CapsCompiler
+from repro.devices import E5_2670, GCC, ICC, K40
+from repro.frontend import parse_module
+from repro.runtime import Accelerator, RuntimeError_
+
+MODULE = parse_module(
+    """
+#pragma acc kernels
+void scale(float *a, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    a[i] = a[i] * 2.0f;
+  }
+}
+""",
+    "scale",
+)
+
+
+def compiled_kernel():
+    return CapsCompiler().compile(MODULE, "cuda").kernels[0]
+
+
+class TestBuffers:
+    def test_to_device_copies(self):
+        acc = Accelerator(K40)
+        host = np.arange(4, dtype=np.float64)
+        acc.to_device(a=host)
+        host[0] = 99.0
+        assert acc.buffer("a")[0] == 0.0
+
+    def test_from_device_records_event(self):
+        acc = Accelerator(K40)
+        acc.to_device(a=np.zeros(4))
+        acc.from_device("a")
+        assert acc.profiler.memcpy_h2d == 1 and acc.profiler.memcpy_d2h == 1
+
+    def test_missing_buffer(self):
+        acc = Accelerator(K40)
+        with pytest.raises(RuntimeError_):
+            acc.buffer("nope")
+        with pytest.raises(RuntimeError_):
+            acc.from_device("nope")
+
+    def test_declare_and_touch(self):
+        acc = Accelerator(K40)
+        acc.declare(a=1024)
+        acc.upload_declared("a")
+        acc.touch_h2d("a")
+        acc.touch_d2h("a")
+        acc.download_declared("a")
+        assert acc.profiler.memcpy_h2d == 2 and acc.profiler.memcpy_d2h == 2
+        assert acc.profiler.transfer_bytes() == 4096
+
+    def test_negative_declare(self):
+        acc = Accelerator(K40)
+        with pytest.raises(RuntimeError_):
+            acc.declare(a=-1)
+
+    def test_non_array_rejected(self):
+        acc = Accelerator(K40)
+        with pytest.raises(RuntimeError_):
+            acc.to_device(a=[1, 2, 3])
+
+
+class TestLaunch:
+    def test_functional_execution(self):
+        acc = Accelerator(K40)
+        acc.to_device(a=np.arange(8, dtype=np.float64))
+        record = acc.launch(compiled_kernel(), n=8)
+        assert record.executed_functionally
+        assert np.allclose(acc.buffer("a"), np.arange(8) * 2)
+
+    def test_modeled_only(self):
+        acc = Accelerator(K40)
+        acc.declare(a=1 << 20)
+        record = acc.launch(compiled_kernel(), n=1 << 18)
+        assert not record.executed_functionally
+        assert record.seconds > 0
+
+    def test_missing_scalar(self):
+        acc = Accelerator(K40)
+        acc.to_device(a=np.zeros(4))
+        with pytest.raises(RuntimeError_):
+            acc.launch(compiled_kernel())
+
+    def test_missing_array(self):
+        acc = Accelerator(K40)
+        with pytest.raises(RuntimeError_):
+            acc.launch(compiled_kernel(), n=4)
+
+    def test_elapsed_accumulates(self):
+        acc = Accelerator(K40)
+        acc.declare(a=1024)
+        acc.upload_declared("a")
+        acc.launch(compiled_kernel(), n=64)
+        assert acc.elapsed_s == pytest.approx(acc.profiler.total_s)
+        acc.reset_timeline()
+        assert acc.elapsed_s == 0.0
+
+    def test_host_compute_scaled_by_toolchain(self):
+        gcc = Accelerator(K40, toolchain=GCC)
+        icc = Accelerator(K40, toolchain=ICC)
+        gcc.host_compute("x", 1.0)
+        icc.host_compute("x", 1.0)
+        assert icc.elapsed_s < gcc.elapsed_s
+
+
+class TestProfiler:
+    def test_report_text(self):
+        acc = Accelerator(K40)
+        acc.to_device(a=np.zeros(4))
+        acc.launch(compiled_kernel(), n=4)
+        text = acc.profiler.report()
+        assert "h2d" in text and "launch" in text and "total" in text
+
+    def test_negative_duration_rejected(self):
+        acc = Accelerator(K40)
+        with pytest.raises(ValueError):
+            acc.profiler.record("h2d", "x", -1.0)
+
+    def test_device_kernel_launches_excludes_host(self):
+        acc = Accelerator(K40)
+        acc.profiler.record("launch", "k", 0.1, device="host")
+        acc.profiler.record("launch", "k", 0.1, device="NVIDIA Tesla K40")
+        assert acc.profiler.kernel_launches == 2
+        assert acc.profiler.device_kernel_launches() == 1
+
+    def test_time_by_kind(self):
+        acc = Accelerator(K40)
+        acc.profiler.record("h2d", "a", 0.5)
+        acc.profiler.record("h2d", "b", 0.25)
+        assert acc.profiler.time_by_kind()["h2d"] == pytest.approx(0.75)
