@@ -1,0 +1,41 @@
+"""Bench: the compile-service cache on the Fig. 4 LUD heat-map sweep.
+
+The cold run compiles every (gang, worker) point of the Figure 4 grid;
+the warm run replays the identical sweep against the populated cache and
+must perform **zero** recompilations (verified through the service
+metrics, not timing noise).
+"""
+
+from repro.core.search import lud_heatmap
+from repro.devices import K40
+from repro.kernels import get_benchmark
+from repro.service import CompileService
+
+
+def _sweep(service):
+    return lud_heatmap(get_benchmark("lud"), K40, "caps", n=2048,
+                       service=service)
+
+
+def test_fig4_sweep_cold(benchmark):
+    service = CompileService()
+    heatmap = benchmark.pedantic(
+        _sweep, args=(service,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    grid_points = len(heatmap.times) * len(heatmap.times[0])
+    assert service.metrics.compiles == grid_points
+    assert service.metrics.cache_hits == 0
+
+
+def test_fig4_sweep_warm_is_compile_free(benchmark):
+    service = CompileService()
+    cold = _sweep(service)  # populate the cache outside the timed region
+    compiles_after_cold = service.metrics.compiles
+    assert compiles_after_cold == len(cold.times) * len(cold.times[0])
+
+    warm = benchmark.pedantic(
+        _sweep, args=(service,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert service.metrics.compiles == compiles_after_cold  # 0 recompiles
+    assert service.metrics.cache_hits >= compiles_after_cold
+    assert warm.times == cold.times

@@ -10,6 +10,11 @@ Commands:
 * ``experiment ID``  — regenerate one paper table/figure (or ``all``).
 * ``heatmap``        — the Fig. 4 thread-distribution heat map.
 * ``autotune``       — the future-work auto-tuner on LUD.
+
+``experiment``, ``heatmap``, and ``autotune`` accept ``--jobs N`` and
+``--cache-dir PATH`` to route compilations through the
+:mod:`repro.service` compile cache / worker pool (see docs/SERVICE.md);
+output is byte-identical to the serial, cache-free default.
 """
 
 from __future__ import annotations
@@ -85,8 +90,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_from_args(args: argparse.Namespace):
+    """Build a CompileService from --jobs/--cache-dir (None if defaults)."""
+    from .service import CompileService
+    from .service.cache import ArtifactCache
+
+    if args.jobs == 1 and args.cache_dir is None:
+        return None
+    return CompileService(
+        cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs
+    )
+
+
+def _print_service_stats(service) -> None:
+    if service is not None:
+        print()
+        print("\n".join(service.report_lines()))
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import ALL_EXPERIMENTS
+    from .service import configure_default_service, get_default_service
+
+    if args.jobs != 1 or args.cache_dir is not None:
+        # the experiment drivers share the process-wide default service
+        configure_default_service(jobs=args.jobs, cache_dir=args.cache_dir)
 
     names = list(ALL_EXPERIMENTS) if "all" in args.ids else args.ids
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -100,6 +128,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(result.report())
         print()
         failures += len(result.failed_claims())
+    if args.jobs != 1 or args.cache_dir is not None:
+        _print_service_stats(get_default_service())
     return 1 if failures else 0
 
 
@@ -109,9 +139,11 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
     from .kernels import get_benchmark
 
     device = device_by_name(args.device)
+    service = _service_from_args(args)
     heatmap = lud_heatmap(get_benchmark("lud"), device, args.compiler,
-                          n=args.size)
+                          n=args.size, service=service, jobs=args.jobs)
     print(heatmap.render())
+    _print_service_stats(service)
     return 0
 
 
@@ -121,13 +153,26 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
         hill_climb_tune,
         make_lud_evaluator,
         portable_tune,
+        prewarm_lud_grid,
     )
     from .devices import K40, PHI_5110P
     from .kernels import get_benchmark
+    from .service import CompileService
+    from .service.cache import ArtifactCache
 
     bench = get_benchmark("lud")
-    ev_gpu = make_lud_evaluator(bench, K40, n=args.size)
-    ev_mic = make_lud_evaluator(bench, PHI_5110P, n=args.size)
+    # tuners always share one service: the exhaustive sweep, the hill
+    # climber, and the portable tuner revisit the same configurations
+    service = CompileService(
+        cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs
+    )
+    if args.jobs > 1:
+        # fan the whole candidate grid over the worker pool up front;
+        # the (serial) tuning loops below then run compile-free
+        prewarm_lud_grid(bench, K40, service)
+        prewarm_lud_grid(bench, PHI_5110P, service)
+    ev_gpu = make_lud_evaluator(bench, K40, n=args.size, service=service)
+    ev_mic = make_lud_evaluator(bench, PHI_5110P, n=args.size, service=service)
     print("exhaustive (K40):  ", exhaustive_tune(ev_gpu,
                                                  device_name="K40").describe())
     print("hill climb (K40):  ", hill_climb_tune(ev_gpu,
@@ -136,6 +181,8 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     print("portable (GPU+MIC):", portable.describe())
     for name, seconds in sorted(per_device.items()):
         print(f"  {name}: {seconds:.4g}s")
+    if args.jobs != 1 or args.cache_dir is not None:
+        _print_service_stats(service)
     return 0
 
 
@@ -169,20 +216,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="include the hand-written OpenCL version")
     p.set_defaults(func=_cmd_bench)
 
+    def add_service_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="compile sweep points on N worker threads (results are "
+                 "deterministic and identical to --jobs 1)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="persist compiled artifacts to PATH (content-addressed; "
+                 "a warm cache makes re-sweeps compile-free)",
+        )
+
     p = sub.add_parser("experiment", help="regenerate paper tables/figures")
     p.add_argument("ids", nargs="+",
                    help="experiment ids (e.g. fig3 table7) or 'all'")
     p.add_argument("--paper-scale", action="store_true")
+    add_service_flags(p)
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("heatmap", help="the Fig. 4 heat map")
     p.add_argument("--device", default="gpu")
     p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
     p.add_argument("--size", type=int, default=2048)
+    add_service_flags(p)
     p.set_defaults(func=_cmd_heatmap)
 
     p = sub.add_parser("autotune", help="auto-tune LUD thread distribution")
     p.add_argument("--size", type=int, default=1024)
+    add_service_flags(p)
     p.set_defaults(func=_cmd_autotune)
 
     return parser

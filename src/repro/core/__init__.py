@@ -7,6 +7,7 @@ from .autotune import (
     hill_climb_tune,
     make_lud_evaluator,
     portable_tune,
+    prewarm_lud_grid,
 )
 from .method import (
     MethodEvaluation,
@@ -18,7 +19,13 @@ from .method import (
     run_stage,
 )
 from .ppr import PprEntry, format_ppr_table, ppr
-from .search import DEFAULT_GANGS, DEFAULT_WORKERS, HeatMap, lud_heatmap
+from .search import (
+    DEFAULT_GANGS,
+    DEFAULT_WORKERS,
+    HeatMap,
+    distribution_requests,
+    lud_heatmap,
+)
 
 __all__ = [
     "DEFAULT_GANGS",
@@ -29,6 +36,7 @@ __all__ = [
     "StageResult",
     "TuneResult",
     "compile_stage",
+    "distribution_requests",
     "exhaustive_tune",
     "format_ppr_table",
     "format_rows",
@@ -37,6 +45,7 @@ __all__ = [
     "lud_heatmap",
     "portable_tune",
     "ppr",
+    "prewarm_lud_grid",
     "ptx_profile",
     "run_opencl",
     "run_stage",

@@ -28,8 +28,10 @@ from typing import Callable, Iterable
 from ..devices.specs import DeviceSpec
 from ..kernels.base import Benchmark
 from ..runtime.launcher import Accelerator
+from ..service.scheduler import CompileService
 from ..transforms.distribute import set_gang_worker
 from .method import compile_stage
+from .search import distribution_requests
 
 GANG_CANDIDATES = (1, 16, 32, 64, 128, 192, 240, 256, 512, 1024)
 WORKER_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -59,9 +61,16 @@ def make_lud_evaluator(
     compiler: str = "caps",
     n: int = 1024,
     samples: int = 8,
+    service: CompileService | None = None,
 ) -> Callable[[int, int], float]:
     """An ``f(gang, worker) -> seconds`` objective for the LUD benchmark,
-    sampling the host pivot loop like the Fig. 4 heat-map search."""
+    sampling the host pivot loop like the Fig. 4 heat-map search.
+
+    With a shared ``service``, every configuration compiles at most once
+    per process — the exhaustive sweep, the hill climber, and the
+    portable tuner all revisit the same (gang, worker) points, and the
+    content-addressed cache makes every revisit compile-free.
+    """
     base = benchmark.module()
     target = "cuda" if device.kind.value == "gpu" else "opencl"
     sample_is = [max(1, (n * (2 * s + 1)) // (2 * samples)) for s in range(samples)]
@@ -72,8 +81,10 @@ def make_lud_evaluator(
             j_loop = kernel.loop_by_var("j")
             module.kernels.append(set_gang_worker(kernel, j_loop.loop_id,
                                                   gang, worker))
-        compiled = compile_stage(module, compiler, target)
+        compiled = compile_stage(module, compiler, target, service=service)
         accelerator = Accelerator(device)
+        if service is not None:
+            accelerator.profiler.attach_service(service)
         accelerator.declare(a=n * n * 4)
         total = 0.0
         for i in sample_is:
@@ -82,6 +93,25 @@ def make_lud_evaluator(
         return total * (n / samples)
 
     return evaluate
+
+
+def prewarm_lud_grid(
+    benchmark: Benchmark,
+    device: DeviceSpec,
+    service: CompileService,
+    compiler: str = "caps",
+    gangs: Iterable[int] = GANG_CANDIDATES,
+    workers: Iterable[int] = WORKER_CANDIDATES,
+) -> int:
+    """Fan the whole candidate grid's compiles out over the service's
+    worker pool before tuning starts; returns the number of grid points
+    that compiled cleanly.  Tuner evaluations then hit the cache only."""
+    target = "cuda" if device.kind.value == "gpu" else "opencl"
+    requests = distribution_requests(
+        benchmark, compiler, target, tuple(gangs), tuple(workers)
+    )
+    results = service.sweep(requests)
+    return sum(1 for result in results if not isinstance(result, Exception))
 
 
 def exhaustive_tune(

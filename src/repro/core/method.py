@@ -104,8 +104,17 @@ def compile_stage(
     compiler: str,
     target: str,
     flags: FlagSet | None = None,
+    service=None,
 ) -> CompilationResult:
-    """Compile one stage module with the named tool-chain."""
+    """Compile one stage module with the named tool-chain.
+
+    Passing a :class:`repro.service.CompileService` routes the request
+    through its content-addressed cache (and, for batch callers, its
+    worker pool); the result is observationally identical to a direct
+    compile.
+    """
+    if service is not None:
+        return service.compile(module, compiler, target, flags)
     if compiler.lower() == "caps":
         return CapsCompiler(flags).compile(module, target)
     if compiler.lower() == "pgi":
@@ -124,11 +133,19 @@ def run_stage(
     flags: FlagSet | None = None,
     toolchain: HostToolchain = GCC,
     validate_inputs: dict[str, object] | None = None,
+    service=None,
     **run_kwargs,
 ) -> StageResult:
-    """Compile + drive one optimization stage on one device."""
+    """Compile + drive one optimization stage on one device.
+
+    ``service`` (a :class:`repro.service.CompileService`) memoizes the
+    compile across repeated stage evaluations; its metrics are attached
+    to the accelerator's profiler so ``Profiler.report()`` shows the
+    cache/service section.
+    """
     try:
-        compiled = compile_stage(module, compiler, target, flags)
+        compiled = compile_stage(module, compiler, target, flags,
+                                 service=service)
     except CompilationError as exc:
         return StageResult(
             benchmark=benchmark.meta.short,
@@ -142,6 +159,8 @@ def run_stage(
         )
 
     accelerator = Accelerator(device, toolchain=toolchain)
+    if service is not None:
+        accelerator.profiler.attach_service(service)
     result = benchmark.run(accelerator, compiled, n, inputs=None, **run_kwargs)
 
     correct: bool | None = None

@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 from ..devices.specs import DeviceSpec
 from ..kernels.base import Benchmark
 from ..runtime.launcher import Accelerator
+from ..service.fingerprint import CompileRequest
+from ..service.scheduler import CompileService
 from ..transforms.distribute import set_gang_worker
-from .method import compile_stage
 
 DEFAULT_GANGS = (1, 16, 64, 128, 192, 256, 512, 1024)
 DEFAULT_WORKERS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -81,6 +82,39 @@ class HeatMap:
         return "\n".join(lines)
 
 
+def distribution_requests(
+    benchmark: Benchmark,
+    compiler: str,
+    target: str,
+    gangs: tuple[int, ...],
+    workers: tuple[int, ...],
+) -> list[CompileRequest]:
+    """Materialize the (gang, worker) grid as compile requests, in
+    row-major sweep order.
+
+    Built serially by the caller thread so IR loop ids (allocated by the
+    clone-free transforms) are identical no matter how many workers later
+    compile the requests — the determinism contract of the scheduler.
+    """
+    base = benchmark.module()
+    requests: list[CompileRequest] = []
+    for gang in gangs:
+        for worker in workers:
+            module = base.__class__(base.name, [])
+            for kernel in base.kernels:
+                j_loop = kernel.loop_by_var("j")
+                module.kernels.append(
+                    set_gang_worker(kernel, j_loop.loop_id, gang, worker)
+                )
+            requests.append(
+                CompileRequest(
+                    module, compiler, target,
+                    label=f"{benchmark.meta.short} g{gang} w{worker}",
+                )
+            )
+    return requests
+
+
 def lud_heatmap(
     benchmark: Benchmark,
     device: DeviceSpec,
@@ -89,27 +123,35 @@ def lud_heatmap(
     gangs: tuple[int, ...] = DEFAULT_GANGS,
     workers: tuple[int, ...] = DEFAULT_WORKERS,
     samples: int = 8,
+    service: CompileService | None = None,
+    jobs: int = 1,
 ) -> HeatMap:
     """Figure 4: LUD elapsed time across thread distributions.
 
     Samples ``samples`` evenly spaced host iterations and extrapolates to
     the full factorization (the per-iteration cost varies smoothly in i).
+
+    The grid's compiles go through a :class:`CompileService` — pass one
+    to share its artifact cache across sweeps (a warm re-sweep performs
+    zero recompilations), or ``jobs=N`` to fan this sweep's compiles over
+    an ephemeral N-worker service.  Results are deterministic either way.
     """
-    base = benchmark.module()
     sample_is = [max(1, (n * (2 * s + 1)) // (2 * samples)) for s in range(samples)]
+    target = "cuda" if device.kind.value == "gpu" else "opencl"
+    if service is None:
+        service = CompileService(jobs=jobs)
+    requests = distribution_requests(benchmark, compiler, target, gangs,
+                                     workers)
+    compiled_grid = service.compile_many(requests)
+
     times: list[list[float]] = []
+    point = iter(compiled_grid)
     for gang in gangs:
         row: list[float] = []
         for worker in workers:
-            module = base.__class__(base.name, [])
-            for kernel in base.kernels:
-                j_loop = kernel.loop_by_var("j")
-                module.kernels.append(
-                    set_gang_worker(kernel, j_loop.loop_id, gang, worker)
-                )
-            compiled = compile_stage(module, compiler, "cuda" if
-                                     device.kind.value == "gpu" else "opencl")
+            compiled = next(point)
             accelerator = Accelerator(device)
+            accelerator.profiler.attach_service(service)
             accelerator.declare(a=n * n * 4)
             total = 0.0
             for i in sample_is:

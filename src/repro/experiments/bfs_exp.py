@@ -14,6 +14,7 @@ from ..core.method import (
 from ..devices.specs import K40, PHI_5110P
 from ..kernels import get_benchmark
 from ..ptx.counter import format_comparison
+from ..service import get_default_service
 from .common import Claim, ExperimentResult, ordering_claim, ratio_claim, size_for
 
 LEVELS = 12
@@ -34,10 +35,11 @@ def fig10(paper_scale: bool = False) -> ExperimentResult:
         ("indep", "caps", "opencl", PHI_5110P),
         ("indep", "pgi", "cuda", K40),
     ]
+    service = get_default_service()
     for stage, compiler, target, device in matrix:
         rows.append(
             run_stage(bench, stages[stage], stage, compiler, target, device, n,
-                      levels=LEVELS)
+                      levels=LEVELS, service=service)
         )
     rows.append(run_opencl(bench, "opencl", K40, n, levels=LEVELS))
     rows.append(run_opencl(bench, "opencl", PHI_5110P, n, levels=LEVELS))
@@ -110,18 +112,24 @@ def fig11(paper_scale: bool = False) -> ExperimentResult:
     bench = get_benchmark("bfs")
     stages = bench.stages()
 
-    caps_base = ptx_profile(compile_stage(stages["base"], "caps", "cuda"))
-    caps_regrouped = ptx_profile(
-        compile_stage(stages["regrouped"], "caps", "cuda")
+    service = get_default_service()  # reuses fig10's compiled artifacts
+    caps_base = ptx_profile(
+        compile_stage(stages["base"], "caps", "cuda", service=service)
     )
-    pgi_base = ptx_profile(compile_stage(stages["base"], "pgi", "cuda"))
+    caps_regrouped = ptx_profile(
+        compile_stage(stages["regrouped"], "caps", "cuda", service=service)
+    )
+    pgi_base = ptx_profile(
+        compile_stage(stages["base"], "pgi", "cuda", service=service)
+    )
     pgi_regrouped = ptx_profile(
-        compile_stage(stages["regrouped"], "pgi", "cuda")
+        compile_stage(stages["regrouped"], "pgi", "cuda", service=service)
     )
     ocl = ptx_profile(NvidiaOpenCLCompiler().compile(bench.opencl_program()))
 
     # the regrouped PGI version parallelizes: the 128x1 columns of Fig. 11
-    pgi_compiled = compile_stage(stages["regrouped"], "pgi", "cuda")
+    pgi_compiled = compile_stage(stages["regrouped"], "pgi", "cuda",
+                                 service=service)
     parallel_modes = [
         bool(k.parallel_loop_ids) and not k.elided for k in pgi_compiled.kernels
     ]

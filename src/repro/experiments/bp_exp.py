@@ -15,6 +15,7 @@ from ..devices.specs import K40, PHI_5110P
 from ..kernels import get_benchmark
 from ..ptx.counter import format_comparison
 from ..ptx.isa import Category
+from ..service import get_default_service
 from .common import Claim, ExperimentResult, ordering_claim, ratio_claim, size_for
 
 
@@ -39,13 +40,14 @@ def fig12(paper_scale: bool = False) -> ExperimentResult:
         ("reduction", "caps", "opencl", PHI_5110P),
         ("reduction", "pgi", "cuda", K40),
     ]
+    service = get_default_service()
     validate_inputs = bench.inputs(bench.meta.test_size)
     for stage, compiler, target, device in matrix:
         # functional validation alongside the model run: catches the CAPS
         # broken reduction on MIC
         rows.append(
             run_stage(bench, stages[stage], stage, compiler, target, device, n,
-                      validate_inputs=dict(validate_inputs))
+                      validate_inputs=dict(validate_inputs), service=service)
         )
     rows.append(run_opencl(bench, "opencl", K40, n))
     rows.append(run_opencl(bench, "opencl", PHI_5110P, n))
@@ -122,7 +124,8 @@ def fig12(paper_scale: bool = False) -> ExperimentResult:
 def fig13(paper_scale: bool = False) -> ExperimentResult:
     """Figure 13: the CUDA shared-memory tree reduction skeleton."""
     bench = get_benchmark("bp")
-    compiled = compile_stage(bench.stages()["reduction"], "pgi", "cuda")
+    compiled = compile_stage(bench.stages()["reduction"], "pgi", "cuda",
+                             service=get_default_service())
     ptx = compiled.kernel("bp_layer_forward").ptx
     assert ptx is not None
     ops = ptx.opcodes()
@@ -147,12 +150,17 @@ def fig14(paper_scale: bool = False) -> ExperimentResult:
     bench = get_benchmark("bp")
     stages = bench.stages()
 
+    service = get_default_service()  # reuses fig12's compiled artifacts
     caps = {
-        stage: ptx_profile(compile_stage(stages[stage], "caps", "cuda"))
+        stage: ptx_profile(
+            compile_stage(stages[stage], "caps", "cuda", service=service)
+        )
         for stage in ("base", "indep", "unroll", "reduction")
     }
     pgi = {
-        stage: ptx_profile(compile_stage(stages[stage], "pgi", "cuda"))
+        stage: ptx_profile(
+            compile_stage(stages[stage], "pgi", "cuda", service=service)
+        )
         for stage in ("base", "indep", "unroll", "reduction")
     }
     ocl = ptx_profile(NvidiaOpenCLCompiler().compile(bench.opencl_program()))

@@ -16,6 +16,7 @@ from ..core.method import (
 from ..devices.specs import K40, PHI_5110P
 from ..kernels import get_benchmark
 from ..ptx.counter import InstructionProfile, format_comparison
+from ..service import get_default_service
 from .common import Claim, ExperimentResult, ordering_claim, ratio_claim, size_for
 
 
@@ -46,11 +47,12 @@ def fig7(paper_scale: bool = False) -> ExperimentResult:
         ("reorganized", "caps", "cuda", K40),
         ("reorganized", "caps", "opencl", PHI_5110P),
     ]
+    service = get_default_service()
     for stage, compiler, target, device in matrix:
         flags = _pgi_flags(stage) if compiler == "pgi" else None
         rows.append(
             run_stage(bench, stages[stage], stage, compiler, target, device, n,
-                      flags=flags)
+                      flags=flags, service=service)
         )
     # the hand-written OpenCL baseline and the advanced-distribution variant
     rows.append(run_opencl(bench, "opencl-base", K40, n))
@@ -152,13 +154,17 @@ def fig9(paper_scale: bool = False) -> ExperimentResult:
     bench = get_benchmark("ge")
     stages = bench.stages()
 
+    service = get_default_service()  # reuses fig7's compiled artifacts
     caps = {
-        stage: ptx_profile(compile_stage(stages[stage], "caps", "cuda"))
+        stage: ptx_profile(
+            compile_stage(stages[stage], "caps", "cuda", service=service)
+        )
         for stage in ("base", "indep", "unroll", "tile", "reorganized")
     }
     pgi = {
         stage: ptx_profile(
-            compile_stage(stages[stage], "pgi", "cuda", _pgi_flags(stage))
+            compile_stage(stages[stage], "pgi", "cuda", _pgi_flags(stage),
+                          service=service)
         )
         for stage in ("base", "indep", "unroll")
     }

@@ -7,6 +7,7 @@ from ..core.method import StageResult, format_rows, run_stage
 from ..core.search import lud_heatmap
 from ..devices.specs import K40, PHI_5110P
 from ..kernels import get_benchmark
+from ..service import get_default_service
 from .common import Claim, ExperimentResult, ordering_claim, ratio_claim, size_for
 
 #: stages of Fig. 3 and the compilers that run them (PGI supports no tiling:
@@ -41,12 +42,13 @@ def fig3(paper_scale: bool = False) -> ExperimentResult:
     n = size_for("lud", paper_scale)
     stages = bench.stages()
 
+    service = get_default_service()
     rows: list[StageResult] = []
     for stage, compiler, target, device in FIG3_MATRIX:
         flags = _pgi_flags(stage) if compiler == "pgi" else None
         rows.append(
             run_stage(bench, stages[stage], stage, compiler, target,
-                      _DEVICES[device], n, flags=flags)
+                      _DEVICES[device], n, flags=flags, service=service)
         )
 
     def t(stage: str, compiler: str, device: str) -> float:
@@ -97,9 +99,11 @@ def fig4(paper_scale: bool = False) -> ExperimentResult:
     # the heat-map structure needs enough per-launch parallelism to
     # resolve; below ~2048 the model plateaus into ties
     n = max(size_for("lud", paper_scale), 2048)
-    gpu_caps = lud_heatmap(bench, K40, "caps", n)
-    gpu_pgi = lud_heatmap(bench, K40, "pgi", n)
-    mic_caps = lud_heatmap(bench, PHI_5110P, "caps", n)
+    # one shared service: the three maps reuse cached artifacts on re-runs
+    service = get_default_service()
+    gpu_caps = lud_heatmap(bench, K40, "caps", n, service=service)
+    gpu_pgi = lud_heatmap(bench, K40, "pgi", n, service=service)
+    mic_caps = lud_heatmap(bench, PHI_5110P, "caps", n, service=service)
 
     cg, cw, _ = gpu_caps.best()
     pg, pw, _ = gpu_pgi.best()
@@ -148,15 +152,16 @@ def fig6(paper_scale: bool = False) -> ExperimentResult:
 
     bench = get_benchmark("lud")
     stages = bench.stages()
+    service = get_default_service()  # reuses fig3's compiled artifacts
     profiles = {}
     for stage in ("base", "threaddist", "unroll", "tile"):
         profiles[("caps", stage)] = ptx_profile(
-            compile_stage(stages[stage], "caps", "cuda")
+            compile_stage(stages[stage], "caps", "cuda", service=service)
         )
     for stage in ("base", "threaddist", "unroll"):
         profiles[("pgi", stage)] = ptx_profile(
             compile_stage(stages[stage], "pgi", "cuda",
-                          _pgi_flags(stage))
+                          _pgi_flags(stage), service=service)
         )
 
     caps_base = profiles[("caps", "base")]

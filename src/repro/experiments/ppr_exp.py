@@ -15,6 +15,7 @@ from ..core.method import run_opencl, run_stage
 from ..core.ppr import PprEntry, format_ppr_table
 from ..devices.specs import ICC, K40, PHI_5110P
 from ..kernels import get_benchmark
+from ..service import get_default_service
 from .common import Claim, ExperimentResult, size_for
 
 #: the optimized OpenACC stage per benchmark (the paper's best version)
@@ -34,6 +35,7 @@ _RUN_KWARGS = {
 def fig16(paper_scale: bool = False) -> ExperimentResult:
     """Figure 16: PPR of optimized CAPS OpenACC vs OpenCL."""
     entries: list[PprEntry] = []
+    service = get_default_service()  # shares artifacts with fig7/10/12/15
     for short, stage in OPTIMIZED_STAGE.items():
         bench = get_benchmark(short)
         n = size_for(short, paper_scale)
@@ -42,9 +44,10 @@ def fig16(paper_scale: bool = False) -> ExperimentResult:
 
         # optimized OpenACC: CAPS CUDA on the K40, CAPS OpenCL on the MIC
         acc_gpu = run_stage(bench, stages[stage], stage, "caps", "cuda",
-                            K40, n, toolchain=ICC, **kwargs)
+                            K40, n, toolchain=ICC, service=service, **kwargs)
         acc_mic = run_stage(bench, stages[stage], stage, "caps", "opencl",
-                            PHI_5110P, n, toolchain=ICC, **kwargs)
+                            PHI_5110P, n, toolchain=ICC, service=service,
+                            **kwargs)
         entries.append(
             PprEntry(f"{short} OAC-OCL 5110P / OAC-CUDA K40", short,
                      "openacc", acc_mic.elapsed_s, acc_gpu.elapsed_s)

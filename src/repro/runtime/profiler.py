@@ -29,6 +29,20 @@ class ProfileEvent:
 @dataclass
 class Profiler:
     events: list[ProfileEvent] = field(default_factory=list)
+    #: an attached compile-service view (any object with ``report_lines()``,
+    #: e.g. :class:`repro.service.CompileService` or ``ServiceMetrics``);
+    #: duck-typed so the runtime layer stays independent of the service layer
+    service: object | None = None
+
+    def attach_service(self, service: object) -> None:
+        """Surface a compile service's cache/latency counters in
+        :meth:`report` (the nvprof stand-in gains the compile-cache view)."""
+        if not hasattr(service, "report_lines"):
+            raise TypeError(
+                "attach_service expects an object with report_lines(), got "
+                f"{type(service).__name__}"
+            )
+        self.service = service
 
     def record(self, kind: str, label: str, seconds: float, nbytes: int = 0,
                device: str = "") -> None:
@@ -87,6 +101,8 @@ class Profiler:
             f"({self.memcpy_h2d} H2D, {self.memcpy_d2h} D2H, "
             f"{self.kernel_launches} launches)"
         )
+        if self.service is not None:
+            lines.extend(self.service.report_lines())  # type: ignore[attr-defined]
         return "\n".join(lines)
 
     def clear(self) -> None:

@@ -1,0 +1,51 @@
+"""repro.service — content-addressed compilation cache + sweep scheduler.
+
+The paper's methodology is sweep-shaped: the Fig. 4 heat maps, the PPR
+table, and the auto-tuner all push the *same* kernels through the same
+compiler models at dozens of (compiler, flags, target, distribution)
+points.  This package turns those repeated compiles into a service:
+
+* :mod:`.fingerprint` — stable content addresses of compile requests;
+* :mod:`.cache` — two-tier (LRU memory + optional on-disk) artifact cache;
+* :mod:`.scheduler` — :class:`CompileService`: dedup, worker pool,
+  deterministic batch results, structured per-point errors;
+* :mod:`.metrics` — request/hit/latency counters, surfaced through
+  :meth:`repro.runtime.profiler.Profiler.report`.
+
+See ``docs/SERVICE.md`` for the architecture.
+"""
+
+from .cache import MISS, ArtifactCache, CacheStats
+from .fingerprint import (
+    COMPILER_VERSIONS,
+    CompileRequest,
+    canonical_flags,
+    fingerprint_parts,
+    fingerprint_request,
+)
+from .metrics import ServiceMetrics, percentile
+from .scheduler import (
+    CompileService,
+    JobError,
+    configure_default_service,
+    get_default_service,
+    reset_default_service,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "COMPILER_VERSIONS",
+    "CacheStats",
+    "CompileRequest",
+    "CompileService",
+    "JobError",
+    "MISS",
+    "ServiceMetrics",
+    "canonical_flags",
+    "configure_default_service",
+    "fingerprint_parts",
+    "fingerprint_request",
+    "get_default_service",
+    "percentile",
+    "reset_default_service",
+]

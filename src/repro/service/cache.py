@@ -1,0 +1,185 @@
+"""Two-tier content-addressed artifact cache.
+
+Tier 1 is an in-process LRU bounded by ``max_entries``; tier 2 is an
+optional on-disk store (one pickle per fingerprint under ``cache_dir``)
+that survives the process and is shared between runs — the warm-sweep
+path of the Fig. 4 heat maps and the auto-tuner.
+
+The cache must be an *invisible* optimization: ``get`` and ``put`` both
+deep-copy, so no two callers ever alias the same artifact object, and a
+cache hit is observationally identical to a fresh compile (byte-identical
+PTX, identical instruction counters).  Failures are cacheable too — the
+compiler models are deterministic, so a module PGI rejects today it will
+reject tomorrow; the scheduler stores a marker and replays the error.
+
+All operations are thread-safe (the scheduler's worker pool shares one
+cache).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: returned by :meth:`ArtifactCache.get` on a miss (``None`` is a valid
+#: cached value in principle, so a dedicated sentinel keeps it unambiguous)
+MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    disk_stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "disk_stores": self.disk_stores,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ArtifactCache:
+    """LRU memory tier + optional pickle-per-fingerprint disk tier."""
+
+    max_entries: int = 512
+    cache_dir: str | os.PathLike[str] | None = None
+    #: deep-copy artifacts on the way in and out so cached state can never
+    #: be mutated through an alias; disable only for frozen artifacts.
+    copy_on_hit: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+            except FileExistsError:
+                raise NotADirectoryError(
+                    f"cache dir {self.cache_dir} exists and is not a directory"
+                ) from None
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Any:
+        """The artifact stored under *fingerprint*, or :data:`MISS`."""
+        with self._lock:
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+                self.stats.memory_hits += 1
+                return self._out(self._entries[fingerprint])
+            artifact = self._disk_load(fingerprint)
+            if artifact is not MISS:
+                self.stats.disk_hits += 1
+                self._install(fingerprint, artifact)
+                return self._out(artifact)
+            self.stats.misses += 1
+            return MISS
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return (
+                fingerprint in self._entries
+                or self._disk_path(fingerprint) is not None
+                and self._disk_path(fingerprint).exists()  # type: ignore[union-attr]
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- store ----------------------------------------------------------------
+
+    def put(self, fingerprint: str, artifact: Any) -> None:
+        """Store *artifact* in both tiers under *fingerprint*."""
+        with self._lock:
+            self.stats.stores += 1
+            self._install(fingerprint, self._in(artifact))
+            self._disk_store(fingerprint, artifact)
+
+    def clear(self, memory_only: bool = True) -> None:
+        """Drop the memory tier (and the disk tier if asked)."""
+        with self._lock:
+            self._entries.clear()
+            if not memory_only and self.cache_dir is not None:
+                for path in Path(self.cache_dir).glob("*.pkl"):
+                    path.unlink(missing_ok=True)
+
+    # -- internals -------------------------------------------------------------
+
+    def _out(self, artifact: Any) -> Any:
+        return copy.deepcopy(artifact) if self.copy_on_hit else artifact
+
+    def _in(self, artifact: Any) -> Any:
+        return copy.deepcopy(artifact) if self.copy_on_hit else artifact
+
+    def _install(self, fingerprint: str, artifact: Any) -> None:
+        self._entries[fingerprint] = artifact
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, fingerprint: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return Path(self.cache_dir) / f"{fingerprint}.pkl"
+
+    def _disk_load(self, fingerprint: str) -> Any:
+        path = self._disk_path(fingerprint)
+        if path is None or not path.exists():
+            return MISS
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # a truncated/corrupt entry is a miss, not an error;
+            # drop it so the fresh artifact replaces it
+            path.unlink(missing_ok=True)
+            return MISS
+
+    def _disk_store(self, fingerprint: str, artifact: Any) -> None:
+        path = self._disk_path(fingerprint)
+        if path is None:
+            return
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic publish: readers never see partial
+            self.stats.disk_stores += 1
+        except Exception:
+            tmp.unlink(missing_ok=True)  # disk tier is best-effort

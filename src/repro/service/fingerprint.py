@@ -1,0 +1,148 @@
+"""Content-addressed fingerprints of compilation requests.
+
+A fingerprint is a stable SHA-256 digest of everything that determines a
+compiler model's output:
+
+* the kernel **source** — the module's canonical mini-C rendering (the
+  :mod:`repro.ir.printer` round-trip form), which captures every pragma
+  the transforms attach (``gang(n)``, ``worker(n)``, blocksize, unroll,
+  tile), so two IR instances that print identically compile identically;
+* the **compiler** identity and its modeled version (CAPS 3.4.1,
+  PGI 14.9 — the paper's tool-chain);
+* the **target** (``cuda`` / ``opencl``);
+* the **flag set**, canonicalized so semantically-insignificant flag
+  *order* does not perturb the digest (``-O4 -fast`` == ``-fast -O4``)
+  while any flag *change* does;
+* optionally the **device spec**, for callers whose artifacts are
+  device-scoped (compilation itself is device-independent in this
+  tool-chain, so most callers leave it unset).
+
+Fingerprints are the keys of :class:`repro.service.cache.ArtifactCache`
+and the dedup identity of :class:`repro.service.scheduler.CompileService`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..compilers.flags import FlagSet
+from ..devices.specs import DeviceSpec
+from ..ir.printer import print_module
+from ..ir.stmt import Module
+
+#: modeled tool-chain versions (paper section IV-A); part of every
+#: fingerprint so a future version bump invalidates stale artifacts.
+COMPILER_VERSIONS: dict[str, str] = {
+    "caps": "3.4.1",
+    "pgi": "14.9",
+    "opencl": "1.2",
+}
+
+#: fingerprint schema version — bump when the canonical form changes.
+SCHEMA = "repro-fp-v1"
+
+_GRID_BLOCK_PREFIX = "-Xhmppcg"
+
+
+def canonical_flags(flags: FlagSet | None) -> tuple[str, ...]:
+    """A canonical, order-insensitive rendering of a flag set.
+
+    The ``-Xhmppcg -grid-block-size,WxH`` spelling and an explicit
+    ``gridify_blocksize=(W, H)`` are the same request, so both collapse
+    to one ``grid-block-size=WxH`` token; the remaining flags are
+    deduplicated and sorted (every modeled flag is a predicate the
+    compilers query with :meth:`FlagSet.has`, so order carries no
+    semantics).
+    """
+    if flags is None:
+        return ("<default-flags>",)
+    semantic = sorted(
+        {f for f in flags.flags if not f.startswith(_GRID_BLOCK_PREFIX)}
+    )
+    parts = [f"compiler={flags.compiler}", *semantic]
+    if flags.gridify_blocksize is not None:
+        x, y = flags.gridify_blocksize
+        parts.append(f"grid-block-size={x}x{y}")
+    return tuple(parts)
+
+
+def canonical_device(device: DeviceSpec | None) -> str:
+    """The device identity a fingerprint sees (name + kind is enough:
+    specs are frozen constants keyed by name)."""
+    if device is None:
+        return "<any-device>"
+    return f"{device.name}|{device.kind.value}"
+
+
+def fingerprint_parts(
+    module: Module,
+    compiler: str,
+    target: str,
+    flags: FlagSet | None = None,
+    device: DeviceSpec | None = None,
+) -> tuple[str, ...]:
+    """The ordered canonical fields the digest is computed over."""
+    compiler_key = compiler.lower()
+    version = COMPILER_VERSIONS.get(compiler_key, "unversioned")
+    return (
+        SCHEMA,
+        f"module={module.name}",
+        print_module(module),
+        f"compiler={compiler_key}:{version}",
+        f"target={target.lower()}",
+        "\x1f".join(canonical_flags(flags)),
+        canonical_device(device),
+    )
+
+
+def fingerprint_request(
+    module: Module,
+    compiler: str,
+    target: str,
+    flags: FlagSet | None = None,
+    device: DeviceSpec | None = None,
+) -> str:
+    """SHA-256 hex digest content-addressing one compilation request."""
+    digest = hashlib.sha256()
+    for part in fingerprint_parts(module, compiler, target, flags, device):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")  # unambiguous field separator
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True, eq=False)
+class CompileRequest:
+    """One point of a sweep: a module + the tool-chain to push it through.
+
+    Identity (for caching and in-flight dedup) is the :attr:`fingerprint`,
+    not Python object identity; ``label`` is a human-readable tag carried
+    into error reports and metrics.
+    """
+
+    module: Module
+    compiler: str
+    target: str
+    flags: FlagSet | None = None
+    device: DeviceSpec | None = None
+    label: str = ""
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content address of this request (computed once, then memoized)."""
+        if self._fingerprint is None:
+            object.__setattr__(
+                self,
+                "_fingerprint",
+                fingerprint_request(
+                    self.module, self.compiler, self.target,
+                    self.flags, self.device,
+                ),
+            )
+        assert self._fingerprint is not None
+        return self._fingerprint
+
+    def describe(self) -> str:
+        tag = self.label or self.module.name
+        return f"{tag} [{self.compiler}->{self.target}] {self.fingerprint[:12]}"

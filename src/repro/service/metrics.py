@@ -1,0 +1,135 @@
+"""Service-level metrics: request/hit/dedup counters and compile-latency
+percentiles, renderable as a section of the runtime profiler's report.
+
+The :class:`repro.runtime.profiler.Profiler` knows nothing about the
+service layer; it accepts any object with ``report_lines()`` (see
+:meth:`Profiler.attach_service`), which both :class:`ServiceMetrics` and
+:class:`repro.service.scheduler.CompileService` provide.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], frac: float) -> float:
+    """Linear-interpolated percentile of *values* (``frac`` in [0, 1])."""
+    if not values:
+        return 0.0
+    if not 0.0 <= frac <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {frac}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = frac * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    weight = pos - lo
+    return ordered[lo] * (1.0 - weight) + ordered[hi] * weight
+
+
+@dataclass
+class ServiceMetrics:
+    """Thread-safe counters for one :class:`CompileService`."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    compiles: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    #: modeled wall-clock not spent recompiling: on every hit, the recorded
+    #: compile time of that fingerprint (or the running mean for artifacts
+    #: inherited from a previous process via the disk tier)
+    time_saved_s: float = 0.0
+    _compile_seconds: list[float] = field(default_factory=list, repr=False)
+    _seconds_by_fp: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------------
+
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_cache_hit(self, fingerprint: str) -> None:
+        with self._lock:
+            self.cache_hits += 1
+            self.time_saved_s += self._seconds_by_fp.get(
+                fingerprint, self._mean_compile_s()
+            )
+
+    def record_dedup_hit(self) -> None:
+        with self._lock:
+            self.dedup_hits += 1
+
+    def record_compile(self, fingerprint: str, seconds: float,
+                       failed: bool = False) -> None:
+        with self._lock:
+            self.compiles += 1
+            if failed:
+                self.errors += 1
+            self._compile_seconds.append(seconds)
+            self._seconds_by_fp[fingerprint] = seconds
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    # -- views -----------------------------------------------------------------
+
+    def _mean_compile_s(self) -> float:
+        if not self._compile_seconds:
+            return 0.0
+        return sum(self._compile_seconds) / len(self._compile_seconds)
+
+    @property
+    def p50_compile_s(self) -> float:
+        with self._lock:
+            return percentile(self._compile_seconds, 0.50)
+
+    @property
+    def p95_compile_s(self) -> float:
+        with self._lock:
+            return percentile(self._compile_seconds, 0.95)
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.cache_hits + self.dedup_hits + self.compiles
+            return (self.cache_hits + self.dedup_hits) / total if total else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "dedup_hits": self.dedup_hits,
+                "compiles": self.compiles,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "time_saved_s": self.time_saved_s,
+            }
+
+    def report_lines(self) -> list[str]:
+        """The compile-service section of a profiler report."""
+        snap = self.snapshot()
+        lines = [
+            "-- compile service --",
+            (
+                f"requests {snap['requests']}: "
+                f"{snap['cache_hits']} cache hits, "
+                f"{snap['dedup_hits']} dedup hits, "
+                f"{snap['compiles']} compiles "
+                f"({snap['errors']} errors, {snap['timeouts']} timeouts)"
+            ),
+            (
+                f"compile latency p50 {self.p50_compile_s * 1e3:.3f} ms, "
+                f"p95 {self.p95_compile_s * 1e3:.3f} ms; "
+                f"~{snap['time_saved_s'] * 1e3:.3f} ms saved by caching"
+            ),
+        ]
+        return lines

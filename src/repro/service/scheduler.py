@@ -1,0 +1,295 @@
+"""The compile service: batch scheduling over the cached compiler models.
+
+``CompileService`` is the front door of the service layer.  One instance
+owns an :class:`ArtifactCache`, a :class:`ServiceMetrics`, and (when
+``jobs > 1``) a ``concurrent.futures`` thread pool:
+
+* :meth:`compile` — synchronous single compile, cache-checked; the
+  drop-in replacement for :func:`repro.core.method.compile_stage`.
+* :meth:`submit` — asynchronous compile returning a ``Future``;
+  identical in-flight requests (same fingerprint) are deduplicated onto
+  one future.
+* :meth:`compile_many` — strict batch: results in request order, the
+  first failure propagates.
+* :meth:`sweep` — fault-tolerant batch for parameter sweeps: a failed
+  point yields a structured :class:`JobError` in its slot and the rest
+  of the sweep completes.
+
+Determinism contract: the compiler models are pure functions of the
+fingerprinted inputs, requests are materialized by the *caller* in a
+fixed order (IR loop ids are allocated before submission), and results
+are returned in request order — so a ``jobs=4`` sweep is byte-identical
+to a serial one, and a warm-cache sweep to a cold one.
+
+Per-job timeouts are enforced at the gather point for pooled execution
+(``jobs > 1``); a timed-out point becomes a ``JobError(kind="timeout")``
+without killing the sweep (the worker thread is left to finish and its
+result is discarded).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..compilers.flags import FlagSet
+from ..devices.specs import DeviceSpec
+from ..ir.stmt import Module
+from .cache import MISS, ArtifactCache
+from .fingerprint import CompileRequest
+from .metrics import ServiceMetrics
+
+
+class JobError(Exception):
+    """A structured per-point failure: a sweep slot, never a crash."""
+
+    def __init__(self, label: str, fingerprint: str, kind: str,
+                 message: str, seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.label = label
+        self.fingerprint = fingerprint
+        self.kind = kind  # "compile-error" | "timeout" | "error"
+        self.message = message
+        self.seconds = seconds
+
+    def __str__(self) -> str:
+        tag = f" [{self.label}]" if self.label else ""
+        return f"{self.kind}{tag}: {self.message}"
+
+
+@dataclass
+class _CachedFailure:
+    """Marker artifact for a deterministic compile failure (so warm
+    sweeps replay the error without recompiling)."""
+
+    error: Exception
+
+
+def _default_compile_fn(request: CompileRequest) -> Any:
+    # imported lazily: core.method sits above the compilers but below the
+    # sweep drivers, and importing it at module scope would cycle through
+    # repro.core.__init__ -> search/autotune -> repro.service
+    from ..core.method import compile_stage
+
+    return compile_stage(request.module, request.compiler, request.target,
+                         request.flags)
+
+
+class CompileService:
+    """Content-addressed, deduplicating, pool-backed compilation."""
+
+    def __init__(
+        self,
+        cache: ArtifactCache | None = None,
+        jobs: int = 1,
+        timeout_s: float | None = None,
+        metrics: ServiceMetrics | None = None,
+        compile_fn: Callable[[CompileRequest], Any] | None = None,
+    ) -> None:
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.jobs = max(1, int(jobs))
+        self.timeout_s = timeout_s
+        self._compile_fn = compile_fn or _default_compile_fn
+        self._pool: ThreadPoolExecutor | None = None
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()
+
+    # -- single compiles -------------------------------------------------------
+
+    def compile(
+        self,
+        module: Module,
+        compiler: str,
+        target: str,
+        flags: FlagSet | None = None,
+        device: DeviceSpec | None = None,
+        label: str = "",
+    ) -> Any:
+        """Cache-checked synchronous compile (raises on compiler error,
+        exactly like :func:`repro.core.method.compile_stage`)."""
+        return self.compile_request(
+            CompileRequest(module, compiler, target, flags, device, label)
+        )
+
+    def compile_request(self, request: CompileRequest) -> Any:
+        fingerprint = request.fingerprint
+        self.metrics.record_request()
+        cached = self.cache.get(fingerprint)
+        if cached is not MISS:
+            self.metrics.record_cache_hit(fingerprint)
+            if isinstance(cached, _CachedFailure):
+                raise cached.error
+            return cached
+        start = time.perf_counter()
+        try:
+            artifact = self._compile_fn(request)
+        except Exception as exc:
+            seconds = time.perf_counter() - start
+            self.cache.put(fingerprint, _CachedFailure(exc))
+            self.metrics.record_compile(fingerprint, seconds, failed=True)
+            raise
+        seconds = time.perf_counter() - start
+        self.cache.put(fingerprint, artifact)
+        self.metrics.record_compile(fingerprint, seconds)
+        return artifact
+
+    # -- batch API -------------------------------------------------------------
+
+    def submit(self, request: CompileRequest) -> Future:
+        """Schedule one request; identical in-flight requests share one
+        future (and one compile)."""
+        fingerprint = request.fingerprint
+        with self._lock:
+            existing = self._inflight.get(fingerprint)
+            if existing is not None and not existing.done():
+                self.metrics.record_dedup_hit()
+                return existing
+            future: Future = Future()
+            self._inflight[fingerprint] = future
+        if self.jobs == 1:
+            self._run_job(request, future)
+        else:
+            self._ensure_pool().submit(self._run_job, request, future)
+        return future
+
+    def compile_many(self, requests: Sequence[CompileRequest]) -> list[Any]:
+        """Compile a batch; results in request order; first failure raises."""
+        futures = [self.submit(request) for request in requests]
+        results: list[Any] = []
+        for request, future in zip(requests, futures):
+            results.append(self._gather(request, future, strict=True))
+        return results
+
+    def sweep(self, requests: Iterable[CompileRequest]
+              ) -> list[Any]:
+        """Fault-tolerant batch: each slot is an artifact or a
+        :class:`JobError`; a bad point never kills the sweep."""
+        materialized = list(requests)
+        futures = [self.submit(request) for request in materialized]
+        results: list[Any] = []
+        for request, future in zip(materialized, futures):
+            try:
+                results.append(self._gather(request, future, strict=True))
+            except JobError as err:
+                results.append(err)
+            except Exception as exc:  # compiler error captured in-slot
+                results.append(
+                    JobError(
+                        request.label or request.module.name,
+                        request.fingerprint,
+                        "compile-error",
+                        str(exc),
+                    )
+                )
+        return results
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def report_lines(self) -> list[str]:
+        """Service metrics + cache-tier counters (profiler section)."""
+        stats = self.cache.stats
+        return self.metrics.report_lines() + [
+            (
+                f"cache: {stats.memory_hits} memory hits, "
+                f"{stats.disk_hits} disk hits, {stats.misses} misses, "
+                f"{stats.evictions} evictions "
+                f"({len(self.cache)} resident entries)"
+            ),
+        ]
+
+    # -- internals -------------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="repro-compile"
+            )
+        return self._pool
+
+    def _run_job(self, request: CompileRequest, future: Future) -> None:
+        try:
+            result = self.compile_request(request)
+        except Exception as exc:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+        finally:
+            with self._lock:
+                if self._inflight.get(request.fingerprint) is future:
+                    del self._inflight[request.fingerprint]
+
+    def _gather(self, request: CompileRequest, future: Future,
+                strict: bool) -> Any:
+        try:
+            return future.result(timeout=self.timeout_s)
+        except FutureTimeoutError:
+            self.metrics.record_timeout()
+            raise JobError(
+                request.label or request.module.name,
+                request.fingerprint,
+                "timeout",
+                f"compile exceeded {self.timeout_s:g}s",
+                self.timeout_s or 0.0,
+            ) from None
+
+
+# -- process-wide default service ---------------------------------------------
+
+_default_service: CompileService | None = None
+_default_lock = threading.Lock()
+
+
+def get_default_service() -> CompileService:
+    """The process-wide service the experiment drivers share (memory-tier
+    cache only, serial execution) — configurable via
+    :func:`configure_default_service` (the CLI's ``--jobs/--cache-dir``)."""
+    global _default_service
+    with _default_lock:
+        if _default_service is None:
+            _default_service = CompileService()
+        return _default_service
+
+
+def configure_default_service(
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    max_entries: int = 512,
+    timeout_s: float | None = None,
+) -> CompileService:
+    """Replace the process-wide default service (returns the new one)."""
+    global _default_service
+    with _default_lock:
+        old = _default_service
+        _default_service = CompileService(
+            cache=ArtifactCache(max_entries=max_entries, cache_dir=cache_dir),
+            jobs=jobs,
+            timeout_s=timeout_s,
+        )
+    if old is not None:
+        old.close()
+    return _default_service
+
+
+def reset_default_service() -> None:
+    """Drop the process-wide default service (tests)."""
+    global _default_service
+    with _default_lock:
+        old, _default_service = _default_service, None
+    if old is not None:
+        old.close()

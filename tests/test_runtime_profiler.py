@@ -1,0 +1,90 @@
+"""The runtime profiler, including the attached compile-service section."""
+
+import pytest
+
+from repro.frontend import parse_module
+from repro.runtime.profiler import ProfileEvent, Profiler
+from repro.service import CompileService
+
+SOURCE = """
+#pragma acc kernels
+void demo(float *a, const float *b, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    a[i] = b[i] * 2.0f;
+  }
+}
+"""
+
+
+class TestEvents:
+    def test_record_and_counters(self):
+        prof = Profiler()
+        prof.record("h2d", "a", 0.001, nbytes=4096)
+        prof.record("launch", "demo", 0.002, device="K40")
+        prof.record("d2h", "a", 0.001, nbytes=4096)
+        assert prof.memcpy_h2d == 1
+        assert prof.memcpy_d2h == 1
+        assert prof.kernel_launches == 1
+        assert prof.device_kernel_launches() == 1
+        assert prof.transfer_bytes() == 8192
+        assert prof.total_s == pytest.approx(0.004)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler().record("h2d", "a", -0.001)
+
+    def test_time_by_kind(self):
+        prof = Profiler()
+        prof.record("h2d", "a", 0.001)
+        prof.record("h2d", "b", 0.002)
+        prof.record("launch", "demo", 0.004)
+        assert prof.time_by_kind() == pytest.approx(
+            {"h2d": 0.003, "launch": 0.004}
+        )
+
+    def test_event_str_mentions_kind_and_ms(self):
+        event = ProfileEvent("h2d", "a", 0.0015, nbytes=64)
+        assert "h2d" in str(event)
+        assert "64 B" in str(event)
+        assert "1.500 ms" in str(event)
+
+    def test_clear(self):
+        prof = Profiler()
+        prof.record("h2d", "a", 0.001)
+        prof.clear()
+        assert prof.events == []
+        assert prof.total_s == 0.0
+
+
+class TestReport:
+    def test_report_totals_line(self):
+        prof = Profiler()
+        prof.record("h2d", "a", 0.001)
+        prof.record("launch", "demo", 0.002)
+        text = prof.report()
+        assert "1 H2D" in text
+        assert "1 launches" in text
+
+    def test_attach_service_adds_cache_section(self):
+        service = CompileService()
+        module = parse_module(SOURCE, "demo")
+        service.compile(module, "caps", "cuda")
+        service.compile(module, "caps", "cuda")
+
+        prof = Profiler()
+        prof.record("launch", "demo", 0.002, device="K40")
+        prof.attach_service(service)
+        text = prof.report()
+        assert "compile service" in text
+        assert "1 cache hits" in text
+
+    def test_attach_service_rejects_non_services(self):
+        with pytest.raises(TypeError):
+            Profiler().attach_service(object())
+
+    def test_report_without_service_has_no_cache_section(self):
+        prof = Profiler()
+        prof.record("launch", "demo", 0.002)
+        assert "compile service" not in prof.report()

@@ -1,0 +1,110 @@
+"""The two-tier artifact cache: LRU behaviour, disk tier, invisibility."""
+
+import pickle
+
+import pytest
+
+from repro.service import MISS, ArtifactCache
+
+
+class TestMemoryTier:
+    def test_roundtrip_and_counters(self):
+        cache = ArtifactCache(max_entries=4)
+        assert cache.get("fp1") is MISS
+        cache.put("fp1", {"ptx": "body"})
+        assert cache.get("fp1") == {"ptx": "body"}
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_evicts_oldest(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is MISS  # oldest gone
+        assert cache.get("b") == 2 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # a is now most-recent
+        cache.put("c", 3)       # evicts b, not a
+        assert cache.get("a") == 1
+        assert cache.get("b") is MISS
+
+    def test_copy_on_hit_isolates_callers(self):
+        """The cache is an invisible optimization: mutating a returned
+        artifact must not corrupt the cached copy (or other callers)."""
+        cache = ArtifactCache()
+        cache.put("fp", {"log": ["ok"]})
+        first = cache.get("fp")
+        first["log"].append("mutated by caller")
+        second = cache.get("fp")
+        assert second == {"log": ["ok"]}
+        assert first is not second
+
+    def test_put_isolates_from_source_object(self):
+        cache = ArtifactCache()
+        artifact = {"log": ["ok"]}
+        cache.put("fp", artifact)
+        artifact["log"].append("mutated after put")
+        assert cache.get("fp") == {"log": ["ok"]}
+
+    def test_clear(self):
+        cache = ArtifactCache()
+        cache.put("fp", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("fp") is MISS
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        first = ArtifactCache(cache_dir=tmp_path)
+        first.put("fp", {"ptx": "body"})
+        assert first.stats.disk_stores == 1
+
+        fresh = ArtifactCache(cache_dir=tmp_path)  # a "new process"
+        assert fresh.get("fp") == {"ptx": "body"}
+        assert fresh.stats.disk_hits == 1
+        # the hit promoted the artifact into the memory tier
+        assert fresh.get("fp") == {"ptx": "body"}
+        assert fresh.stats.memory_hits == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        path = tmp_path / "fp.pkl"
+        path.write_bytes(b"not a pickle")
+        assert cache.get("fp") is MISS
+        assert not path.exists()
+
+    def test_entries_are_plain_pickles(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("fp", [1, 2, 3])
+        with (tmp_path / "fp.pkl").open("rb") as fh:
+            assert pickle.load(fh) == [1, 2, 3]
+
+    def test_clear_disk(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("fp", 1)
+        cache.clear(memory_only=False)
+        assert cache.get("fp") is MISS
+
+    def test_cache_dir_colliding_with_a_file_is_rejected(self, tmp_path):
+        path = tmp_path / "occupied"
+        path.write_text("not a directory")
+        with pytest.raises(NotADirectoryError, match="occupied"):
+            ArtifactCache(cache_dir=path)
+
+    def test_contains(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        assert "fp" not in cache
+        cache.put("fp", 1)
+        assert "fp" in cache
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        assert "fp" in fresh  # via the disk tier

@@ -1,0 +1,136 @@
+"""Fingerprint hygiene: every semantic input perturbs the digest, no
+insignificant detail does (ISSUE satellite: fingerprint hygiene)."""
+
+import pytest
+
+from repro.compilers.flags import FlagSet
+from repro.devices import K40, PHI_5110P
+from repro.frontend import parse_module
+from repro.service import (
+    COMPILER_VERSIONS,
+    CompileRequest,
+    canonical_flags,
+    fingerprint_request,
+)
+
+SOURCE = """
+#pragma acc kernels
+void demo(float *a, const float *b, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    a[i] = b[i] * 2.0f;
+  }
+}
+"""
+
+OTHER_SOURCE = SOURCE.replace("2.0f", "3.0f")
+
+
+@pytest.fixture
+def module():
+    return parse_module(SOURCE, "demo")
+
+
+class TestStability:
+    def test_same_inputs_same_fingerprint(self, module):
+        assert (fingerprint_request(module, "caps", "cuda")
+                == fingerprint_request(module, "caps", "cuda"))
+
+    def test_reparse_same_source_same_fingerprint(self, module):
+        """Two IR instances of the same source are the same request,
+        even though their loop ids differ."""
+        reparsed = parse_module(SOURCE, "demo")
+        assert (fingerprint_request(module, "caps", "cuda")
+                == fingerprint_request(reparsed, "caps", "cuda"))
+
+    def test_request_memoizes(self, module):
+        request = CompileRequest(module, "caps", "cuda")
+        assert request.fingerprint == request.fingerprint
+        assert request.fingerprint == fingerprint_request(
+            module, "caps", "cuda"
+        )
+
+    def test_compiler_case_insensitive(self, module):
+        assert (fingerprint_request(module, "CAPS", "cuda")
+                == fingerprint_request(module, "caps", "cuda"))
+
+
+class TestEverySemanticInputPerturbs:
+    def test_source_text(self, module):
+        other = parse_module(OTHER_SOURCE, "demo")
+        assert (fingerprint_request(module, "caps", "cuda")
+                != fingerprint_request(other, "caps", "cuda"))
+
+    def test_module_name(self, module):
+        renamed = parse_module(SOURCE, "demo2")
+        assert (fingerprint_request(module, "caps", "cuda")
+                != fingerprint_request(renamed, "caps", "cuda"))
+
+    def test_compiler(self, module):
+        assert (fingerprint_request(module, "caps", "cuda")
+                != fingerprint_request(module, "pgi", "cuda"))
+
+    def test_target(self, module):
+        assert (fingerprint_request(module, "caps", "cuda")
+                != fingerprint_request(module, "caps", "opencl"))
+
+    def test_single_flag(self, module):
+        base = FlagSet("PGI", ("-O4", "-fast"))
+        more = FlagSet("PGI", ("-O4", "-fast", "-Munroll"))
+        assert (fingerprint_request(module, "pgi", "cuda", base)
+                != fingerprint_request(module, "pgi", "cuda", more))
+
+    def test_no_flags_vs_empty_flagset(self, module):
+        """Compiler defaults and an explicit empty flag set are distinct
+        requests (the empty set still names a compiler)."""
+        assert (fingerprint_request(module, "pgi", "cuda", None)
+                != fingerprint_request(module, "pgi", "cuda",
+                                       FlagSet("PGI", ())))
+
+    def test_device_spec(self, module):
+        assert (fingerprint_request(module, "caps", "cuda", device=K40)
+                != fingerprint_request(module, "caps", "cuda",
+                                       device=PHI_5110P))
+        assert (fingerprint_request(module, "caps", "cuda", device=K40)
+                != fingerprint_request(module, "caps", "cuda", device=None))
+
+
+class TestInsignificantDetailDoesNot:
+    def test_flag_order(self, module):
+        ab = FlagSet("PGI", ("-O4", "-fast"))
+        ba = FlagSet("PGI", ("-fast", "-O4"))
+        assert (fingerprint_request(module, "pgi", "cuda", ab)
+                == fingerprint_request(module, "pgi", "cuda", ba))
+
+    def test_duplicate_flags(self, module):
+        once = FlagSet("PGI", ("-O4",))
+        twice = FlagSet("PGI", ("-O4", "-O4"))
+        assert (fingerprint_request(module, "pgi", "cuda", once)
+                == fingerprint_request(module, "pgi", "cuda", twice))
+
+    def test_gridify_flag_spellings_collapse(self, module):
+        """The -Xhmppcg flag spelling and the parsed blocksize are the
+        same request."""
+        spelled = FlagSet("CAPS", ("-Xhmppcg -grid-block-size,32x4",))
+        parsed = FlagSet("CAPS", (), gridify_blocksize=(32, 4))
+        assert (fingerprint_request(module, "caps", "cuda", spelled)
+                == fingerprint_request(module, "caps", "cuda", parsed))
+        other = FlagSet("CAPS", (), gridify_blocksize=(64, 2))
+        assert (fingerprint_request(module, "caps", "cuda", spelled)
+                != fingerprint_request(module, "caps", "cuda", other))
+
+
+class TestCanonicalFlags:
+    def test_none_is_tagged(self):
+        assert canonical_flags(None) == ("<default-flags>",)
+
+    def test_sorted_and_deduped(self):
+        flags = FlagSet("PGI", ("-fast", "-O4", "-fast"))
+        assert canonical_flags(flags) == ("compiler=PGI", "-O4", "-fast")
+
+
+def test_versions_cover_modeled_compilers():
+    """The paper's tool-chain versions are pinned into the fingerprint."""
+    assert COMPILER_VERSIONS["caps"] == "3.4.1"
+    assert COMPILER_VERSIONS["pgi"] == "14.9"

@@ -1,0 +1,175 @@
+"""CompileService: caching, dedup, pool scheduling, structured errors."""
+
+import threading
+import time
+
+import pytest
+
+from repro.compilers.framework import CompilationError
+from repro.frontend import parse_module
+from repro.service import (
+    ArtifactCache,
+    CompileRequest,
+    CompileService,
+    JobError,
+    get_default_service,
+    reset_default_service,
+)
+
+SOURCE = """
+#pragma acc kernels
+void demo(float *a, const float *b, int n) {
+  int i;
+  #pragma acc loop independent
+  for (i = 0; i < n; i++) {
+    a[i] = b[i] * 2.0f;
+  }
+}
+"""
+
+
+@pytest.fixture
+def module():
+    return parse_module(SOURCE, "demo")
+
+
+class TestCompile:
+    def test_hit_avoids_recompile(self, module):
+        service = CompileService()
+        first = service.compile(module, "caps", "cuda")
+        second = service.compile(module, "caps", "cuda")
+        assert service.metrics.compiles == 1
+        assert service.metrics.cache_hits == 1
+        # invisible: both artifacts identical, neither aliased
+        assert first is not second
+        assert first.kernels[0].ptx.render() == second.kernels[0].ptx.render()
+
+    def test_reparsed_module_hits(self, module):
+        service = CompileService()
+        service.compile(module, "caps", "cuda")
+        service.compile(parse_module(SOURCE, "demo"), "caps", "cuda")
+        assert service.metrics.compiles == 1
+
+    def test_compiler_error_cached_and_replayed(self, module):
+        calls = []
+
+        def failing(request):
+            calls.append(request.fingerprint)
+            raise CompilationError("nope")
+
+        service = CompileService(compile_fn=failing)
+        with pytest.raises(CompilationError):
+            service.compile(module, "caps", "cuda")
+        with pytest.raises(CompilationError):
+            service.compile(module, "caps", "cuda")
+        assert len(calls) == 1  # the failure replayed from cache
+        assert service.metrics.errors == 1
+        assert service.metrics.cache_hits == 1
+
+    def test_unknown_compiler_raises(self, module):
+        with pytest.raises(ValueError):
+            CompileService().compile(module, "gcc", "cuda")
+
+
+class TestBatch:
+    def test_compile_many_preserves_order(self, module):
+        other = parse_module(SOURCE.replace("2.0f", "3.0f"), "demo")
+        requests = [
+            CompileRequest(module, "caps", "cuda"),
+            CompileRequest(other, "caps", "cuda"),
+            CompileRequest(module, "pgi", "cuda"),
+        ]
+        serial = CompileService().compile_many(requests)
+        pooled = CompileService(jobs=4).compile_many(requests)
+        assert [r.compiler for r in serial] == ["CAPS", "CAPS", "PGI"]
+        for a, b in zip(serial, pooled):
+            assert a.kernels[0].ptx.render() == b.kernels[0].ptx.render()
+
+    def test_sweep_captures_errors_in_slot(self, module):
+        requests = [
+            CompileRequest(module, "caps", "cuda", label="good"),
+            CompileRequest(module, "gcc", "cuda", label="bad"),
+            CompileRequest(module, "pgi", "cuda", label="also good"),
+        ]
+        results = CompileService().sweep(requests)
+        assert results[0].compiler == "CAPS"
+        assert isinstance(results[1], JobError)
+        assert results[1].kind == "compile-error"
+        assert results[1].label == "bad"
+        assert results[2].compiler == "PGI"
+
+    def test_identical_requests_batch(self, module):
+        service = CompileService()
+        requests = [CompileRequest(module, "caps", "cuda")] * 3
+        results = service.compile_many(requests)
+        assert service.metrics.compiles == 1
+        assert len(results) == 3
+
+
+class TestPool:
+    def test_inflight_dedup_shares_one_future(self, module):
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow(request):
+            started.set()
+            assert release.wait(5.0)
+            return "artifact"
+
+        service = CompileService(jobs=2, compile_fn=slow)
+        request = CompileRequest(module, "caps", "cuda")
+        first = service.submit(request)
+        assert started.wait(5.0)
+        second = service.submit(request)  # identical while in flight
+        assert second is first
+        assert service.metrics.dedup_hits == 1
+        release.set()
+        assert first.result(5.0) == "artifact"
+        assert service.metrics.compiles == 1
+        service.close()
+
+    def test_timeout_becomes_joberror(self, module):
+        def sleepy(request):
+            time.sleep(0.5)
+            return "artifact"
+
+        service = CompileService(jobs=2, timeout_s=0.05, compile_fn=sleepy)
+        results = service.sweep([CompileRequest(module, "caps", "cuda",
+                                                label="slowpoke")])
+        assert isinstance(results[0], JobError)
+        assert results[0].kind == "timeout"
+        assert service.metrics.timeouts == 1
+        service.close()
+
+    def test_compile_many_raises_on_timeout(self, module):
+        def sleepy(request):
+            time.sleep(0.5)
+            return "artifact"
+
+        service = CompileService(jobs=2, timeout_s=0.05, compile_fn=sleepy)
+        with pytest.raises(JobError):
+            service.compile_many([CompileRequest(module, "caps", "cuda")])
+        service.close()
+
+    def test_context_manager_closes_pool(self, module):
+        with CompileService(jobs=2) as service:
+            service.compile_many([CompileRequest(module, "caps", "cuda")])
+        assert service._pool is None
+
+
+class TestDefaultService:
+    def test_singleton(self):
+        reset_default_service()
+        try:
+            assert get_default_service() is get_default_service()
+        finally:
+            reset_default_service()
+
+    def test_report_lines_include_cache_section(self, module):
+        service = CompileService(cache=ArtifactCache(max_entries=8))
+        service.compile(module, "caps", "cuda")
+        service.compile(module, "caps", "cuda")
+        text = "\n".join(service.report_lines())
+        assert "compile service" in text
+        assert "1 cache hits" in text
+        assert "1 memory hits" in text
