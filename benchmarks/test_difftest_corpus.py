@@ -1,0 +1,37 @@
+"""Bench: the difftest corpus sweep as a standing correctness gate.
+
+Runs the seeded cross-compiler differential harness over a 25-seed
+corpus (the CI smoke size) and checks the two properties the paper's
+V-D2 discussion demands of the simulated tool-chain: every observed
+divergence is *explained* by the static race checker, and the corpus
+actually reproduces directive-induced wrong answers (it would be vacuous
+otherwise).  The benchmark time is the cost of the full sweep —
+generation, 4 compile pipelines per seed, execution, and oracle runs.
+"""
+
+from repro.difftest import run_difftest
+from repro.service import CompileService
+
+
+def _sweep():
+    return run_difftest(range(25), service=CompileService())
+
+
+def test_difftest_corpus(benchmark):
+    report = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert report.unexplained == [], [
+        detail
+        for case in report.unexplained
+        for detail in case.unexplained_details()
+    ]
+    # the corpus must exercise the wrong-answer machinery (paper V-D2)
+    assert report.count("wrong-answer") > 0
+    # and the full compiler/target matrix, including PGI's documented
+    # refusal of non-NVIDIA targets
+    assert any(
+        pair.status == "compile-error-expected"
+        for case in report.cases
+        for pair in case.pairs
+    )

@@ -10,6 +10,8 @@ Commands:
 * ``experiment ID``  — regenerate one paper table/figure (or ``all``).
 * ``heatmap``        — the Fig. 4 thread-distribution heat map.
 * ``autotune``       — the future-work auto-tuner on LUD.
+* ``difftest``       — seeded cross-compiler differential fuzzing with a
+  static race checker (docs/DIFFTEST.md).
 
 ``experiment``, ``heatmap``, and ``autotune`` accept ``--jobs N`` and
 ``--cache-dir PATH`` to route compilations through the
@@ -186,6 +188,37 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_difftest(args: argparse.Namespace) -> int:
+    from .difftest import replay_file, run_difftest
+    from .service import CompileService
+    from .service.cache import ArtifactCache
+
+    service = CompileService(
+        cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs
+    )
+    if args.replay is not None:
+        result = replay_file(args.replay, service)
+        status = "EXPLAINED" if result.explained else "UNEXPLAINED"
+        print(f"replay {args.replay}: {status}")
+        for detail in result.unexplained_details():
+            print(f"  {detail}")
+        _print_service_stats(service)
+        return 0 if result.explained else 1
+
+    seeds = range(args.start, args.start + args.seeds)
+    report = run_difftest(
+        seeds, service=service, shrink=args.shrink, out_dir=args.out,
+        log=lambda line: print(f"  FAIL {line}", file=sys.stderr),
+    )
+    print("\n".join(report.summary_lines()))
+    for case in report.unexplained:
+        if case.reproducer:
+            print(f"  reproducer: {case.reproducer}")
+    if args.jobs != 1 or args.cache_dir is not None:
+        _print_service_stats(service)
+    return 1 if report.unexplained else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -246,6 +279,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=1024)
     add_service_flags(p)
     p.set_defaults(func=_cmd_autotune)
+
+    p = sub.add_parser(
+        "difftest",
+        help="seeded cross-compiler differential fuzzing (docs/DIFFTEST.md)",
+    )
+    p.add_argument("--seeds", type=int, default=50, metavar="N",
+                   help="number of generator seeds to sweep (default 50)")
+    p.add_argument("--start", type=int, default=0, metavar="N",
+                   help="first seed (default 0)")
+    p.add_argument("--shrink", action="store_true",
+                   help="shrink unexplained failures to minimal reproducers")
+    p.add_argument("--out", default="difftest-failures", metavar="DIR",
+                   help="directory for shrunk reproducers")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="re-run one dumped reproducer instead of sweeping")
+    add_service_flags(p)
+    p.set_defaults(func=_cmd_difftest)
 
     return parser
 

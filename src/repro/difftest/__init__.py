@@ -1,0 +1,67 @@
+"""Seeded kernel fuzzing + cross-compiler differential testing.
+
+The standing correctness gate: :mod:`.generator` builds deterministic
+random kernels over the typed IR, :mod:`.harness` runs them through
+every (compiler × target) pair against the functional executor's ground
+truth, :mod:`.racecheck` statically predicts exactly which kernels the
+simulator mis-executes (paper V-D2), and :mod:`.shrink` reduces failing
+seeds to replayable mini-C reproducers.  See ``docs/DIFFTEST.md``.
+"""
+
+from .generator import (
+    ExtentError,
+    GeneratedCase,
+    GeneratorError,
+    generate_case,
+    generate_corpus,
+    infer_extents,
+    make_inputs,
+)
+from .harness import (
+    PAIRS,
+    CaseResult,
+    DifftestReport,
+    KernelDiff,
+    PairResult,
+    replay_file,
+    run_case,
+    run_difftest,
+)
+from .racecheck import (
+    OraclePrediction,
+    OracleUnsupported,
+    RaceWarning,
+    lint_kernel,
+    lint_module,
+    predict,
+    symbolic_state,
+)
+from .shrink import shrink_case, shrink_module, write_reproducer
+
+__all__ = [
+    "PAIRS",
+    "CaseResult",
+    "DifftestReport",
+    "ExtentError",
+    "GeneratedCase",
+    "GeneratorError",
+    "KernelDiff",
+    "OraclePrediction",
+    "OracleUnsupported",
+    "PairResult",
+    "RaceWarning",
+    "generate_case",
+    "generate_corpus",
+    "infer_extents",
+    "lint_kernel",
+    "lint_module",
+    "make_inputs",
+    "predict",
+    "replay_file",
+    "run_case",
+    "run_difftest",
+    "shrink_case",
+    "shrink_module",
+    "symbolic_state",
+    "write_reproducer",
+]

@@ -1,0 +1,618 @@
+"""Static race checking for difftest kernels.
+
+Two layers:
+
+**Lint** (:func:`lint_kernel`) — the classic static pass: every loop
+carrying an ``#pragma acc loop independent`` whose dependence analysis
+verdict is ``DEPENDENT`` gets an ``independent-dependence`` warning, and
+every ``reduction(op:var)`` clause naming a variable the loop does not
+actually reduce gets a ``reduction-mismatch`` warning.  This layer is
+built directly on :func:`repro.ir.visitors.writes_and_reads` and
+:func:`repro.analysis.dependence.analyze_loop` and is advisory — a
+dependence that the snapshot semantics happen to tolerate (e.g. a pure
+scalar dependence, which the executor keeps live) is still warned about.
+
+**Oracle** (:func:`predict`) — the exact layer the acceptance criterion
+is stated against: a symbolic interpreter that mirrors the executor's
+code generation *operation for operation* (snapshot stacks, the shared
+``_snap_`` buffers, compound-update-under-snapshot rewriting, the
+``REDUCTION_LAST_CHUNK`` chunk arithmetic, C division on integer static
+types) over values that are either concrete Python numbers or hashable
+symbolic trees rooted at input leaves.  Two executions produce equal
+final trees **iff** the executor produces bit-identical outputs on the
+same inputs, so comparing the trees of the compiled kernel under its
+advertised :meth:`executor_semantics` against the sequential ground
+truth flags *exactly* the kernels the simulator mis-executes — no false
+negatives and no false positives on the generator's corpus.
+
+The oracle refuses anything it cannot decide (symbolic loop bounds,
+symbolic branch conditions, out-of-bounds subscripts) by raising
+:class:`OracleUnsupported`; :func:`predict` then reports
+``supported=False`` and the harness treats any observed divergence as
+unexplained rather than silently guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..analysis.dependence import Verdict, analyze_loop
+from ..ir.directives import AccLoop
+from ..ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cast,
+    Expr,
+    FloatLit,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from ..ir.stmt import (
+    Assign,
+    Barrier,
+    Block,
+    Decl,
+    For,
+    If,
+    KernelFunction,
+    Stmt,
+    While,
+)
+from ..ir.types import ArrayType, DType, promote
+from ..ir.visitors import writes_and_reads
+from ..runtime.executor import ExecMode, LoopSemantics
+
+__all__ = [
+    "OracleUnsupported",
+    "OraclePrediction",
+    "RaceWarning",
+    "lint_kernel",
+    "lint_module",
+    "predict",
+    "symbolic_state",
+]
+
+
+class OracleUnsupported(RuntimeError):
+    """The oracle cannot decide this kernel (symbolic bound/branch/...)."""
+
+
+# ---------------------------------------------------------------------------
+# lint layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RaceWarning:
+    kernel: str
+    loop_id: int
+    loop_var: str
+    kind: str  # "independent-dependence" | "reduction-mismatch"
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kernel}: loop over {self.loop_var!r} "
+            f"(id {self.loop_id}): {self.kind}: {self.detail}"
+        )
+
+
+def lint_kernel(kernel: KernelFunction) -> list[RaceWarning]:
+    """Dependence-analysis warnings for every annotated loop."""
+    warnings: list[RaceWarning] = []
+    for loop in kernel.loops():
+        acc = loop.directives.first(AccLoop)
+        if acc is None:
+            continue
+        report = analyze_loop(loop)
+        if acc.independent and report.verdict is Verdict.DEPENDENT:
+            warnings.append(
+                RaceWarning(
+                    kernel.name,
+                    loop.loop_id,
+                    loop.var,
+                    "independent-dependence",
+                    "; ".join(report.reasons) or "loop-carried dependence",
+                )
+            )
+        if acc.reduction is not None:
+            matches = {
+                (r.op, r.var) for r in report.reductions
+            }
+            if (acc.reduction.op, acc.reduction.var) not in matches:
+                found = (
+                    ", ".join(f"{r.op}:{r.var}" for r in report.reductions)
+                    or "none"
+                )
+                warnings.append(
+                    RaceWarning(
+                        kernel.name,
+                        loop.loop_id,
+                        loop.var,
+                        "reduction-mismatch",
+                        f"clause {acc.reduction.op}:{acc.reduction.var}, "
+                        f"recognized reductions: {found}",
+                    )
+                )
+    return warnings
+
+
+def lint_module(module) -> list[RaceWarning]:
+    return [w for kernel in module.kernels for w in lint_kernel(kernel)]
+
+
+# ---------------------------------------------------------------------------
+# the exact oracle: a symbolic mirror of runtime.executor._CodeGen
+# ---------------------------------------------------------------------------
+
+_CONCRETE = (int, float, bool)
+
+_CALL_FNS = {
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "pow": pow,
+    "fabs": abs,
+    "abs": abs,
+    "fmin": min,
+    "min": min,
+    "fmax": max,
+    "max": max,
+    "floor": math.floor,
+    "ceil": math.ceil,
+}
+
+
+def _idiv(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _imod(a: int, b: int) -> int:
+    return a - _idiv(a, b) * b
+
+
+def _is_concrete(value: object) -> bool:
+    return isinstance(value, _CONCRETE)
+
+
+def _nonneg(value: object) -> bool:
+    """Provably >= 0.  Input leaves are nonnegative *by construction*:
+    :func:`repro.difftest.generator.make_inputs` draws every array cell
+    and float scalar from [0.75, 1.3) and pins int scalars to 4."""
+    if isinstance(value, _CONCRETE):
+        return value >= 0
+    tag = value[0]
+    if tag in ("in", "param"):
+        return True
+    if tag == "call" and value[1] in ("sqrt", "fabs", "abs", "exp"):
+        return True
+    if tag in ("+", "*", "/"):
+        return _nonneg(value[1]) and _nonneg(value[2])
+    return False
+
+
+class _Interp:
+    """Symbolic interpreter over the executor's exact semantics.
+
+    Values are concrete Python numbers or hashable tuples; array cells
+    start as ``("in", name, index)`` leaves and float scalar parameters
+    as ``("param", name)``.  Equal trees from two runs over the same
+    inputs imply bit-identical executor outputs (same operations in the
+    same order); the generator's value grammar makes distinct trees
+    numerically distinct almost surely.
+    """
+
+    def __init__(
+        self,
+        kernel: KernelFunction,
+        semantics: dict[int, LoopSemantics] | None,
+        extents: dict[str, int],
+        int_scalars: dict[str, int] | None = None,
+        fuel: int = 500_000,
+    ) -> None:
+        self.kernel = kernel
+        self.semantics = semantics or {}
+        self.fuel = fuel
+        self.arrays: dict[str, list] = {}
+        self.scalars: dict[str, object] = {}
+        self.dtypes: dict[str, DType] = {}
+        self.array_dtypes: dict[str, DType] = {}
+        # mirror of the executor's shared ``_snap_{name}`` variables: one
+        # buffer per name, overwritten (never restored) by nested loops
+        self.snap: dict[str, list] = {}
+        self.snap_stack: list[frozenset[str]] = []
+        for param in kernel.params:
+            if isinstance(param.type, ArrayType):
+                if param.type.rank != 1:
+                    raise OracleUnsupported(
+                        f"array {param.name!r} has rank {param.type.rank}"
+                    )
+                if param.name not in extents:
+                    raise OracleUnsupported(
+                        f"no extent for array {param.name!r}"
+                    )
+                self.array_dtypes[param.name] = param.type.dtype
+                self.arrays[param.name] = [
+                    ("in", param.name, i) for i in range(extents[param.name])
+                ]
+            else:
+                self.dtypes[param.name] = param.type.dtype
+                if (
+                    param.type.dtype.is_integer
+                    and int_scalars is not None
+                    and param.name in int_scalars
+                ):
+                    self.scalars[param.name] = int(int_scalars[param.name])
+                else:
+                    self.scalars[param.name] = ("param", param.name)
+
+    # -- static typing (mirror of _CodeGen._dtype_of) ------------------------
+
+    def _dtype_of(self, expr: Expr) -> DType:
+        if isinstance(expr, IntLit):
+            return expr.dtype
+        if isinstance(expr, FloatLit):
+            return expr.dtype
+        if isinstance(expr, Var):
+            return self.dtypes.get(expr.name, DType.INT32)
+        if isinstance(expr, ArrayRef):
+            return self.array_dtypes.get(expr.name, DType.FLOAT32)
+        if isinstance(expr, BinOp):
+            if expr.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+                return DType.BOOL
+            return promote(self._dtype_of(expr.lhs), self._dtype_of(expr.rhs))
+        if isinstance(expr, UnaryOp):
+            return (
+                DType.BOOL if expr.op == "!" else self._dtype_of(expr.operand)
+            )
+        if isinstance(expr, Call):
+            if expr.func in ("min", "max", "abs"):
+                return self._dtype_of(expr.args[0])
+            return DType.FLOAT64
+        if isinstance(expr, Ternary):
+            return promote(
+                self._dtype_of(expr.then), self._dtype_of(expr.otherwise)
+            )
+        if isinstance(expr, Cast):
+            return expr.dtype
+        raise OracleUnsupported(f"cannot type {type(expr).__name__}")
+
+    # -- value helpers -------------------------------------------------------
+
+    def _concrete_int(self, value: object, what: str) -> int:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float):
+            return int(value)  # mirrors the executor's int(...) coercion
+        raise OracleUnsupported(f"{what} is not statically concrete")
+
+    def _snap_lookup(self, name: str) -> list | None:
+        for frame in reversed(self.snap_stack):
+            if name in frame:
+                return self.snap.get(name)
+        return None
+
+    def _index_of(self, ref: ArrayRef) -> int:
+        if len(ref.indices) != 1:
+            raise OracleUnsupported(f"array {ref.name!r} is not rank-1")
+        idx = self._concrete_int(
+            self.eval(ref.indices[0]), f"subscript of {ref.name!r}"
+        )
+        extent = len(self.arrays[ref.name])
+        if not 0 <= idx < extent:
+            # NumPy would wrap a negative index; refusing keeps the
+            # oracle honest and surfaces generator bugs as unexplained
+            raise OracleUnsupported(
+                f"subscript {idx} of {ref.name!r} outside [0, {extent})"
+            )
+        return idx
+
+    def _read_ref(self, ref: ArrayRef):
+        if ref.name not in self.arrays:
+            raise OracleUnsupported(f"read of unknown array {ref.name!r}")
+        idx = self._index_of(ref)
+        snap = self._snap_lookup(ref.name)
+        buffer = snap if snap is not None else self.arrays[ref.name]
+        return buffer[idx]
+
+    # -- expression evaluation (mirror of _CodeGen.gen_expr) ----------------
+
+    def eval(self, expr: Expr):
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name not in self.scalars:
+                raise OracleUnsupported(f"unbound scalar {expr.name!r}")
+            return self.scalars[expr.name]
+        if isinstance(expr, ArrayRef):
+            return self._read_ref(expr)
+        if isinstance(expr, BinOp):
+            lhs = self.eval(expr.lhs)
+            rhs = self.eval(expr.rhs)
+            integer = (
+                expr.op in ("/", "%")
+                and self._dtype_of(expr.lhs).is_integer
+                and self._dtype_of(expr.rhs).is_integer
+            )
+            return self._apply_bin(expr.op, lhs, rhs, integer)
+        if isinstance(expr, UnaryOp):
+            operand = self.eval(expr.operand)
+            if _is_concrete(operand):
+                if expr.op == "-":
+                    return -operand
+                if expr.op == "!":
+                    return not operand
+                if expr.op == "~":
+                    return ~self._concrete_int(operand, "operand of ~")
+                return +operand
+            return ("unary" + expr.op, operand)
+        if isinstance(expr, Call):
+            fn = _CALL_FNS.get(expr.func)
+            if fn is None:
+                raise OracleUnsupported(
+                    f"no oracle mapping for intrinsic {expr.func!r}"
+                )
+            args = [self.eval(a) for a in expr.args]
+            if all(_is_concrete(a) for a in args):
+                return fn(*args)
+            if expr.func in ("fabs", "abs") and _nonneg(args[0]):
+                # |x| == x bit-exactly for x >= 0: without this fold two
+                # structurally different trees (fabs(fabs(a[0])) vs
+                # a[0]) would wrongly predict a divergence the executor
+                # can never produce on the harness's positive inputs
+                return args[0]
+            return ("call", expr.func, tuple(args))
+        if isinstance(expr, Ternary):
+            cond = self.eval(expr.cond)
+            if not _is_concrete(cond):
+                raise OracleUnsupported("symbolic ternary condition")
+            return self.eval(expr.then) if cond else self.eval(expr.otherwise)
+        if isinstance(expr, Cast):
+            inner = self.eval(expr.operand)
+            if _is_concrete(inner):
+                return int(inner) if expr.dtype.is_integer else float(inner)
+            return ("cast-int" if expr.dtype.is_integer else "cast-float", inner)
+        raise OracleUnsupported(f"cannot evaluate {type(expr).__name__}")
+
+    def _apply_bin(self, op: str, lhs, rhs, integer: bool):
+        if _is_concrete(lhs) and _is_concrete(rhs):
+            if op == "/" and integer:
+                return _idiv(
+                    self._concrete_int(lhs, "dividend"),
+                    self._concrete_int(rhs, "divisor"),
+                )
+            if op == "%" and integer:
+                return _imod(
+                    self._concrete_int(lhs, "dividend"),
+                    self._concrete_int(rhs, "divisor"),
+                )
+            try:
+                return _PY_BIN[op](lhs, rhs)
+            except KeyError:
+                raise OracleUnsupported(f"operator {op!r}") from None
+            except ZeroDivisionError:
+                raise OracleUnsupported("division by zero") from None
+        if op == "/" and integer:
+            return ("idiv", lhs, rhs)
+        if op == "%" and integer:
+            return ("imod", lhs, rhs)
+        return (op, lhs, rhs)
+
+    def _apply_compound(self, op: str, current, value):
+        """Mirror of the executor's ``target op= value`` / ``target =
+        read op (value)`` lines: plain Python operator semantics (note:
+        *not* C integer division — the executor's compound path never
+        routes through ``_idiv``)."""
+        if _is_concrete(current) and _is_concrete(value):
+            try:
+                return _PY_BIN[op](current, value)
+            except ZeroDivisionError:
+                raise OracleUnsupported("division by zero") from None
+        return (op, current, value)
+
+    # -- statement execution (mirror of _CodeGen.gen_stmt) -------------------
+
+    def _burn(self) -> None:
+        self.fuel -= 1
+        if self.fuel <= 0:
+            raise OracleUnsupported("iteration budget exhausted")
+
+    def exec_stmt(self, stmt: Stmt) -> None:
+        self._burn()
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                self.exec_stmt(child)
+            return
+        if isinstance(stmt, Decl):
+            self.dtypes[stmt.name] = stmt.type.dtype
+            if stmt.init is not None:
+                self.scalars[stmt.name] = self.eval(stmt.init)
+            else:
+                self.scalars[stmt.name] = (
+                    0 if stmt.type.dtype.is_integer else 0.0
+                )
+            return
+        if isinstance(stmt, Assign):
+            self._exec_assign(stmt)
+            return
+        if isinstance(stmt, If):
+            cond = self.eval(stmt.cond)
+            if not _is_concrete(cond):
+                raise OracleUnsupported("symbolic branch condition")
+            if cond:
+                self.exec_stmt(stmt.then_body)
+            elif stmt.else_body is not None and len(stmt.else_body) > 0:
+                self.exec_stmt(stmt.else_body)
+            return
+        if isinstance(stmt, For):
+            self._exec_for(stmt)
+            return
+        if isinstance(stmt, While):
+            while True:
+                cond = self.eval(stmt.cond)
+                if not _is_concrete(cond):
+                    raise OracleUnsupported("symbolic while condition")
+                if not cond:
+                    return
+                self._burn()
+                self.exec_stmt(stmt.body)
+        if isinstance(stmt, Barrier):
+            return
+        raise OracleUnsupported(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_assign(self, stmt: Assign) -> None:
+        if isinstance(stmt.target, Var):
+            name = stmt.target.name
+            if stmt.op is None:
+                self.scalars[name] = self.eval(stmt.value)
+                return
+            if name not in self.scalars:
+                raise OracleUnsupported(f"compound update of unbound {name!r}")
+            self.scalars[name] = self._apply_compound(
+                stmt.op, self.scalars[name], self.eval(stmt.value)
+            )
+            return
+        ref = stmt.target
+        if ref.name not in self.arrays:
+            raise OracleUnsupported(f"write to unknown array {ref.name!r}")
+        idx = self._index_of(ref)
+        live = self.arrays[ref.name]
+        if stmt.op is None:
+            live[idx] = self.eval(stmt.value)
+        elif not stmt.atomic and self._snap_lookup(ref.name) is not None:
+            # compound under snapshot: the executor rewrites
+            # ``a[i] op= v`` into ``a[i] = _snap_a[i] op (v)``
+            live[idx] = self._apply_compound(
+                stmt.op, self._read_ref(ref), self.eval(stmt.value)
+            )
+        else:
+            # atomic updates and non-snapshotted targets read live memory
+            live[idx] = self._apply_compound(
+                stmt.op, live[idx], self.eval(stmt.value)
+            )
+
+    def _exec_for(self, loop: For) -> None:
+        self.dtypes[loop.var] = DType.INT32
+        sem = self.semantics.get(loop.loop_id, LoopSemantics())
+        lower = self._concrete_int(self.eval(loop.lower), "loop lower bound")
+        upper = self._concrete_int(self.eval(loop.upper), "loop upper bound")
+
+        if sem.mode is ExecMode.SEQUENTIAL:
+            iterates = range(lower, upper, loop.step)
+        elif sem.mode is ExecMode.PARALLEL_SNAPSHOT:
+            written = sorted(
+                {ref.name for ref in writes_and_reads(loop.body)[0]}
+            )
+            for name in written:
+                if name not in self.arrays:
+                    raise OracleUnsupported(
+                        f"snapshot of unknown array {name!r}"
+                    )
+                self.snap[name] = list(self.arrays[name])
+            self.snap_stack.append(frozenset(written))
+            for value in range(lower, upper, loop.step):
+                self.scalars[loop.var] = value
+                self.exec_stmt(loop.body)
+            self.snap_stack.pop()
+            return
+        elif sem.mode is ExecMode.REDUCTION_LAST_CHUNK:
+            length = max(0, -(-(upper - lower) // loop.step))
+            chunk = -(-length // sem.chunks)
+            start = lower + max(0, length - chunk) * loop.step
+            iterates = range(start, upper, loop.step)
+        else:  # pragma: no cover - ExecMode is closed
+            raise OracleUnsupported(f"unknown execution mode {sem.mode}")
+
+        for value in iterates:
+            self.scalars[loop.var] = value
+            self.exec_stmt(loop.body)
+
+    def final_state(self) -> dict[str, tuple]:
+        return {name: tuple(cells) for name, cells in self.arrays.items()}
+
+
+def symbolic_state(
+    kernel: KernelFunction,
+    semantics: dict[int, LoopSemantics] | None,
+    extents: dict[str, int],
+    int_scalars: dict[str, int] | None = None,
+) -> dict[str, tuple]:
+    """The symbolic final array state of *kernel* under *semantics*.
+
+    Raises :class:`OracleUnsupported` when the kernel is outside the
+    decidable fragment (symbolic bounds/branches, rank > 1, ...).
+    """
+    interp = _Interp(kernel, semantics, extents, int_scalars)
+    interp.exec_stmt(kernel.body)
+    return interp.final_state()
+
+
+@dataclass(frozen=True)
+class OraclePrediction:
+    """What the oracle expects the harness to observe for one kernel."""
+
+    supported: bool
+    #: compiled IR under *sequential* semantics differs from the original
+    #: kernel — a semantics-breaking compiler transform (a real bug)
+    transform_broken: bool = False
+    #: compiled IR under its advertised execution semantics differs from
+    #: the same IR run sequentially — a directive-induced wrong answer
+    race_broken: bool = False
+    #: compiled execution differs from the original sequential ground
+    #: truth — the simulator *will* produce a wrong answer
+    wrong_answer: bool = False
+    detail: str = ""
+
+
+def predict(
+    reference: KernelFunction,
+    candidate: KernelFunction,
+    semantics: dict[int, LoopSemantics] | None,
+    extents: dict[str, int],
+    int_scalars: dict[str, int] | None = None,
+) -> OraclePrediction:
+    """Compare *candidate* (a compiled kernel's IR, to be executed under
+    *semantics*) against the *reference* sequential ground truth."""
+    try:
+        ref = symbolic_state(reference, {}, extents, int_scalars)
+        cand_seq = symbolic_state(candidate, {}, extents, int_scalars)
+        cand_exec = symbolic_state(candidate, semantics, extents, int_scalars)
+    except OracleUnsupported as exc:
+        return OraclePrediction(supported=False, detail=str(exc))
+    return OraclePrediction(
+        supported=True,
+        transform_broken=ref != cand_seq,
+        race_broken=cand_seq != cand_exec,
+        wrong_answer=ref != cand_exec,
+    )
+
+
+_PY_BIN = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "&&": lambda a, b: a and b,
+    "||": lambda a, b: a or b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}

@@ -1,0 +1,340 @@
+"""Greedy shrinking of failing difftest cases to minimal reproducers.
+
+A failing seed is only useful if a human can read it.  ``shrink_case``
+runs classic greedy delta debugging over the IR: at each step it tries a
+list of *reductions* — drop a kernel, drop a statement, halve a loop's
+trip count, drop one directive, drop an unused parameter — and commits
+the first reduction under which the case **still shows an unexplained
+divergence** (checked by re-running the full pair sweep on the candidate
+through a fresh serial :class:`~repro.service.CompileService`, so cached
+artifacts from the original never mask the repro).  It stops when no
+reduction applies or the evaluation budget is spent.
+
+The shrunk module is dumped as replayable mini-C (comments are dropped
+by the lexer, so the provenance header survives a round trip through
+``repro.cli difftest --replay``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..ir.directives import DirectiveSet
+from ..ir.expr import ArrayRef, BinOp, Call, Cast, IntLit, Ternary, UnaryOp, Var
+from ..ir.printer import print_module
+from ..ir.stmt import (
+    Assign,
+    Block,
+    Decl,
+    For,
+    If,
+    Module,
+    While,
+)
+from ..ir.visitors import clone_module
+from ..service import CompileService
+from .generator import GeneratedCase, infer_extents
+
+__all__ = ["shrink_case", "shrink_module", "write_reproducer"]
+
+
+def _blocks(module: Module):
+    """Every Block in the module, pre-order."""
+    for kernel in module.kernels:
+        stack = [kernel.body]
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, Block):
+                yield stmt
+                stack.extend(reversed(stmt.stmts))
+            elif isinstance(stmt, (For, While)):
+                stack.append(stmt.body)
+            elif isinstance(stmt, If):
+                stack.append(stmt.then_body)
+                if stmt.else_body is not None:
+                    stack.append(stmt.else_body)
+
+
+def _names_in_expr(expr, out: set[str]) -> None:
+    if isinstance(expr, Var):
+        out.add(expr.name)
+    elif isinstance(expr, ArrayRef):
+        out.add(expr.name)
+        for index in expr.indices:
+            _names_in_expr(index, out)
+    elif isinstance(expr, BinOp):
+        _names_in_expr(expr.lhs, out)
+        _names_in_expr(expr.rhs, out)
+    elif isinstance(expr, (UnaryOp, Cast)):
+        _names_in_expr(expr.operand, out)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            _names_in_expr(arg, out)
+    elif isinstance(expr, Ternary):
+        _names_in_expr(expr.cond, out)
+        _names_in_expr(expr.then, out)
+        _names_in_expr(expr.otherwise, out)
+
+
+def _used_names(module: Module) -> set[str]:
+    names: set[str] = set()
+    for kernel in module.kernels:
+        for stmt in kernel.body.walk():
+            if isinstance(stmt, Decl) and stmt.init is not None:
+                _names_in_expr(stmt.init, names)
+            elif isinstance(stmt, Assign):
+                _names_in_expr(stmt.target, names)
+                _names_in_expr(stmt.value, names)
+            elif isinstance(stmt, If):
+                _names_in_expr(stmt.cond, names)
+            elif isinstance(stmt, For):
+                _names_in_expr(stmt.lower, names)
+                _names_in_expr(stmt.upper, names)
+            elif isinstance(stmt, While):
+                _names_in_expr(stmt.cond, names)
+        for directive in kernel.directives:
+            red = getattr(directive, "reduction", None)
+            if red is not None:
+                names.add(red.var)
+    return names
+
+
+def _reductions(module: Module):
+    """Candidate edits, each a callable mutating a *fresh clone* in place
+    and returning True when it applied.  Deterministic enumeration order:
+    coarse (kernels) to fine (single directives / params)."""
+    edits = []
+
+    for k_index in range(len(module.kernels)):
+        if len(module.kernels) > 1:
+            def drop_kernel(m, i=k_index):
+                if len(m.kernels) <= 1:
+                    return False
+                del m.kernels[i]
+                return True
+
+            edits.append(drop_kernel)
+
+    # statements, addressed as (block ordinal, stmt position)
+    for b_ord, block in enumerate(_blocks(module)):
+        for s_pos in range(len(block.stmts)):
+            def drop_stmt(m, b=b_ord, s=s_pos):
+                for ord_, blk in enumerate(_blocks(m)):
+                    if ord_ == b:
+                        if s >= len(blk.stmts) or len(blk.stmts) <= 0:
+                            return False
+                        del blk.stmts[s]
+                        return True
+                return False
+
+            edits.append(drop_stmt)
+
+    # halve loop trip counts (literal bounds only)
+    loop_ord = 0
+    for block in _blocks(module):
+        for stmt in block.stmts:
+            if isinstance(stmt, For) and isinstance(stmt.upper, IntLit) \
+                    and isinstance(stmt.lower, IntLit):
+                trip = max(0, -(-(stmt.upper.value - stmt.lower.value)
+                                // stmt.step))
+                if trip > 2:
+                    def halve(m, ord_=loop_ord, t=trip):
+                        cur = 0
+                        for blk in _blocks(m):
+                            for s in blk.stmts:
+                                if isinstance(s, For) and isinstance(
+                                    s.upper, IntLit
+                                ) and isinstance(s.lower, IntLit):
+                                    if cur == ord_:
+                                        s.upper = IntLit(
+                                            s.lower.value
+                                            + ((t + 1) // 2) * s.step
+                                        )
+                                        return True
+                                    cur += 1
+                        return False
+
+                    edits.append(halve)
+                loop_ord += 1
+
+    # drop individual loop directives
+    loop_ord = 0
+    for kernel in module.kernels:
+        for loop in kernel.loops():
+            for d_pos in range(len(loop.directives)):
+                def drop_loop_dir(m, ord_=loop_ord, d=d_pos):
+                    cur = 0
+                    for k in m.kernels:
+                        for lp in k.loops():
+                            if cur == ord_:
+                                items = lp.directives.items
+                                if d >= len(items):
+                                    return False
+                                lp.directives = DirectiveSet(
+                                    items[:d] + items[d + 1:]
+                                )
+                                return True
+                            cur += 1
+                    return False
+
+                edits.append(drop_loop_dir)
+            loop_ord += 1
+
+    # drop kernel-level directives
+    for k_index, kernel in enumerate(module.kernels):
+        for d_pos in range(len(kernel.directives)):
+            def drop_kernel_dir(m, i=k_index, d=d_pos):
+                if i >= len(m.kernels):
+                    return False
+                items = m.kernels[i].directives.items
+                if d >= len(items):
+                    return False
+                m.kernels[i].directives = DirectiveSet(
+                    items[:d] + items[d + 1:]
+                )
+                return True
+
+            edits.append(drop_kernel_dir)
+
+    # drop unused parameters
+    used = _used_names(module)
+    for k_index, kernel in enumerate(module.kernels):
+        for p_index in range(len(kernel.params)):
+            if kernel.params[p_index].name not in used:
+                def drop_param(m, i=k_index, p=p_index):
+                    if i >= len(m.kernels):
+                        return False
+                    params = m.kernels[i].params
+                    if p >= len(params):
+                        return False
+                    del params[p]
+                    return True
+
+                edits.append(drop_param)
+
+    return edits
+
+
+def _canonical_case(module: Module, seed: int) -> GeneratedCase | None:
+    """Round-trip a candidate through the frontend and re-infer extents;
+    None when the candidate left the decidable fragment."""
+    from ..frontend import parse_module
+
+    try:
+        source = print_module(module)
+        reparsed = parse_module(source)
+        canonical = print_module(reparsed)
+        if canonical != source:
+            reparsed = parse_module(canonical)
+            source = canonical
+        extents = {
+            kernel.name: infer_extents(kernel)
+            for kernel in reparsed.kernels
+        }
+    except Exception:
+        return None
+    if not any(extents.values()) and not reparsed.kernels:
+        return None
+    return GeneratedCase(
+        seed=seed, salt=0, module=reparsed, source=source, extents=extents
+    )
+
+
+def shrink_module(module: Module, predicate, max_evals: int = 160) -> Module:
+    """Greedy delta debugging: keep applying the first reduction under
+    which ``predicate(candidate_module)`` still holds."""
+    current = clone_module(module)
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for edit in _reductions(current):
+            if evals >= max_evals:
+                break
+            candidate = clone_module(current)
+            if not edit(candidate):
+                continue
+            evals += 1
+            if predicate(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def _failure_signature(result) -> frozenset:
+    """The (compiler, target, status) triples of a result's unexplained
+    failures — the thing a shrink must preserve.  Without this a shrink
+    can "succeed" by degrading into a *different* failure (e.g. deleting
+    a declaration turns a transform-bug into an executor crash)."""
+    out = set()
+    for pair in result.pairs:
+        if pair.status in ("compile-error", "job-error"):
+            out.add((pair.compiler, pair.target, pair.status))
+        for diff in pair.kernels:
+            if not diff.explained:
+                out.add((pair.compiler, pair.target, diff.status))
+    return frozenset(out)
+
+
+def shrink_case(
+    case: GeneratedCase,
+    max_evals: int = 160,
+    compile_fn=None,
+    signature: frozenset | None = None,
+) -> GeneratedCase:
+    """Shrink a failing case while it reproduces the *same* unexplained
+    failure signature (any of the original (compiler, target, status)
+    triples; all of them when *signature* is None and recomputed here).
+
+    *compile_fn* (the owning service's, when provided) keeps injected
+    compiler behavior reproducible during shrinking.
+    """
+    from .harness import run_case
+
+    if signature is None:
+        baseline = run_case(
+            case, CompileService(compile_fn=compile_fn),
+            tag=f"shrink:{case.tag}",
+        )
+        signature = _failure_signature(baseline)
+    if not signature:
+        return case
+
+    def still_fails(candidate_module: Module) -> bool:
+        candidate = _canonical_case(candidate_module, case.seed)
+        if candidate is None or not candidate.module.kernels:
+            return False
+        # fresh serial service: never let the warm cache answer for a
+        # structurally different candidate (fingerprints differ anyway,
+        # but a fresh cache also bounds memory during long shrinks)
+        result = run_case(
+            candidate, CompileService(compile_fn=compile_fn),
+            tag=f"shrink:{case.tag}",
+        )
+        return bool(_failure_signature(result) & signature)
+
+    shrunk = shrink_module(case.module, still_fails, max_evals)
+    return _canonical_case(shrunk, case.seed) or case
+
+
+def write_reproducer(case, result, service, out_dir: str | None) -> str:
+    """Shrink and dump a failing case as replayable mini-C; returns the
+    file path."""
+    out_dir = out_dir or "difftest-failures"
+    os.makedirs(out_dir, exist_ok=True)
+    shrunk = shrink_case(
+        case,
+        compile_fn=getattr(service, "_compile_fn", None),
+        signature=_failure_signature(result),
+    )
+    path = os.path.join(out_dir, f"{case.tag}_min.c")
+    header = [
+        f"// difftest reproducer for seed {case.seed}",
+        "// replay: python -m repro.cli difftest --replay " + path,
+    ]
+    for detail in result.unexplained_details():
+        header.append(f"// {detail}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(header) + "\n" + shrunk.source)
+    return path

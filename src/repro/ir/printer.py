@@ -157,7 +157,13 @@ class CPrinter:
         params = []
         for p in kernel.params:
             if isinstance(p.type, ArrayType):
-                params.append(f"{p.type.dtype.c_name} {'*' * p.type.rank}{p.name}")
+                # intent "in" prints as const so the round-trip preserves
+                # read-only-ness (the parser maps const arrays to intent
+                # "in", which PGI's alias analysis relies on)
+                const = "const " if p.intent == "in" else ""
+                params.append(
+                    f"{const}{p.type.dtype.c_name} {'*' * p.type.rank}{p.name}"
+                )
             else:
                 params.append(f"{p.type.dtype.c_name} {p.name}")
         self._emit(f"void {kernel.name}({', '.join(params)}) {{")

@@ -60,6 +60,16 @@ class JobError(Exception):
         tag = f" [{self.label}]" if self.label else ""
         return f"{self.kind}{tag}: {self.message}"
 
+    def __reduce__(self):
+        # Exception.__reduce__ would replay only ``args`` (the message),
+        # which breaks the 5-argument constructor; spell the constructor
+        # arguments out so a JobError survives the disk cache tier.
+        return (
+            JobError,
+            (self.label, self.fingerprint, self.kind, self.message,
+             self.seconds),
+        )
+
 
 @dataclass
 class _CachedFailure:

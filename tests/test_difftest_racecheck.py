@@ -1,0 +1,210 @@
+"""The static race checker: lint warnings + the exact symbolic oracle."""
+
+import numpy as np
+import pytest
+
+from repro.difftest.generator import generate_case, make_inputs
+from repro.difftest.racecheck import (
+    OracleUnsupported,
+    lint_kernel,
+    predict,
+    symbolic_state,
+)
+from repro.frontend import parse_kernel
+from repro.runtime.executor import ExecMode, LoopSemantics, execute_kernel
+
+
+def _sem(kernel, mode, chunks=4):
+    return {
+        loop.loop_id: LoopSemantics(mode, chunks=chunks)
+        for loop in kernel.loops()
+    }
+
+
+class TestLint:
+    def test_flow_dependence_under_independent_is_flagged(self):
+        k = parse_kernel(
+            "void f(float *a) { int i;\n"
+            "#pragma acc loop independent\n"
+            "for (i = 1; i < 8; i++) a[i] = a[i - 1] + 1.0f; }"
+        )
+        warnings = lint_kernel(k)
+        assert any(w.kind == "independent-dependence" for w in warnings)
+
+    def test_clean_independent_loop_is_silent(self):
+        k = parse_kernel(
+            "void f(float *a, const float *b) { int i;\n"
+            "#pragma acc loop independent\n"
+            "for (i = 0; i < 8; i++) a[i] = b[i] + 1.0f; }"
+        )
+        assert lint_kernel(k) == []
+
+    def test_reduction_clause_without_reduction_is_flagged(self):
+        k = parse_kernel(
+            "void f(float *a, float s) { int i;\n"
+            "#pragma acc loop reduction(+:s)\n"
+            "for (i = 0; i < 8; i++) a[i] = a[i] * 2.0f; }"
+        )
+        warnings = lint_kernel(k)
+        assert any(w.kind == "reduction-mismatch" for w in warnings)
+
+    def test_matching_reduction_clause_is_silent(self):
+        k = parse_kernel(
+            "void f(const float *a, float *out) { int i; float s = 0.0f;\n"
+            "#pragma acc loop reduction(+:s)\n"
+            "for (i = 0; i < 8; i++) s += a[i];\n"
+            "out[0] = s; }"
+        )
+        assert not [w for w in lint_kernel(k) if w.kind == "reduction-mismatch"]
+
+
+class TestOracleBasics:
+    def test_flow_dependence_breaks_under_snapshot(self):
+        k = parse_kernel(
+            "void f(float *a) { int i;\n"
+            "for (i = 1; i < 8; i++) a[i] = a[i - 1] + 1.0f; }"
+        )
+        pred = predict(k, k, _sem(k, ExecMode.PARALLEL_SNAPSHOT), {"a": 8})
+        assert pred.supported and pred.wrong_answer and pred.race_broken
+        assert not pred.transform_broken
+
+    def test_anti_dependence_is_benign_sequentially_ordered(self):
+        # a[i] = a[i+1]: snapshot reads the *original* right neighbor,
+        # sequential also reads the not-yet-overwritten right neighbor —
+        # identical dataflow, no wrong answer
+        k = parse_kernel(
+            "void f(float *a) { int i;\n"
+            "for (i = 0; i < 7; i++) a[i] = a[i + 1]; }"
+        )
+        pred = predict(k, k, _sem(k, ExecMode.PARALLEL_SNAPSHOT), {"a": 8})
+        assert pred.supported and not pred.wrong_answer
+
+    def test_scalar_accumulation_survives_snapshot(self):
+        # snapshotting only applies to *arrays*; the scalar sum is live
+        k = parse_kernel(
+            "void f(const float *a, float *out) { int i; float s = 0.0f;\n"
+            "for (i = 0; i < 8; i++) s += a[i];\n"
+            "out[0] = s; }"
+        )
+        pred = predict(k, k, _sem(k, ExecMode.PARALLEL_SNAPSHOT),
+                       {"a": 8, "out": 4})
+        assert pred.supported and not pred.wrong_answer
+
+    def test_last_chunk_drops_partial_sums(self):
+        k = parse_kernel(
+            "void f(const float *a, float *out) { int i; float s = 0.0f;\n"
+            "for (i = 0; i < 8; i++) s += a[i];\n"
+            "out[0] = s; }"
+        )
+        pred = predict(k, k, _sem(k, ExecMode.REDUCTION_LAST_CHUNK),
+                       {"a": 8, "out": 4})
+        assert pred.supported and pred.wrong_answer
+
+    def test_single_iteration_last_chunk_is_exact(self):
+        k = parse_kernel(
+            "void f(const float *a, float *out) { int i; float s = 0.0f;\n"
+            "for (i = 0; i < 1; i++) s += a[i];\n"
+            "out[0] = s; }"
+        )
+        pred = predict(k, k, _sem(k, ExecMode.REDUCTION_LAST_CHUNK),
+                       {"a": 4, "out": 4})
+        assert pred.supported and not pred.wrong_answer
+
+    def test_transform_bug_detected_sequentially(self):
+        orig = parse_kernel(
+            "void f(const float *a, float *b) { int i;\n"
+            "for (i = 0; i < 4; i++) b[i] = a[i] + 1.0f; }"
+        )
+        mutated = parse_kernel(
+            "void f(const float *a, float *b) { int i;\n"
+            "for (i = 0; i < 4; i++) b[i] = a[i] + 2.0f; }"
+        )
+        pred = predict(orig, mutated, {}, {"a": 4, "b": 4})
+        assert pred.supported and pred.transform_broken and pred.wrong_answer
+        assert not pred.race_broken
+
+    def test_fabs_of_positive_input_is_identity(self):
+        # inputs are drawn from [0.75, 1.3): fabs(x) folds to x, so the
+        # two kernels have *equal* symbolic states
+        plain = parse_kernel(
+            "void f(const float *a, float *b) { int i;\n"
+            "for (i = 0; i < 4; i++) b[i] = a[i]; }"
+        )
+        wrapped = parse_kernel(
+            "void f(const float *a, float *b) { int i;\n"
+            "for (i = 0; i < 4; i++) b[i] = fabs(fabs(a[i])); }"
+        )
+        ext = {"a": 4, "b": 4}
+        assert symbolic_state(plain, {}, ext) == symbolic_state(wrapped, {}, ext)
+
+
+class TestOracleRefusals:
+    def test_symbolic_loop_bound_unsupported(self):
+        k = parse_kernel(
+            "void f(float *a, float t) { int i;\n"
+            "for (i = 0; i < t; i++) a[i] = 1.0f; }"
+        )
+        pred = predict(k, k, {}, {"a": 8})
+        assert not pred.supported
+
+    def test_symbolic_branch_unsupported(self):
+        k = parse_kernel(
+            "void f(float *a, float t) { int i;\n"
+            "for (i = 0; i < 4; i++) if (t > 1.0f) a[i] = 1.0f; }"
+        )
+        pred = predict(k, k, {}, {"a": 8})
+        assert not pred.supported
+
+    def test_out_of_bounds_subscript_unsupported(self):
+        k = parse_kernel(
+            "void f(float *a) { int i;\n"
+            "for (i = 0; i < 8; i++) a[i] = 1.0f; }"
+        )
+        with pytest.raises(OracleUnsupported):
+            symbolic_state(k, {}, {"a": 4})
+
+    def test_int_scalar_params_can_bind_concrete(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i;\n"
+            "for (i = 0; i < n; i++) a[i] = 1.0f; }"
+        )
+        state = symbolic_state(k, {}, {"a": 8}, int_scalars={"n": 4})
+        assert state["a"][:4] == (1.0,) * 4
+        assert state["a"][4] == ("in", "a", 4)
+
+
+class TestMirrorFidelity:
+    """The oracle must track the executor bit for bit: run both on the
+    same kernels under the same stress semantics and require that tree
+    equality predicts numeric equality, kernel by kernel."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize(
+        "mode", [ExecMode.PARALLEL_SNAPSHOT, ExecMode.REDUCTION_LAST_CHUNK]
+    )
+    def test_agreement_with_executor(self, seed, mode):
+        case = generate_case(seed)
+        for kernel in case.module.kernels:
+            extents = case.extents[kernel.name]
+            args = make_inputs(kernel, extents, f"mf:{seed}:{kernel.name}")
+            ints = {k: v for k, v in args.items() if isinstance(v, int)}
+            sem = _sem(kernel, mode)
+            pred = predict(kernel, kernel, sem, extents, ints)
+            assert pred.supported, pred.detail
+
+            def run(semantics):
+                copies = {
+                    k: (v.copy() if isinstance(v, np.ndarray) else v)
+                    for k, v in args.items()
+                }
+                execute_kernel(kernel, copies, semantics)
+                return {
+                    k: v for k, v in copies.items()
+                    if isinstance(v, np.ndarray)
+                }
+
+            ref, got = run(None), run(sem)
+            observed = any(
+                not np.array_equal(ref[name], got[name]) for name in ref
+            )
+            assert observed == pred.wrong_answer

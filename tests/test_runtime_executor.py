@@ -158,3 +158,115 @@ class TestSourceGeneration:
         source = kernel_python_source(k)
         assert source.startswith("def _kernel(a, n):")
         compile(source, "<test>", "exec")
+
+
+class TestCIntegerDivision:
+    """C semantics: division truncates toward zero, and the remainder
+    takes the dividend's sign — unlike Python's floor division."""
+
+    def test_idiv_truncates_toward_zero(self):
+        from repro.runtime.executor import _idiv
+
+        assert _idiv(7, 2) == 3
+        assert _idiv(-7, 2) == -3      # Python's -7 // 2 would be -4
+        assert _idiv(7, -2) == -3
+        assert _idiv(-7, -2) == 3
+
+    def test_imod_takes_dividend_sign(self):
+        from repro.runtime.executor import _imod
+
+        assert _imod(7, 2) == 1
+        assert _imod(-7, 2) == -1      # Python's -7 % 2 would be 1
+        assert _imod(7, -2) == 1
+        assert _imod(-7, -2) == -1
+
+    def test_kernel_divides_negative_ints_like_c(self):
+        k = parse_kernel(
+            "void f(int *q, int *r, const int *a, int d) { int i; "
+            "for (i = 0; i < 4; i++) { q[i] = a[i] / d; r[i] = a[i] % d; } }"
+        )
+        a = np.array([-7, -1, 1, 7], dtype=np.int32)
+        q = np.zeros(4, dtype=np.int32)
+        r = np.zeros(4, dtype=np.int32)
+        execute_kernel(k, {"q": q, "r": r, "a": a, "d": 2})
+        assert q.tolist() == [-3, 0, 0, 3]
+        assert r.tolist() == [-1, -1, 1, 1]
+
+
+class TestReductionLastChunkEdges:
+    def test_chunks_exceed_trip_count(self):
+        # trip count 2 with chunks=4: chunk size ceil(2/4)=1, so only the
+        # single last iteration runs
+        k = parse_kernel(
+            "void f(const float *a, float *out) { int i; float s = 0.0f; "
+            "for (i = 0; i < 2; i++) s += a[i];\n"
+            "out[0] = s; }"
+        )
+        out = np.zeros(1)
+        lid = k.loops()[0].loop_id
+        execute_kernel(
+            k, {"a": np.array([3.0, 5.0]), "out": out},
+            {lid: LoopSemantics(ExecMode.REDUCTION_LAST_CHUNK, chunks=4)},
+        )
+        assert out[0] == 5.0
+
+    def test_single_iteration_is_exact(self):
+        # trip count 1: the last chunk IS the whole loop, result correct
+        k = parse_kernel(
+            "void f(const float *a, float *out) { int i; float s = 0.0f; "
+            "for (i = 0; i < 1; i++) s += a[i];\n"
+            "out[0] = s; }"
+        )
+        out = np.zeros(1)
+        lid = k.loops()[0].loop_id
+        execute_kernel(
+            k, {"a": np.array([7.0]), "out": out},
+            {lid: LoopSemantics(ExecMode.REDUCTION_LAST_CHUNK, chunks=4)},
+        )
+        assert out[0] == 7.0
+
+    def test_strided_last_chunk(self):
+        # lower 0, upper 7, step 2 -> iterates 0,2,4,6 (length 4);
+        # chunk ceil(4/4)=1 -> start = 0 + 3*2 = 6: only i=6 runs
+        k = parse_kernel(
+            "void f(const float *a, float *out) { int i; float s = 0.0f; "
+            "for (i = 0; i < 7; i += 2) s += a[i];\n"
+            "out[0] = s; }"
+        )
+        out = np.zeros(1)
+        lid = k.loops()[0].loop_id
+        execute_kernel(
+            k, {"a": np.arange(8, dtype=np.float64), "out": out},
+            {lid: LoopSemantics(ExecMode.REDUCTION_LAST_CHUNK, chunks=4)},
+        )
+        assert out[0] == 6.0
+
+
+class TestParallelSnapshotEdges:
+    def test_empty_trip_loop_is_noop(self):
+        # zero iterations: snapshots are taken and discarded, arrays
+        # unchanged, and no error from the empty range
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; "
+            "for (i = 0; i < n; i++) a[i] = a[i] + 1.0f; }"
+        )
+        a = np.array([1.0, 2.0])
+        lid = k.loops()[0].loop_id
+        execute_kernel(
+            k, {"a": a, "n": 0},
+            {lid: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT)},
+        )
+        assert a.tolist() == [1.0, 2.0]
+
+    def test_snapshot_reads_are_stale(self):
+        # the defining property: a[i] reads the pre-loop value of a[i-1]
+        k = parse_kernel(
+            "void f(float *a) { int i; "
+            "for (i = 1; i < 4; i++) a[i] = a[i - 1] + 1.0f; }"
+        )
+        a = np.zeros(4)
+        lid = k.loops()[0].loop_id
+        execute_kernel(
+            k, {"a": a}, {lid: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT)}
+        )
+        assert a.tolist() == [0.0, 1.0, 1.0, 1.0]  # sequential: 0,1,2,3

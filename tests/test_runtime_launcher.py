@@ -137,3 +137,72 @@ class TestProfiler:
         acc.profiler.record("h2d", "a", 0.5)
         acc.profiler.record("h2d", "b", 0.25)
         assert acc.profiler.time_by_kind()["h2d"] == pytest.approx(0.75)
+
+
+class TestByteAccounting:
+    """Regression pins for declare/upload_declared/touch_h2d transfer
+    accounting — the machinery behind the Table 7 BFS transfer numbers
+    (each modeled byte must be counted exactly once per event)."""
+
+    def test_declare_records_no_events(self):
+        acc = Accelerator(K40)
+        acc.declare(graph=1 << 20, frontier=4096)
+        assert acc.profiler.events == []
+        assert acc.profiler.transfer_bytes() == 0
+
+    def test_upload_declared_counts_declared_bytes(self):
+        acc = Accelerator(K40)
+        acc.declare(graph=1 << 20, frontier=4096)
+        acc.upload_declared("graph", "frontier")
+        assert acc.profiler.memcpy_h2d == 2
+        assert acc.profiler.transfer_bytes() == (1 << 20) + 4096
+        by_label = {e.label: e.nbytes for e in acc.profiler.events}
+        assert by_label == {"graph": 1 << 20, "frontier": 4096}
+
+    def test_touch_h2d_retransfers_full_size_each_time(self):
+        # the BFS level loop re-enters its data region every level: each
+        # touch must re-count the full buffer size (paper Table 7)
+        acc = Accelerator(K40)
+        acc.declare(edges=1000)
+        for _ in range(3):
+            acc.touch_h2d("edges")
+        assert acc.profiler.memcpy_h2d == 3
+        assert acc.profiler.transfer_bytes() == 3000
+
+    def test_download_declared_counts_d2h(self):
+        acc = Accelerator(K40)
+        acc.declare(cost=256)
+        acc.download_declared("cost")
+        assert acc.profiler.memcpy_d2h == 1
+        assert acc.profiler.transfer_bytes() == 256
+
+    def test_real_buffer_size_beats_declared_size(self):
+        # a real upload supersedes a stale declaration: _nbytes must
+        # prefer the live ndarray's nbytes
+        acc = Accelerator(K40)
+        acc.declare(a=999999)
+        acc.to_device(a=np.zeros(8, dtype=np.float32))  # 32 bytes
+        acc.touch_h2d("a")
+        sizes = [e.nbytes for e in acc.profiler.events if e.kind == "h2d"]
+        assert sizes == [32, 32]
+
+    def test_unknown_buffer_raises(self):
+        acc = Accelerator(K40)
+        with pytest.raises(RuntimeError_):
+            acc.touch_h2d("nope")
+        with pytest.raises(RuntimeError_):
+            acc.upload_declared("nope")
+
+    def test_negative_declared_size_rejected(self):
+        acc = Accelerator(K40)
+        with pytest.raises(RuntimeError_):
+            acc.declare(bad=-1)
+
+    def test_transfer_seconds_scale_with_bytes(self):
+        # the modeled PCIe time must be proportional to the declared size
+        acc = Accelerator(K40)
+        acc.declare(small=1 << 10, big=1 << 20)
+        acc.upload_declared("small")
+        acc.upload_declared("big")
+        small_s, big_s = [e.seconds for e in acc.profiler.events]
+        assert big_s > small_s

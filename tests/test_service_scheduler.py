@@ -173,3 +173,112 @@ class TestDefaultService:
         assert "compile service" in text
         assert "1 cache hits" in text
         assert "1 memory hits" in text
+
+
+class TestJobErrorPickle:
+    """JobError must survive the disk cache tier: the default
+    Exception.__reduce__ would replay only ``args`` (the message) and
+    crash the 5-argument constructor on load."""
+
+    def test_round_trip_preserves_all_fields(self):
+        import pickle
+
+        err = JobError("lbl", "fp123", "timeout", "took too long", 1.5)
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.label == "lbl"
+        assert clone.fingerprint == "fp123"
+        assert clone.kind == "timeout"
+        assert clone.message == "took too long"
+        assert clone.seconds == 1.5
+        assert str(clone) == str(err)
+
+
+class TestFailureCaching:
+    """Harness requirement (ISSUE 2): a failing fingerprint must replay
+    the same error from the warm cache without recompiling, and must not
+    poison successful artifacts cached beside it."""
+
+    @pytest.fixture()
+    def module(self):
+        return parse_module(SOURCE, "demo")
+
+    def test_failure_replays_without_recompiling(self, module):
+        compiles = []
+
+        def failing(request):
+            compiles.append(request.fingerprint)
+            raise CompilationError("boom")
+
+        service = CompileService(compile_fn=failing)
+        req = CompileRequest(module, "caps", "cuda", label="bad")
+        (first,) = service.sweep([req])
+        (second,) = service.sweep([req])
+        assert isinstance(first, JobError) and first.kind == "compile-error"
+        assert isinstance(second, JobError)
+        assert second.message == first.message
+        assert len(compiles) == 1  # second sweep hit the cached failure
+        assert service.metrics.cache_hits == 1
+
+    def test_failure_does_not_poison_good_entries(self, module):
+        calls = []
+
+        def sometimes(request):
+            calls.append(request.target)
+            if request.target == "opencl":
+                raise CompilationError("no backend")
+            return f"artifact-{request.target}"
+
+        service = CompileService(compile_fn=sometimes)
+        good = CompileRequest(module, "caps", "cuda")
+        bad = CompileRequest(module, "caps", "opencl")
+        results = service.sweep([good, bad])
+        assert results[0] == "artifact-cuda"
+        assert isinstance(results[1], JobError)
+        # the good artifact still replays from cache, the failure too
+        results2 = service.sweep([good, bad])
+        assert results2[0] == "artifact-cuda"
+        assert isinstance(results2[1], JobError)
+        assert calls == ["cuda", "opencl"]  # nothing recompiled
+
+    def test_cleared_cache_recompiles(self, module):
+        compiles = []
+
+        def failing(request):
+            compiles.append(1)
+            raise CompilationError("boom")
+
+        service = CompileService(compile_fn=failing)
+        req = CompileRequest(module, "caps", "cuda")
+        service.sweep([req])
+        service.cache.clear(memory_only=False)
+        service.sweep([req])
+        assert len(compiles) == 2
+
+    def test_failure_replays_across_services_via_disk_tier(
+        self, module, tmp_path
+    ):
+        def failing(request):
+            raise JobError(request.label, request.fingerprint,
+                           "compile-error", "structured boom")
+
+        cache_dir = str(tmp_path / "cache")
+        first = CompileService(
+            cache=ArtifactCache(cache_dir=cache_dir), compile_fn=failing
+        )
+        req = CompileRequest(module, "caps", "cuda", label="persist")
+        (err,) = first.sweep([req])
+        assert isinstance(err, JobError)
+
+        # a new service over the same disk tier must replay the pickled
+        # JobError (exercises JobError.__reduce__) without compiling
+        def never(request):
+            raise AssertionError("should not compile")
+
+        second = CompileService(
+            cache=ArtifactCache(cache_dir=cache_dir), compile_fn=never
+        )
+        (replayed,) = second.sweep([req])
+        assert isinstance(replayed, JobError)
+        assert replayed.kind == "compile-error"
+        assert replayed.message == "structured boom"
+        assert replayed.fingerprint == req.fingerprint
