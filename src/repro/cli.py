@@ -12,11 +12,19 @@ Commands:
 * ``autotune``       — the future-work auto-tuner on LUD.
 * ``difftest``       — seeded cross-compiler differential fuzzing with a
   static race checker (docs/DIFFTEST.md).
+* ``telemetry FILE`` — render a saved trace (either format) as the
+  hierarchical text report (docs/TELEMETRY.md).
 
 ``experiment``, ``heatmap``, and ``autotune`` accept ``--jobs N`` and
 ``--cache-dir PATH`` to route compilations through the
 :mod:`repro.service` compile cache / worker pool (see docs/SERVICE.md);
 output is byte-identical to the serial, cache-free default.
+
+``experiment``, ``heatmap``, ``autotune``, ``bench``, and ``difftest``
+accept ``--trace FILE`` (and ``--trace-format {jsonl,chrome}``) to record
+the run's tool-chain timeline — frontend, compiler passes, PTX codegen,
+cache hits/compiles, scheduler worker lanes, modeled runtime events —
+through :mod:`repro.telemetry` (see docs/TELEMETRY.md).
 """
 
 from __future__ import annotations
@@ -75,18 +83,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .core.method import format_rows, run_opencl, run_stage
     from .devices import device_by_name
     from .kernels import get_benchmark
+    from .telemetry import get_tracer
 
     bench = get_benchmark(args.name)
     n = args.size or min(bench.meta.paper_size, 1 << 20)
     device = device_by_name(args.device)
     target = "cuda" if device.kind.value == "gpu" else "opencl"
-    rows = []
-    for stage, module in bench.stages().items():
-        rows.append(
-            run_stage(bench, module, stage, args.compiler, target, device, n)
-        )
-    if args.opencl and bench.opencl_program() is not None:
-        rows.append(run_opencl(bench, "opencl", device, n))
+    with get_tracer().span("bench", category="cli", label=args.name,
+                           device=device.name, compiler=args.compiler):
+        rows = []
+        for stage, module in bench.stages().items():
+            rows.append(
+                run_stage(bench, module, stage, args.compiler, target,
+                          device, n)
+            )
+        if args.opencl and bench.opencl_program() is not None:
+            rows.append(run_opencl(bench, "opencl", device, n))
     print(f"{bench.meta.name} (n = {n}) on {device.name} via {args.compiler}")
     print(format_rows(rows))
     return 0
@@ -96,8 +108,11 @@ def _service_from_args(args: argparse.Namespace):
     """Build a CompileService from --jobs/--cache-dir (None if defaults)."""
     from .service import CompileService
     from .service.cache import ArtifactCache
+    from .telemetry import get_tracer
 
-    if args.jobs == 1 and args.cache_dir is None:
+    # a traced run always gets an explicit service so its metrics can be
+    # published into the exported trace
+    if args.jobs == 1 and args.cache_dir is None and not get_tracer().enabled:
         return None
     return CompileService(
         cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs
@@ -110,9 +125,19 @@ def _print_service_stats(service) -> None:
         print("\n".join(service.report_lines()))
 
 
+def _maybe_publish(service) -> None:
+    """When tracing is on, publish the run's service/cache counters into
+    the process-wide registry so they ride along in the exported trace."""
+    from .telemetry import get_registry, get_tracer
+
+    if service is not None and get_tracer().enabled:
+        service.publish(get_registry())
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import ALL_EXPERIMENTS
     from .service import configure_default_service, get_default_service
+    from .telemetry import get_tracer
 
     if args.jobs != 1 or args.cache_dir is not None:
         # the experiment drivers share the process-wide default service
@@ -126,12 +151,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     failures = 0
     for name in names:
-        result = ALL_EXPERIMENTS[name](paper_scale=args.paper_scale)
+        with get_tracer().span(f"experiment.{name}", category="cli",
+                               label=name):
+            result = ALL_EXPERIMENTS[name](paper_scale=args.paper_scale)
         print(result.report())
         print()
         failures += len(result.failed_claims())
     if args.jobs != 1 or args.cache_dir is not None:
         _print_service_stats(get_default_service())
+    _maybe_publish(get_default_service())
     return 1 if failures else 0
 
 
@@ -146,6 +174,7 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
                           n=args.size, service=service, jobs=args.jobs)
     print(heatmap.render())
     _print_service_stats(service)
+    _maybe_publish(service)
     return 0
 
 
@@ -185,6 +214,7 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
         print(f"  {name}: {seconds:.4g}s")
     if args.jobs != 1 or args.cache_dir is not None:
         _print_service_stats(service)
+    _maybe_publish(service)
     return 0
 
 
@@ -203,6 +233,7 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
         for detail in result.unexplained_details():
             print(f"  {detail}")
         _print_service_stats(service)
+        _maybe_publish(service)
         return 0 if result.explained else 1
 
     seeds = range(args.start, args.start + args.seeds)
@@ -216,7 +247,16 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
             print(f"  reproducer: {case.reproducer}")
     if args.jobs != 1 or args.cache_dir is not None:
         _print_service_stats(service)
+    _maybe_publish(service)
     return 1 if report.unexplained else 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from .telemetry import load_trace, text_report
+
+    spans, metrics = load_trace(args.file)
+    print(text_report(spans, metrics, max_tree_lines=args.limit))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -226,6 +266,30 @@ def build_parser() -> argparse.ArgumentParser:
                     "(IPPS 2015 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_service_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="compile sweep points on N worker threads (results are "
+                 "deterministic and identical to --jobs 1)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="persist compiled artifacts to PATH (content-addressed; "
+                 "a warm cache makes re-sweeps compile-free)",
+        )
+
+    def add_trace_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="record the run's tool-chain timeline (spans + metrics) "
+                 "to FILE (docs/TELEMETRY.md)",
+        )
+        p.add_argument(
+            "--trace-format", choices=("jsonl", "chrome"), default="jsonl",
+            help="trace file format: JSON lines, or Chrome trace events "
+                 "loadable in chrome://tracing / Perfetto (default jsonl)",
+        )
 
     p = sub.add_parser("compile", help="compile a mini-C + OpenACC source")
     p.add_argument("file")
@@ -247,25 +311,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=None)
     p.add_argument("--opencl", action="store_true",
                    help="include the hand-written OpenCL version")
+    add_trace_flags(p)
     p.set_defaults(func=_cmd_bench)
-
-    def add_service_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--jobs", type=int, default=1, metavar="N",
-            help="compile sweep points on N worker threads (results are "
-                 "deterministic and identical to --jobs 1)",
-        )
-        p.add_argument(
-            "--cache-dir", default=None, metavar="PATH",
-            help="persist compiled artifacts to PATH (content-addressed; "
-                 "a warm cache makes re-sweeps compile-free)",
-        )
 
     p = sub.add_parser("experiment", help="regenerate paper tables/figures")
     p.add_argument("ids", nargs="+",
                    help="experiment ids (e.g. fig3 table7) or 'all'")
     p.add_argument("--paper-scale", action="store_true")
     add_service_flags(p)
+    add_trace_flags(p)
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("heatmap", help="the Fig. 4 heat map")
@@ -273,11 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
     p.add_argument("--size", type=int, default=2048)
     add_service_flags(p)
+    add_trace_flags(p)
     p.set_defaults(func=_cmd_heatmap)
 
     p = sub.add_parser("autotune", help="auto-tune LUD thread distribution")
     p.add_argument("--size", type=int, default=1024)
     add_service_flags(p)
+    add_trace_flags(p)
     p.set_defaults(func=_cmd_autotune)
 
     p = sub.add_parser(
@@ -295,14 +351,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", default=None, metavar="FILE",
                    help="re-run one dumped reproducer instead of sweeping")
     add_service_flags(p)
+    add_trace_flags(p)
     p.set_defaults(func=_cmd_difftest)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="render a saved --trace file as a text report "
+             "(docs/TELEMETRY.md)",
+    )
+    p.add_argument("file", help="a trace written by --trace (either format)")
+    p.add_argument("--limit", type=int, default=400, metavar="N",
+                   help="max timeline-tree lines to render (default 400)")
+    p.set_defaults(func=_cmd_telemetry)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.func(args)
+
+    from .telemetry import (
+        configure_tracer,
+        get_registry,
+        get_tracer,
+        reset_registry,
+        reset_tracer,
+        write_trace,
+    )
+
+    configure_tracer(enabled=True)
+    reset_registry()
+    try:
+        return args.func(args)
+    finally:
+        count = write_trace(trace_path, args.trace_format, get_tracer(),
+                            get_registry())
+        print(f"trace: {count} spans -> {trace_path} ({args.trace_format})",
+              file=sys.stderr)
+        reset_tracer()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -37,6 +37,7 @@ from ..ir.directives import AccData, AccLoop, HmppBlocksize, HmppTile, HmppUnrol
 from ..ir.stmt import For, KernelFunction, Module
 from ..ir.visitors import clone_kernel
 from ..ptx.codegen import CodegenStyle, ParallelMapping, generate_ptx
+from ..telemetry.spans import get_tracer
 from ..transforms.tile import nest_is_tileable, tile_in_kernel
 from ..transforms.unroll import unroll_in_kernel
 from .flags import FlagSet
@@ -92,13 +93,15 @@ class CapsCompiler:
         {"cuda", "opencl"}."""
         if target not in ("cuda", "opencl"):
             raise CompilationError(f"CAPS has no {target!r} backend")
-        result = CompilationResult(module.name, self.name, target)
-        for index, kernel in enumerate(module.kernels):
-            compiled = self._compile_kernel(
-                kernel, target, result.log, first=(index == 0)
-            )
-            result.kernels.append(compiled)
-        return result
+        with get_tracer().span("compile.caps", category="compile",
+                               label=module.name, target=target):
+            result = CompilationResult(module.name, self.name, target)
+            for index, kernel in enumerate(module.kernels):
+                compiled = self._compile_kernel(
+                    kernel, target, result.log, first=(index == 0)
+                )
+                result.kernels.append(compiled)
+            return result
 
     # -- per-kernel pipeline ---------------------------------------------------
 
@@ -106,15 +109,20 @@ class CapsCompiler:
         self, kernel: KernelFunction, target: str, log: list[str],
         first: bool = False,
     ) -> CompiledKernel:
+        tracer = get_tracer()
         messages: list[str] = []
         work = clone_kernel(kernel)
 
-        work, messages_u = self._apply_unroll(work, target)
+        with tracer.span("caps.unroll", category="pass", kernel=kernel.name):
+            work, messages_u = self._apply_unroll(work, target)
         messages += messages_u
-        work, messages_t = self._apply_tiling(work)
+        with tracer.span("caps.tile", category="pass", kernel=kernel.name):
+            work, messages_t = self._apply_tiling(work)
         messages += messages_t
 
-        distribution, parallel_ids, messages_d = self._distribute(work)
+        with tracer.span("caps.distribute", category="pass",
+                         kernel=kernel.name):
+            distribution, parallel_ids, messages_d = self._distribute(work)
         messages += messages_d
 
         broken_reduction: list[int] = []

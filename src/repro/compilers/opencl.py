@@ -202,8 +202,14 @@ class IntelOpenCLCompiler:
 
 def compile_opencl(program: OpenCLProgram, device_kind: str) -> CompilationResult:
     """Compile a hand-written OpenCL program for "gpu" or "mic"."""
-    if device_kind == "gpu":
-        return NvidiaOpenCLCompiler().compile(program)
-    if device_kind == "mic":
-        return IntelOpenCLCompiler().compile(program)
-    raise CompilationError(f"no OpenCL runtime for device kind {device_kind!r}")
+    from ..telemetry.spans import get_tracer
+
+    with get_tracer().span("compile.opencl", category="compile",
+                           label=program.name, device=device_kind):
+        if device_kind == "gpu":
+            return NvidiaOpenCLCompiler().compile(program)
+        if device_kind == "mic":
+            return IntelOpenCLCompiler().compile(program)
+        raise CompilationError(
+            f"no OpenCL runtime for device kind {device_kind!r}"
+        )

@@ -52,6 +52,7 @@ from ..ir.stmt import For, KernelFunction, Module, While
 from ..ir.types import ArrayType
 from ..ir.visitors import clone_kernel, writes_and_reads
 from ..ptx.codegen import CodegenStyle, ParallelMapping, empty_ptx, generate_ptx
+from ..telemetry.spans import get_tracer
 from ..transforms.unroll import unroll_in_kernel
 from .flags import FlagSet
 from .framework import (
@@ -160,10 +161,12 @@ class PgiCompiler:
                 "PGI 14.9 targets NVIDIA GPUs only (no Intel MIC backend)"
             )
         self._check_pointers(module)
-        result = CompilationResult(module.name, self.name, target)
-        for kernel in module.kernels:
-            result.kernels.append(self._compile_kernel(kernel, result.log))
-        return result
+        with get_tracer().span("compile.pgi", category="compile",
+                               label=module.name, target=target):
+            result = CompilationResult(module.name, self.name, target)
+            for kernel in module.kernels:
+                result.kernels.append(self._compile_kernel(kernel, result.log))
+            return result
 
     # -- pointer sensitivity ---------------------------------------------------
 

@@ -29,6 +29,7 @@ from ..devices.specs import DeviceSpec
 from ..kernels.base import Benchmark
 from ..runtime.launcher import Accelerator
 from ..service.scheduler import CompileService
+from ..telemetry.spans import traced
 from ..transforms.distribute import set_gang_worker
 from .method import compile_stage
 from .search import distribution_requests
@@ -95,6 +96,7 @@ def make_lud_evaluator(
     return evaluate
 
 
+@traced("autotune.prewarm", category="autotune")
 def prewarm_lud_grid(
     benchmark: Benchmark,
     device: DeviceSpec,
@@ -114,6 +116,7 @@ def prewarm_lud_grid(
     return sum(1 for result in results if not isinstance(result, Exception))
 
 
+@traced("autotune.exhaustive", category="autotune")
 def exhaustive_tune(
     evaluate: Callable[[int, int], float],
     gangs: Iterable[int] = GANG_CANDIDATES,
@@ -134,6 +137,7 @@ def exhaustive_tune(
                       tuple(history))
 
 
+@traced("autotune.hill_climb", category="autotune")
 def hill_climb_tune(
     evaluate: Callable[[int, int], float],
     seed: tuple[int, int] = (128, 32),
@@ -175,6 +179,7 @@ def hill_climb_tune(
                       tuple(history))
 
 
+@traced("autotune.portable", category="autotune")
 def portable_tune(
     evaluators: dict[str, Callable[[int, int], float]],
     gangs: Iterable[int] = GANG_CANDIDATES,

@@ -23,6 +23,7 @@ from ..devices.specs import DeviceSpec, HostToolchain, GCC
 from ..kernels.base import Benchmark
 from ..ptx.counter import InstructionProfile
 from ..runtime.launcher import Accelerator
+from ..telemetry.spans import get_tracer
 
 
 @dataclass
@@ -146,6 +147,31 @@ def run_stage(
     to the accelerator's profiler so ``Profiler.report()`` shows the
     cache/service section.
     """
+    with get_tracer().span(
+        "method.stage", category="method",
+        label=f"{benchmark.meta.short}:{stage}",
+        compiler=compiler, target=target, device=device.name,
+    ):
+        return _run_stage(
+            benchmark, module, stage, compiler, target, device, n,
+            flags, toolchain, validate_inputs, service, **run_kwargs,
+        )
+
+
+def _run_stage(
+    benchmark: Benchmark,
+    module,
+    stage: str,
+    compiler: str,
+    target: str,
+    device: DeviceSpec,
+    n: int,
+    flags: FlagSet | None = None,
+    toolchain: HostToolchain = GCC,
+    validate_inputs: dict[str, object] | None = None,
+    service=None,
+    **run_kwargs,
+) -> StageResult:
     try:
         compiled = compile_stage(module, compiler, target, flags,
                                  service=service)

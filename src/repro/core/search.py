@@ -18,6 +18,7 @@ from ..kernels.base import Benchmark
 from ..runtime.launcher import Accelerator
 from ..service.fingerprint import CompileRequest
 from ..service.scheduler import CompileService
+from ..telemetry.spans import get_tracer
 from ..transforms.distribute import set_gang_worker
 
 DEFAULT_GANGS = (1, 16, 64, 128, 192, 256, 512, 1024)
@@ -140,26 +141,34 @@ def lud_heatmap(
     target = "cuda" if device.kind.value == "gpu" else "opencl"
     if service is None:
         service = CompileService(jobs=jobs)
-    requests = distribution_requests(benchmark, compiler, target, gangs,
-                                     workers)
-    compiled_grid = service.compile_many(requests)
+    tracer = get_tracer()
+    with tracer.span("search.heatmap", category="search",
+                     label=f"{benchmark.meta.short} {compiler}",
+                     device=device.name, points=len(gangs) * len(workers)):
+        requests = distribution_requests(benchmark, compiler, target, gangs,
+                                         workers)
+        compiled_grid = service.compile_many(requests)
 
-    times: list[list[float]] = []
-    point = iter(compiled_grid)
-    for gang in gangs:
-        row: list[float] = []
-        for worker in workers:
-            compiled = next(point)
-            accelerator = Accelerator(device)
-            accelerator.profiler.attach_service(service)
-            accelerator.declare(a=n * n * 4)
-            total = 0.0
-            for i in sample_is:
-                for compiled_kernel in compiled.kernels:
-                    record = accelerator.launch(compiled_kernel, size=n, i=i)
-                    total += record.seconds
-            row.append(total * (n / samples))
-        times.append(row)
+        times: list[list[float]] = []
+        point = iter(compiled_grid)
+        with tracer.span("search.model", category="search",
+                         device=device.name):
+            for gang in gangs:
+                row: list[float] = []
+                for worker in workers:
+                    compiled = next(point)
+                    accelerator = Accelerator(device)
+                    accelerator.profiler.attach_service(service)
+                    accelerator.declare(a=n * n * 4)
+                    total = 0.0
+                    for i in sample_is:
+                        for compiled_kernel in compiled.kernels:
+                            record = accelerator.launch(
+                                compiled_kernel, size=n, i=i
+                            )
+                            total += record.seconds
+                    row.append(total * (n / samples))
+                times.append(row)
     return HeatMap(
         label=f"LUD {compiler.upper()}",
         device=device.name,

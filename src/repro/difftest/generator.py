@@ -644,6 +644,14 @@ def generate_case(seed: int) -> GeneratedCase:
     loop regenerates the rare case whose values fail the boundedness
     validation (same seed ⇒ same salt ⇒ same case, always).
     """
+    from ..telemetry.spans import get_tracer
+
+    with get_tracer().span("difftest.generate", category="difftest",
+                           seed=seed):
+        return _generate_case(seed)
+
+
+def _generate_case(seed: int) -> GeneratedCase:
     last_problem = "no candidate generated"
     for salt in range(_MAX_SALT):
         module = _build_module(seed, salt)

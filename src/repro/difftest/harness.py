@@ -49,6 +49,7 @@ from ..ir.stmt import KernelFunction
 from ..ir.visitors import clone_kernel
 from ..runtime.executor import execute_kernel
 from ..service import CompileRequest, CompileService, JobError
+from ..telemetry.spans import get_tracer
 from .generator import (
     ExtentError,
     GeneratedCase,
@@ -223,36 +224,41 @@ def _diff_kernel(
             for k, v in args.items()
         }
 
+    tracer = get_tracer()
     semantics = {} if compiled.elided else compiled.executor_semantics(device)
     try:
-        ref = fresh()
-        execute_kernel(original, ref, None)
-        got = fresh()
-        execute_kernel(clone_kernel(compiled.ir), got, semantics)
+        with tracer.span("difftest.execute", category="difftest",
+                         kernel=original.name, device=device):
+            ref = fresh()
+            execute_kernel(original, ref, None)
+            got = fresh()
+            execute_kernel(clone_kernel(compiled.ir), got, semantics)
     except Exception as exc:  # executor crash: always unexplained
         return KernelDiff(
             original.name, "error", detail=f"{type(exc).__name__}: {exc}"
         )
 
-    mismatched = []
-    max_rel = 0.0
-    within = True
-    for name, ref_val in ref.items():
-        if not isinstance(ref_val, np.ndarray):
-            continue
-        got_val = got[name]
-        if np.array_equal(ref_val, got_val):
-            continue
-        mismatched.append(name)
-        denom = np.maximum(np.abs(ref_val), 1e-30)
-        rel = float(np.max(np.abs(got_val - ref_val) / denom))
-        max_rel = max(max_rel, rel)
-        if rel > rel_tolerance(ref_val.dtype):
-            within = False
+    with tracer.span("difftest.classify", category="difftest",
+                     kernel=original.name, device=device):
+        mismatched = []
+        max_rel = 0.0
+        within = True
+        for name, ref_val in ref.items():
+            if not isinstance(ref_val, np.ndarray):
+                continue
+            got_val = got[name]
+            if np.array_equal(ref_val, got_val):
+                continue
+            mismatched.append(name)
+            denom = np.maximum(np.abs(ref_val), 1e-30)
+            rel = float(np.max(np.abs(got_val - ref_val) / denom))
+            max_rel = max(max_rel, rel)
+            if rel > rel_tolerance(ref_val.dtype):
+                within = False
 
-    prediction = predict(
-        original, compiled.ir, semantics, extents, int_scalars
-    )
+        prediction = predict(
+            original, compiled.ir, semantics, extents, int_scalars
+        )
 
     if not mismatched:
         if prediction.supported and prediction.wrong_answer:
@@ -320,6 +326,14 @@ def run_case(
 ) -> CaseResult:
     """Compile *case* through every pair and diff every kernel."""
     tag = tag or case.tag
+    with get_tracer().span("difftest.case", category="difftest",
+                           seed=case.seed, label=tag):
+        return _run_case(case, service, tag)
+
+
+def _run_case(
+    case: GeneratedCase, service: CompileService, tag: str
+) -> CaseResult:
     requests = [
         CompileRequest(
             case.module, compiler, target, label=f"{tag}:{compiler}-{target}"

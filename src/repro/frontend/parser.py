@@ -456,7 +456,11 @@ def parse_kernel(source: str) -> KernelFunction:
 
 def parse_module(source: str, name: str = "module") -> Module:
     """Parse a translation unit of one or more kernels."""
-    return Parser(source).parse_module(name)
+    from ..telemetry.spans import get_tracer
+
+    with get_tracer().span("frontend.parse", category="frontend",
+                           module=name, chars=len(source)):
+        return Parser(source).parse_module(name)
 
 
 def parse_expr(source: str) -> Expr:

@@ -615,7 +615,13 @@ def generate_ptx(
     style: CodegenStyle | None = None,
 ) -> PtxKernel:
     """Generate the PTX listing for *kernel* under a parallel mapping."""
-    return PtxGenerator(kernel, mapping, style).generate()
+    from ..telemetry.spans import get_tracer
+
+    with get_tracer().span(
+        "ptx.codegen", category="codegen", kernel=kernel.name,
+        style=style.name if style is not None else "default",
+    ):
+        return PtxGenerator(kernel, mapping, style).generate()
 
 
 def empty_ptx(name: str) -> PtxKernel:

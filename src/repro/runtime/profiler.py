@@ -6,11 +6,23 @@ durations; the BFS discovery of paper V-C1 ("we find the kernels do not
 run on GPU after we set the environment variable PGI_ACC_TIME to 1 and
 profile the kernels with nvprof") and the transfer counts of Table VII
 are read off this timeline.
+
+All recording and reading is lock-guarded: the parallel sweep scheduler
+can drive several accelerators (or one shared profiler) from pool
+threads while a reporter iterates the timeline.  Every recorded event is
+also bridged into the process-wide :mod:`repro.telemetry` tracer as a
+modeled span (``runtime.h2d`` / ``runtime.d2h`` / ``runtime.launch`` /
+``runtime.host``) when tracing is enabled, so one exported trace covers
+the compile service *and* the simulated device timeline.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+
+from ..telemetry.registry import MetricsRegistry, Reportable
+from ..telemetry.spans import get_tracer
 
 
 @dataclass(frozen=True)
@@ -29,15 +41,19 @@ class ProfileEvent:
 @dataclass
 class Profiler:
     events: list[ProfileEvent] = field(default_factory=list)
-    #: an attached compile-service view (any object with ``report_lines()``,
-    #: e.g. :class:`repro.service.CompileService` or ``ServiceMetrics``);
-    #: duck-typed so the runtime layer stays independent of the service layer
-    service: object | None = None
+    #: an attached compile-service view (any :class:`Reportable`, e.g.
+    #: :class:`repro.service.CompileService` or ``ServiceMetrics``); typed
+    #: through the telemetry protocol so the runtime layer stays
+    #: independent of the service layer
+    service: Reportable | None = None
 
-    def attach_service(self, service: object) -> None:
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def attach_service(self, service: Reportable) -> None:
         """Surface a compile service's cache/latency counters in
         :meth:`report` (the nvprof stand-in gains the compile-cache view)."""
-        if not hasattr(service, "report_lines"):
+        if not isinstance(service, Reportable):
             raise TypeError(
                 "attach_service expects an object with report_lines(), got "
                 f"{type(service).__name__}"
@@ -48,14 +64,28 @@ class Profiler:
                device: str = "") -> None:
         if seconds < 0:
             raise ValueError("event duration must be non-negative")
-        self.events.append(ProfileEvent(kind, label, seconds, nbytes, device))
+        event = ProfileEvent(kind, label, seconds, nbytes, device)
+        with self._lock:
+            self.events.append(event)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record_span(
+                f"runtime.{kind}", seconds, category="modeled",
+                label=label, nbytes=nbytes, device=device,
+            )
+
+    def snapshot_events(self) -> tuple[ProfileEvent, ...]:
+        """A consistent copy of the timeline (safe under concurrent
+        :meth:`record` calls)."""
+        with self._lock:
+            return tuple(self.events)
 
     # -- queries -------------------------------------------------------------
 
     def count(self, kind: str, label: str | None = None) -> int:
         return sum(
             1
-            for event in self.events
+            for event in self.snapshot_events()
             if event.kind == kind and (label is None or event.label == label)
         )
 
@@ -75,35 +105,60 @@ class Profiler:
         """Launches that actually ran on the device (PGI_ACC_TIME view)."""
         return sum(
             1
-            for event in self.events
+            for event in self.snapshot_events()
             if event.kind == "launch" and event.device not in ("", "host")
         )
 
     @property
     def total_s(self) -> float:
-        return sum(event.seconds for event in self.events)
+        return sum(event.seconds for event in self.snapshot_events())
 
     def time_by_kind(self) -> dict[str, float]:
         out: dict[str, float] = {}
-        for event in self.events:
+        for event in self.snapshot_events():
             out[event.kind] = out.get(event.kind, 0.0) + event.seconds
         return out
 
     def transfer_bytes(self) -> int:
         return sum(
-            event.nbytes for event in self.events if event.kind in ("h2d", "d2h")
+            event.nbytes
+            for event in self.snapshot_events()
+            if event.kind in ("h2d", "d2h")
+        )
+
+    def publish(self, registry: MetricsRegistry,
+                prefix: str = "runtime") -> None:
+        """Publish per-kind counts/durations and transfer bytes into the
+        unified telemetry registry (gauges: idempotent)."""
+        events = self.snapshot_events()
+        counts: dict[str, int] = {}
+        seconds: dict[str, float] = {}
+        for event in events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+            seconds[event.kind] = seconds.get(event.kind, 0.0) + event.seconds
+        for kind in sorted(counts):
+            registry.gauge(f"{prefix}.{kind}.events").set(counts[kind])
+            registry.gauge(f"{prefix}.{kind}.seconds").set(seconds[kind])
+        registry.gauge(f"{prefix}.transfer_bytes").set(
+            sum(e.nbytes for e in events if e.kind in ("h2d", "d2h"))
         )
 
     def report(self) -> str:
-        lines = [str(event) for event in self.events]
+        events = self.snapshot_events()
+        lines = [str(event) for event in events]
+        h2d = sum(1 for e in events if e.kind == "h2d")
+        d2h = sum(1 for e in events if e.kind == "d2h")
+        launches = sum(1 for e in events if e.kind == "launch")
+        total_s = sum(e.seconds for e in events)
         lines.append(
-            f"-- total {self.total_s * 1e3:.3f} ms over {len(self.events)} events "
-            f"({self.memcpy_h2d} H2D, {self.memcpy_d2h} D2H, "
-            f"{self.kernel_launches} launches)"
+            f"-- total {total_s * 1e3:.3f} ms over {len(events)} events "
+            f"({h2d} H2D, {d2h} D2H, "
+            f"{launches} launches)"
         )
         if self.service is not None:
-            lines.extend(self.service.report_lines())  # type: ignore[attr-defined]
+            lines.extend(self.service.report_lines())
         return "\n".join(lines)
 
     def clear(self) -> None:
-        self.events.clear()
+        with self._lock:
+            self.events.clear()

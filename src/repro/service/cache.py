@@ -66,6 +66,12 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def publish(self, registry, prefix: str = "cache") -> None:
+        """Publish the tier counters into a
+        :class:`repro.telemetry.MetricsRegistry` (gauges: idempotent)."""
+        for name, value in self.snapshot().items():
+            registry.gauge(f"{prefix}.{name}").set(float(value))
+
 
 @dataclass
 class ArtifactCache:

@@ -2,9 +2,13 @@
 percentiles, renderable as a section of the runtime profiler's report.
 
 The :class:`repro.runtime.profiler.Profiler` knows nothing about the
-service layer; it accepts any object with ``report_lines()`` (see
-:meth:`Profiler.attach_service`), which both :class:`ServiceMetrics` and
-:class:`repro.service.scheduler.CompileService` provide.
+service layer; both layers meet at the
+:class:`repro.telemetry.Reportable` protocol (see
+:meth:`Profiler.attach_service`), which :class:`ServiceMetrics` and
+:class:`repro.service.scheduler.CompileService` satisfy.
+
+``percentile`` is re-exported from :mod:`repro.telemetry.registry` — the
+single shared implementation — for backward compatibility.
 """
 
 from __future__ import annotations
@@ -12,21 +16,9 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from ..telemetry.registry import MetricsRegistry, percentile
 
-def percentile(values: list[float], frac: float) -> float:
-    """Linear-interpolated percentile of *values* (``frac`` in [0, 1])."""
-    if not values:
-        return 0.0
-    if not 0.0 <= frac <= 1.0:
-        raise ValueError(f"percentile fraction must be in [0, 1], got {frac}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = frac * (len(ordered) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    weight = pos - lo
-    return ordered[lo] * (1.0 - weight) + ordered[hi] * weight
+__all__ = ["ServiceMetrics", "percentile"]
 
 
 @dataclass
@@ -113,6 +105,29 @@ class ServiceMetrics:
                 "timeouts": self.timeouts,
                 "time_saved_s": self.time_saved_s,
             }
+
+    def publish(self, registry: MetricsRegistry,
+                prefix: str = "service") -> None:
+        """Publish counters and the compile-latency distribution into the
+        unified telemetry registry (gauges, so re-publishing is
+        idempotent rather than double-counting)."""
+        with self._lock:
+            snap = {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "dedup_hits": self.dedup_hits,
+                "compiles": self.compiles,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "time_saved_s": self.time_saved_s,
+            }
+            seconds = list(self._compile_seconds)
+        for name, value in snap.items():
+            registry.gauge(f"{prefix}.{name}").set(float(value))
+        histogram = registry.histogram(f"{prefix}.compile_seconds")
+        already = histogram.count
+        if len(seconds) > already:
+            histogram.observe_many(seconds[already:])
 
     def report_lines(self) -> list[str]:
         """The compile-service section of a profiler report."""

@@ -39,6 +39,8 @@ from typing import Any, Callable, Iterable, Sequence
 from ..compilers.flags import FlagSet
 from ..devices.specs import DeviceSpec
 from ..ir.stmt import Module
+from ..telemetry.registry import MetricsRegistry
+from ..telemetry.spans import get_tracer
 from .cache import MISS, ArtifactCache
 from .fingerprint import CompileRequest
 from .metrics import ServiceMetrics
@@ -129,57 +131,90 @@ class CompileService:
     def compile_request(self, request: CompileRequest) -> Any:
         fingerprint = request.fingerprint
         self.metrics.record_request()
-        cached = self.cache.get(fingerprint)
-        if cached is not MISS:
-            self.metrics.record_cache_hit(fingerprint)
-            if isinstance(cached, _CachedFailure):
-                raise cached.error
-            return cached
-        start = time.perf_counter()
-        try:
-            artifact = self._compile_fn(request)
-        except Exception as exc:
+        with get_tracer().span(
+            "service.compile", category="service",
+            label=request.label or request.module.name,
+            compiler=request.compiler, target=request.target,
+            fingerprint=fingerprint[:12],
+        ) as span:
+            cached = self.cache.get(fingerprint)
+            if cached is not MISS:
+                self.metrics.record_cache_hit(fingerprint)
+                span.set(cache="hit")
+                if isinstance(cached, _CachedFailure):
+                    raise cached.error
+                return cached
+            span.set(cache="miss")
+            start = time.perf_counter()
+            try:
+                artifact = self._compile_fn(request)
+            except Exception as exc:
+                seconds = time.perf_counter() - start
+                self.cache.put(fingerprint, _CachedFailure(exc))
+                self.metrics.record_compile(fingerprint, seconds, failed=True)
+                raise
             seconds = time.perf_counter() - start
-            self.cache.put(fingerprint, _CachedFailure(exc))
-            self.metrics.record_compile(fingerprint, seconds, failed=True)
-            raise
-        seconds = time.perf_counter() - start
-        self.cache.put(fingerprint, artifact)
-        self.metrics.record_compile(fingerprint, seconds)
-        return artifact
+            self.cache.put(fingerprint, artifact)
+            self.metrics.record_compile(fingerprint, seconds)
+            return artifact
 
     # -- batch API -------------------------------------------------------------
 
     def submit(self, request: CompileRequest) -> Future:
         """Schedule one request; identical in-flight requests share one
         future (and one compile)."""
+        tracer = get_tracer()
         fingerprint = request.fingerprint
         with self._lock:
             existing = self._inflight.get(fingerprint)
             if existing is not None and not existing.done():
                 self.metrics.record_dedup_hit()
+                if tracer.enabled:
+                    tracer.record_span(
+                        "service.dedup", 0.0, category="service",
+                        label=request.label or request.module.name,
+                        fingerprint=fingerprint[:12],
+                    )
                 return existing
             future: Future = Future()
             self._inflight[fingerprint] = future
+        # the job span must parent under the *submitting* thread's span
+        # (e.g. service.sweep) even when it runs on a pool thread, where
+        # contextvars do not propagate — capture the parent here
+        parent = tracer.capture()
+        queued_at = tracer.now_s() if tracer.enabled else 0.0
         if self.jobs == 1:
-            self._run_job(request, future)
+            self._run_job(request, future, parent, queued_at)
         else:
-            self._ensure_pool().submit(self._run_job, request, future)
+            self._ensure_pool().submit(
+                self._run_job, request, future, parent, queued_at
+            )
         return future
 
     def compile_many(self, requests: Sequence[CompileRequest]) -> list[Any]:
         """Compile a batch; results in request order; first failure raises."""
-        futures = [self.submit(request) for request in requests]
-        results: list[Any] = []
-        for request, future in zip(requests, futures):
-            results.append(self._gather(request, future, strict=True))
-        return results
+        with get_tracer().span(
+            "service.batch", category="service",
+            points=len(requests), jobs=self.jobs,
+        ):
+            futures = [self.submit(request) for request in requests]
+            results: list[Any] = []
+            for request, future in zip(requests, futures):
+                results.append(self._gather(request, future, strict=True))
+            return results
 
     def sweep(self, requests: Iterable[CompileRequest]
               ) -> list[Any]:
         """Fault-tolerant batch: each slot is an artifact or a
         :class:`JobError`; a bad point never kills the sweep."""
         materialized = list(requests)
+        with get_tracer().span(
+            "service.sweep", category="service",
+            points=len(materialized), jobs=self.jobs,
+        ):
+            return self._sweep(materialized)
+
+    def _sweep(self, materialized: list[CompileRequest]) -> list[Any]:
         futures = [self.submit(request) for request in materialized]
         results: list[Any] = []
         for request, future in zip(materialized, futures):
@@ -223,6 +258,12 @@ class CompileService:
             ),
         ]
 
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Publish service metrics and cache-tier counters into the
+        unified telemetry registry (one call covers both)."""
+        self.metrics.publish(registry, prefix="service")
+        self.cache.stats.publish(registry, prefix="cache")
+
     # -- internals -------------------------------------------------------------
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -232,17 +273,28 @@ class CompileService:
             )
         return self._pool
 
-    def _run_job(self, request: CompileRequest, future: Future) -> None:
-        try:
-            result = self.compile_request(request)
-        except Exception as exc:
-            future.set_exception(exc)
-        else:
-            future.set_result(result)
-        finally:
-            with self._lock:
-                if self._inflight.get(request.fingerprint) is future:
-                    del self._inflight[request.fingerprint]
+    def _run_job(self, request: CompileRequest, future: Future,
+                 parent=None, queued_at: float = 0.0) -> None:
+        tracer = get_tracer()
+        with tracer.span(
+            "service.job", category="service", parent=parent,
+            label=request.label or request.module.name,
+        ) as span:
+            if tracer.enabled:
+                # queue wait: submit() stamped the enqueue time
+                span.set(queued_s=max(tracer.now_s() - queued_at, 0.0))
+            try:
+                result = self.compile_request(request)
+            except Exception as exc:
+                span.set(status="error")
+                future.set_exception(exc)
+            else:
+                span.set(status="done")
+                future.set_result(result)
+            finally:
+                with self._lock:
+                    if self._inflight.get(request.fingerprint) is future:
+                        del self._inflight[request.fingerprint]
 
     def _gather(self, request: CompileRequest, future: Future,
                 strict: bool) -> Any:

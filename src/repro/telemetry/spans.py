@@ -1,0 +1,311 @@
+"""Hierarchical tracing spans — the tool-chain's nvprof-style timeline.
+
+A :class:`Tracer` records :class:`Span` objects: named, nested intervals
+with attributes and point-in-time events.  Parent/child nesting is
+propagated through a :mod:`contextvars` variable, so the *active* span
+follows the call stack without any explicit plumbing — and, because the
+sweep scheduler hands work to pool threads (where context vars do not
+flow automatically), a span captured with :meth:`Tracer.capture` can be
+re-established as the explicit ``parent=`` of a span opened on another
+thread.  This is how a ``service.sweep`` span on the caller thread
+becomes the parent of ``service.job`` spans on ``repro-compile-N``
+workers.
+
+Two kinds of spans coexist on one timeline:
+
+* **wall-clock spans** — opened with :meth:`Tracer.span` (a context
+  manager) or :func:`traced` (a decorator); start/end are read from the
+  tracer's monotonic clock.
+* **modeled spans** — added whole with :meth:`Tracer.record_span`; the
+  duration is the *modeled* seconds of a simulated transfer or kernel
+  launch (the :class:`repro.runtime.profiler.Profiler` bridge), placed
+  at the current clock position.
+
+Disabled path: the process-wide tracer starts **disabled**, and a
+disabled tracer returns one shared no-op context manager from every
+``span()`` call — no ``Span`` allocation, no contextvar write, no lock.
+Instrumented code therefore costs one attribute check per call site when
+tracing is off.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, TypeVar
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "configure_tracer",
+    "get_tracer",
+    "reset_tracer",
+    "traced",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: sentinel distinguishing "no parent passed" from "explicitly rootless"
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time marker inside a span (e.g. ``cache-hit``)."""
+
+    name: str
+    at_s: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One named interval on the timeline."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_s: float                       # seconds since the tracer epoch
+    end_s: float | None = None
+    category: str = ""
+    attributes: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+    thread_id: int = 0
+    thread_name: str = ""
+    error: str | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+
+class _NoopSpan:
+    """The span handle instrumentation sees when tracing is disabled.
+
+    One shared instance; every method is a no-op returning self, so
+    ``with tracer.span(...) as s: s.set(...)`` costs nothing measurable.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: the module-wide no-op singleton (identity-testable: a disabled tracer
+#: returns exactly this object from every ``span()`` call)
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager tying one :class:`Span` to the context variable."""
+
+    __slots__ = ("_tracer", "span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span,
+                 token: contextvars.Token | None) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._token = token
+
+    def set(self, **attributes: Any) -> "_ActiveSpan":
+        self.span.set(**attributes)
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        self._tracer.add_event(self.span, name, **attributes)
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and self.span.error is None:
+            self.span.error = f"{type(exc).__name__}: {exc}"
+        self._tracer.finish(self.span, token=self._token)
+
+
+class Tracer:
+    """Collects spans for one process (or one test)."""
+
+    def __init__(self, enabled: bool = True,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._current: contextvars.ContextVar[Span | None] = \
+            contextvars.ContextVar("repro_active_span", default=None)
+
+    # -- clock -----------------------------------------------------------------
+
+    def now_s(self) -> float:
+        """Seconds since this tracer was created (monotonic)."""
+        return self._clock() - self._epoch
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def span(self, name: str, category: str = "", parent: Any = _UNSET,
+             **attributes: Any):
+        """Open a span as a context manager.
+
+        Without ``parent=`` the ambient span (contextvar) is the parent
+        and the new span becomes ambient for the dynamic extent of the
+        ``with`` block.  With an explicit ``parent=`` (a :class:`Span`
+        from :meth:`capture`, or ``None`` for a root) the contextvar is
+        *also* set, so children opened inside still nest — this is the
+        cross-thread re-parenting path.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        if parent is _UNSET:
+            parent_span = self._current.get()
+        else:
+            parent_span = parent
+        span = self._make_span(name, category, parent_span, attributes)
+        token = self._current.set(span)
+        return _ActiveSpan(self, span, token)
+
+    def capture(self) -> Span | None:
+        """The ambient span of the calling thread (hand this to worker
+        threads as ``span(..., parent=captured)``)."""
+        if not self.enabled:
+            return None
+        return self._current.get()
+
+    def record_span(self, name: str, seconds: float, category: str = "",
+                    parent: Any = _UNSET, **attributes: Any) -> Span | None:
+        """Add a completed span of modeled duration *seconds* starting at
+        the current clock position (the Profiler bridge)."""
+        if not self.enabled:
+            return None
+        if parent is _UNSET:
+            parent_span = self._current.get()
+        else:
+            parent_span = parent
+        span = self._make_span(name, category, parent_span, attributes)
+        span.end_s = span.start_s + max(seconds, 0.0)
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def add_event(self, span: Span, name: str, **attributes: Any) -> None:
+        if not self.enabled:
+            return
+        span.events.append(SpanEvent(name, self.now_s(), dict(attributes)))
+
+    def finish(self, span: Span,
+               token: contextvars.Token | None = None) -> None:
+        span.end_s = self.now_s()
+        if token is not None:
+            try:
+                self._current.reset(token)
+            except ValueError:
+                # token created in another context (cross-thread reuse);
+                # fall back to clearing the slot
+                self._current.set(None)
+        with self._lock:
+            self._spans.append(span)
+
+    # -- views -----------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Snapshot of all finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans() if s.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # -- internals -------------------------------------------------------------
+
+    def _make_span(self, name: str, category: str, parent: Span | None,
+                   attributes: dict[str, Any]) -> Span:
+        thread = threading.current_thread()
+        return Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start_s=self.now_s(),
+            category=category,
+            attributes=dict(attributes),
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+        )
+
+
+# -- process-wide tracer -------------------------------------------------------
+
+_global_tracer = Tracer(enabled=False)
+_global_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled until configured — the
+    ``--trace`` CLI flag calls :func:`configure_tracer`)."""
+    return _global_tracer
+
+
+def configure_tracer(enabled: bool = True) -> Tracer:
+    """Replace the process-wide tracer with a fresh one."""
+    global _global_tracer
+    with _global_lock:
+        _global_tracer = Tracer(enabled=enabled)
+        return _global_tracer
+
+
+def reset_tracer() -> None:
+    """Back to the disabled default (tests)."""
+    configure_tracer(enabled=False)
+
+
+def traced(name: str, category: str = "", **attributes: Any):
+    """Decorator: run the function inside a span on the *current*
+    process-wide tracer (looked up per call, so reconfiguration after
+    import is honored)."""
+
+    def decorate(fn: F) -> F:
+        def wrapper(*args: Any, **kwargs: Any):
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(name, category=category, **attributes):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = getattr(fn, "__name__", name)
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,10 +1,13 @@
 """The runtime profiler, including the attached compile-service section."""
 
+import threading
+
 import pytest
 
 from repro.frontend import parse_module
 from repro.runtime.profiler import ProfileEvent, Profiler
 from repro.service import CompileService
+from repro.telemetry.spans import configure_tracer, reset_tracer
 
 SOURCE = """
 #pragma acc kernels
@@ -56,6 +59,67 @@ class TestEvents:
         prof.clear()
         assert prof.events == []
         assert prof.total_s == 0.0
+
+
+class TestConcurrency:
+    def test_concurrent_recording_loses_no_events(self):
+        """Regression: one Profiler shared across sweep workers must not
+        drop or corrupt events (record/query are lock-guarded)."""
+        prof = Profiler()
+        nthreads, per_thread = 4, 500
+
+        def work(i):
+            for k in range(per_thread):
+                prof.record("launch", f"t{i}k{k}", 0.001)
+                prof.record("h2d", f"t{i}k{k}", 0.0005, nbytes=8)
+                # interleave reads with writes: must never raise
+                prof.time_by_kind()
+                prof.total_s
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        expected = nthreads * per_thread
+        assert prof.kernel_launches == expected
+        assert prof.memcpy_h2d == expected
+        assert prof.transfer_bytes() == expected * 8
+        assert prof.total_s == pytest.approx(expected * 0.0015)
+
+    def test_snapshot_events_is_a_stable_copy(self):
+        prof = Profiler()
+        prof.record("h2d", "a", 0.001)
+        snap = prof.snapshot_events()
+        prof.record("h2d", "b", 0.001)
+        assert len(snap) == 1
+        assert len(prof.snapshot_events()) == 2
+
+
+class TestTracerBridge:
+    def test_record_bridges_modeled_spans_when_tracing(self):
+        tracer = configure_tracer(enabled=True)
+        try:
+            prof = Profiler()
+            prof.record("launch", "demo", 0.002, device="K40")
+            prof.record("h2d", "a", 0.001, nbytes=64)
+            launch, = tracer.spans_named("runtime.launch")
+            assert launch.category == "modeled"
+            assert launch.duration_s == pytest.approx(0.002)
+            assert launch.attributes["label"] == "demo"
+            h2d, = tracer.spans_named("runtime.h2d")
+            assert h2d.attributes["nbytes"] == 64
+        finally:
+            reset_tracer()
+
+    def test_no_spans_when_tracing_disabled(self):
+        reset_tracer()
+        from repro.telemetry.spans import get_tracer
+        prof = Profiler()
+        prof.record("launch", "demo", 0.002)
+        assert get_tracer().spans() == []
 
 
 class TestReport:

@@ -1,0 +1,162 @@
+"""Trace export: JSONL and Chrome trace-event round-trips, text report."""
+
+import json
+
+import pytest
+
+from repro.telemetry.export import (
+    chrome_trace_events,
+    load_trace,
+    text_report,
+    timeline_coverage,
+    write_trace,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("outer", category="test", label="run") as outer:
+        outer.event("milestone", step=1)
+        with tracer.span("inner"):
+            pass
+        tracer.record_span("runtime.launch", 0.25, category="modeled",
+                           label="k0")
+    return tracer
+
+
+class TestChromeTrace:
+    def test_round_trip_is_valid_json_with_lanes(self, tmp_path):
+        tracer = sample_tracer()
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        path = str(tmp_path / "trace.json")
+        count = write_trace(path, "chrome", tracer, reg)
+        assert count == 3
+
+        data = json.loads(open(path).read())  # must parse as plain JSON
+        events = data["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(xs) == 3
+        assert all(set(e) >= {"name", "ts", "dur", "pid", "tid"} for e in xs)
+        # pid/tid lanes: one process, thread lane named after the thread
+        assert all(e["pid"] == 1 for e in xs)
+        lane_names = [e["args"]["name"] for e in metas
+                      if e["name"] == "thread_name"]
+        assert "MainThread" in lane_names
+        snapshots = [e["args"] for e in metas
+                     if e["name"] == "metrics_snapshot"]
+        assert snapshots and snapshots[0]["counters"]["ops"] == 3
+
+    def test_ts_monotonic(self, tmp_path):
+        xs = [e for e in chrome_trace_events(sample_tracer().spans())
+              if e["ph"] == "X"]
+        tss = [e["ts"] for e in xs]
+        assert tss == sorted(tss)
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in xs)
+
+    def test_parent_ids_preserved_in_args(self):
+        events = chrome_trace_events(sample_tracer().spans())
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        outer = by_name["outer"]["args"]["span_id"]
+        assert by_name["inner"]["args"]["parent_id"] == outer
+        assert by_name["runtime.launch"]["args"]["parent_id"] == outer
+
+    def test_span_events_become_instants(self):
+        events = chrome_trace_events(sample_tracer().spans())
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants and instants[0]["name"] == "milestone"
+
+    def test_load_trace_reconstructs_spans(self, tmp_path):
+        tracer = sample_tracer()
+        path = str(tmp_path / "trace.json")
+        write_trace(path, "chrome", tracer)
+        spans, metrics = load_trace(path)
+        assert {s.name for s in spans} == {"outer", "inner", "runtime.launch"}
+        launch, = (s for s in spans if s.name == "runtime.launch")
+        assert launch.duration_s == pytest.approx(0.25, rel=1e-6)
+        assert launch.category == "modeled"
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = sample_tracer()
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(2.0)
+        path = str(tmp_path / "trace.jsonl")
+        count = write_trace(path, "jsonl", tracer, reg)
+        assert count == 3
+
+        lines = [json.loads(line) for line in open(path)]
+        assert [r["type"] for r in lines] == ["span"] * 3 + ["metrics"]
+        starts = [r["start_s"] for r in lines if r["type"] == "span"]
+        assert starts == sorted(starts)
+
+        spans, metrics = load_trace(path)
+        assert len(spans) == 3
+        assert metrics["gauges"]["depth"] == 2.0
+        outer, = (s for s in spans if s.name == "outer")
+        assert outer.attributes["label"] == "run"
+        assert outer.events[0].name == "milestone"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_trace(str(tmp_path / "t"), "xml", sample_tracer())
+
+
+class TestCoverageAndReport:
+    def test_full_coverage_for_single_root(self):
+        assert timeline_coverage(sample_tracer().spans()) == pytest.approx(1.0)
+
+    def test_modeled_spans_do_not_stretch_the_extent(self):
+        """A modeled span's simulated duration can exceed the real run;
+        coverage is measured against wall-clock spans only."""
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.record_span("runtime.launch", 100.0, category="modeled")
+        assert timeline_coverage(tracer.spans()) == pytest.approx(1.0)
+
+    def test_gap_between_roots_lowers_coverage(self):
+        tracer = Tracer()
+        spans = []
+        with tracer.span("a") as a:
+            pass
+        # synthesize a second root far in the future to create a gap
+        spans = tracer.spans()
+        b = tracer.record_span("b", 0.0, parent=None)
+        b.start_s = spans[0].end_s + 1.0
+        b.end_s = b.start_s + 1.0
+        cov = timeline_coverage(tracer.spans())
+        assert 0.0 < cov < 1.0
+
+    def test_empty_trace(self):
+        assert timeline_coverage([]) == 0.0
+
+    def test_text_report_sections(self):
+        tracer = sample_tracer()
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(2)
+        report = text_report(tracer.spans(), reg.snapshot())
+        assert "covered by root spans" in report
+        assert "where the time went" in report
+        assert "outer" in report and "inner" in report
+        assert "ops = 2" in report
+
+    def test_text_report_tree_indents_children(self):
+        report = text_report(sample_tracer().spans())
+        lines = report.splitlines()
+        tree = lines[lines.index("-- timeline (hierarchical) --"):]
+        outer_line = next(l for l in tree if l.lstrip().startswith("outer"))
+        inner_line = next(l for l in tree if l.lstrip().startswith("inner"))
+        indent = lambda l: len(l) - len(l.lstrip())
+        assert indent(inner_line) > indent(outer_line)
+
+    def test_text_report_truncates_tree(self):
+        tracer = Tracer()
+        for _ in range(30):
+            with tracer.span("leaf"):
+                pass
+        report = text_report(tracer.spans(), max_tree_lines=10)
+        assert "tree truncated" in report

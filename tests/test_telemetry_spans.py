@@ -1,0 +1,234 @@
+"""Tracing spans: nesting, cross-thread propagation, disabled path."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.telemetry.spans import (
+    NOOP_SPAN,
+    Tracer,
+    configure_tracer,
+    get_tracer,
+    reset_tracer,
+    traced,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_tracer():
+    yield
+    reset_tracer()
+
+
+class TestNesting:
+    def test_child_parented_to_ambient_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, = tracer.spans_named("inner")
+        assert inner.parent_id == outer.span.span_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, = tracer.spans_named("a")
+        b, = tracer.spans_named("b")
+        assert a.parent_id == b.parent_id == outer.span.span_id
+
+    def test_root_span_has_no_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        span, = tracer.spans()
+        assert span.parent_id is None
+
+    def test_ambient_restored_after_block(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+            assert tracer.capture() is outer.span
+        assert tracer.capture() is None
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()  # completion order: inner first
+        assert inner.name == "inner"
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+
+    def test_attributes_and_events(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test", label="x") as handle:
+            handle.set(extra=3)
+            handle.event("checkpoint", step=1)
+        span, = tracer.spans()
+        assert span.category == "test"
+        assert span.attributes == {"label": "x", "extra": 3}
+        assert span.events[0].name == "checkpoint"
+        assert span.events[0].attributes == {"step": 1}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        span, = tracer.spans()
+        assert span.finished
+        assert span.error == "ValueError: boom"
+
+
+class TestCrossThread:
+    def test_capture_reparents_worker_spans(self):
+        """The scheduler pattern: capture on the caller, pass as parent=
+        on the pool thread; contextvars alone would not flow there."""
+        tracer = Tracer()
+        with tracer.span("sweep") as sweep:
+            parent = tracer.capture()
+            with ThreadPoolExecutor(max_workers=2,
+                                    thread_name_prefix="pool") as pool:
+                def job(i):
+                    with tracer.span("job", parent=parent, index=i):
+                        pass
+                list(pool.map(job, range(4)))
+        jobs = tracer.spans_named("job")
+        assert len(jobs) == 4
+        assert all(j.parent_id == sweep.span.span_id for j in jobs)
+        assert all(j.thread_name.startswith("pool") for j in jobs)
+
+    def test_worker_children_nest_under_reparented_span(self):
+        tracer = Tracer()
+        with tracer.span("sweep"):
+            parent = tracer.capture()
+
+            def job():
+                with tracer.span("job", parent=parent) as j:
+                    with tracer.span("compile"):
+                        pass
+                return j.span.span_id
+
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                job_id = pool.submit(job).result()
+        compile_span, = tracer.spans_named("compile")
+        assert compile_span.parent_id == job_id
+
+    def test_spans_record_thread_identity(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def work():
+            with tracer.span("threaded"):
+                done.set()
+
+        t = threading.Thread(target=work, name="my-worker")
+        t.start()
+        t.join()
+        assert done.wait(1)
+        span, = tracer.spans()
+        assert span.thread_name == "my-worker"
+        assert span.thread_id != 0
+
+    def test_concurrent_span_recording_is_complete(self):
+        tracer = Tracer()
+
+        def burst(i):
+            for k in range(50):
+                with tracer.span(f"s{i}"):
+                    pass
+
+        threads = [threading.Thread(target=burst, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.spans()) == 200
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(set(ids)) == 200
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_noop_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is NOOP_SPAN
+        assert tracer.span("y", category="c", attr=1) is NOOP_SPAN
+
+    def test_noop_span_supports_full_surface(self):
+        with Tracer(enabled=False).span("x") as handle:
+            assert handle is NOOP_SPAN
+            assert handle.set(a=1) is NOOP_SPAN
+            handle.event("e", b=2)
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x"):
+            pass
+        tracer.record_span("y", 0.5)
+        assert tracer.spans() == []
+        assert tracer.capture() is None
+
+    def test_no_allocation_beyond_guard(self):
+        """Every disabled span() call returns the identical object —
+        no Span, no context manager, no contextvar write."""
+        tracer = Tracer(enabled=False)
+        handles = {id(tracer.span(f"n{i}")) for i in range(100)}
+        assert handles == {id(NOOP_SPAN)}
+
+    def test_global_tracer_starts_disabled(self):
+        reset_tracer()
+        assert get_tracer().enabled is False
+        assert get_tracer().span("x") is NOOP_SPAN
+
+
+class TestModeledSpans:
+    def test_record_span_is_placed_at_clock_with_modeled_duration(self):
+        tracer = Tracer()
+        before = tracer.now_s()
+        span = tracer.record_span("runtime.launch", 1.5, category="modeled",
+                                  label="k0")
+        assert span is not None
+        assert span.start_s >= before
+        assert span.duration_s == pytest.approx(1.5)
+        assert span.category == "modeled"
+
+    def test_record_span_nests_under_ambient(self):
+        tracer = Tracer()
+        with tracer.span("stage") as stage:
+            tracer.record_span("runtime.h2d", 0.1)
+        modeled, = tracer.spans_named("runtime.h2d")
+        assert modeled.parent_id == stage.span.span_id
+
+    def test_negative_seconds_clamped(self):
+        tracer = Tracer()
+        span = tracer.record_span("x", -1.0)
+        assert span.duration_s == 0.0
+
+
+class TestDecorator:
+    def test_traced_resolves_global_tracer_per_call(self):
+        @traced("deco.work", category="test")
+        def work(x):
+            return x * 2
+
+        reset_tracer()
+        assert work(2) == 4          # disabled: runs bare
+        tracer = configure_tracer(enabled=True)
+        assert work(3) == 6
+        span, = tracer.spans_named("deco.work")
+        assert span.category == "test"
+
+    def test_traced_preserves_function_identity(self):
+        @traced("deco.named")
+        def documented():
+            """docs."""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "docs."
