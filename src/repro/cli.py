@@ -21,7 +21,11 @@ Commands:
 output is byte-identical to the serial, cache-free default.
 
 ``experiment``, ``heatmap``, ``autotune``, ``bench``, and ``difftest``
-accept ``--trace FILE`` (and ``--trace-format {jsonl,chrome}``) to record
+accept ``--exec-backend {scalar,vector,check}`` to pick the kernel
+executor backend — the scalar interpreter, the vectorizing NumPy backend,
+or a differential mode that runs both and asserts bit-identical results
+(see docs/EXECUTOR.md) — and ``--trace FILE`` (plus
+``--trace-format {jsonl,chrome}``) to record
 the run's tool-chain timeline — frontend, compiler passes, PTX codegen,
 cache hits/compiles, scheduler worker lanes, modeled runtime events —
 through :mod:`repro.telemetry` (see docs/TELEMETRY.md).
@@ -240,6 +244,7 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
     report = run_difftest(
         seeds, service=service, shrink=args.shrink, out_dir=args.out,
         log=lambda line: print(f"  FAIL {line}", file=sys.stderr),
+        exec_backend=args.exec_backend,
     )
     print("\n".join(report.summary_lines()))
     for case in report.unexplained:
@@ -279,6 +284,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "a warm cache makes re-sweeps compile-free)",
         )
 
+    def add_exec_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--exec-backend", choices=("scalar", "vector", "check"),
+            default=None, metavar="B",
+            help="kernel executor backend: scalar interpreter, vectorizing "
+                 "NumPy backend, or check (run both, assert bit-identical; "
+                 "docs/EXECUTOR.md); default scalar",
+        )
+
     def add_trace_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace", default=None, metavar="FILE",
@@ -311,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=None)
     p.add_argument("--opencl", action="store_true",
                    help="include the hand-written OpenCL version")
+    add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_bench)
 
@@ -319,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="experiment ids (e.g. fig3 table7) or 'all'")
     p.add_argument("--paper-scale", action="store_true")
     add_service_flags(p)
+    add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_experiment)
 
@@ -327,12 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
     p.add_argument("--size", type=int, default=2048)
     add_service_flags(p)
+    add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_heatmap)
 
     p = sub.add_parser("autotune", help="auto-tune LUD thread distribution")
     p.add_argument("--size", type=int, default=1024)
     add_service_flags(p)
+    add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_autotune)
 
@@ -351,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", default=None, metavar="FILE",
                    help="re-run one dumped reproducer instead of sweeping")
     add_service_flags(p)
+    add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_difftest)
 
@@ -369,6 +388,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    backend = getattr(args, "exec_backend", None)
+    if backend is not None:
+        # every execute_kernel() call in the process honors this default,
+        # so bench/experiment/heatmap/autotune need no extra plumbing
+        from .runtime.executor import set_default_backend
+
+        set_default_backend(backend)
     trace_path = getattr(args, "trace", None)
     if trace_path is None:
         return args.func(args)

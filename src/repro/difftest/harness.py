@@ -213,8 +213,15 @@ def _diff_kernel(
     device: str,
     extents: dict[str, int],
     tag: str,
+    exec_backend: str | None = None,
 ) -> KernelDiff:
-    """Execute ground truth and one compiled kernel on identical inputs."""
+    """Execute ground truth and one compiled kernel on identical inputs.
+
+    ``exec_backend`` selects the executor backend (``scalar``, ``vector``
+    or ``check``; ``None`` = the process default) for both runs — under
+    ``check`` every execution also differentially validates the
+    vectorizer against the scalar interpreter.
+    """
     args = make_inputs(original, extents, f"{tag}:{original.name}")
     int_scalars = {k: v for k, v in args.items() if isinstance(v, int)}
 
@@ -230,9 +237,10 @@ def _diff_kernel(
         with tracer.span("difftest.execute", category="difftest",
                          kernel=original.name, device=device):
             ref = fresh()
-            execute_kernel(original, ref, None)
+            execute_kernel(original, ref, None, backend=exec_backend)
             got = fresh()
-            execute_kernel(clone_kernel(compiled.ir), got, semantics)
+            execute_kernel(clone_kernel(compiled.ir), got, semantics,
+                           backend=exec_backend)
     except Exception as exc:  # executor crash: always unexplained
         return KernelDiff(
             original.name, "error", detail=f"{type(exc).__name__}: {exc}"
@@ -322,17 +330,19 @@ def _diff_kernel(
 
 
 def run_case(
-    case: GeneratedCase, service: CompileService, tag: str | None = None
+    case: GeneratedCase, service: CompileService, tag: str | None = None,
+    exec_backend: str | None = None,
 ) -> CaseResult:
     """Compile *case* through every pair and diff every kernel."""
     tag = tag or case.tag
     with get_tracer().span("difftest.case", category="difftest",
                            seed=case.seed, label=tag):
-        return _run_case(case, service, tag)
+        return _run_case(case, service, tag, exec_backend)
 
 
 def _run_case(
-    case: GeneratedCase, service: CompileService, tag: str
+    case: GeneratedCase, service: CompileService, tag: str,
+    exec_backend: str | None = None,
 ) -> CaseResult:
     requests = [
         CompileRequest(
@@ -374,7 +384,7 @@ def _run_case(
             diffs.append(
                 _diff_kernel(
                     original, compiled, device,
-                    case.extents[original.name], tag,
+                    case.extents[original.name], tag, exec_backend,
                 )
             )
         pair_results.append(
@@ -389,6 +399,7 @@ def run_difftest(
     shrink: bool = False,
     out_dir: str | None = None,
     log=None,
+    exec_backend: str | None = None,
 ) -> DifftestReport:
     """The full differential sweep over an iterable of seeds."""
     from .shrink import write_reproducer  # local import: shrink imports us
@@ -403,7 +414,7 @@ def run_difftest(
                 CaseResult(seed, f"seed{seed}", "", error=f"generator: {exc}")
             )
             continue
-        result = run_case(case, service)
+        result = run_case(case, service, exec_backend=exec_backend)
         if not result.explained and shrink and not result.error:
             path = write_reproducer(case, result, service, out_dir)
             result = CaseResult(

@@ -1,18 +1,23 @@
 """Simulated accelerator runtime: buffers, launches, profiling, execution."""
 
 from .executor import (
+    BACKENDS,
     ExecMode,
     ExecutionError,
     LoopSemantics,
+    clear_kernel_cache,
     compile_kernel_fn,
     execute_kernel,
+    get_default_backend,
     kernel_python_source,
+    set_default_backend,
 )
 from .launcher import Accelerator, LaunchRecord, RuntimeError_, kernel_host_profile
 from .profiler import ProfileEvent, Profiler
 
 __all__ = [
     "Accelerator",
+    "BACKENDS",
     "ExecMode",
     "ExecutionError",
     "LaunchRecord",
@@ -20,8 +25,11 @@ __all__ = [
     "ProfileEvent",
     "Profiler",
     "RuntimeError_",
+    "clear_kernel_cache",
     "compile_kernel_fn",
     "execute_kernel",
+    "get_default_backend",
     "kernel_host_profile",
     "kernel_python_source",
+    "set_default_backend",
 ]

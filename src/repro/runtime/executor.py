@@ -18,6 +18,21 @@ Three per-loop execution semantics are supported:
   lost updates: the iteration range is split into chunks and only the last
   chunk's contribution survives.  This is how we reproduce "the CAPS
   version ... even cannot get the correct results on MIC" (paper V-D2).
+
+Two execution *backends* share those semantics (see ``docs/EXECUTOR.md``):
+
+* ``scalar`` — the loop-at-a-time Python interpretation below; the
+  reference semantics.
+* ``vector`` — :mod:`repro.runtime.vectorize` lowers vectorizable loops
+  to whole-array NumPy statements and falls back to scalar codegen
+  per-loop; results are bit-compatible with ``scalar``.
+
+``check`` runs both and raises on any bitwise output difference.
+Compiled functions are memoized in a process-wide cache keyed on
+``(kernel fingerprint, semantics, backend)`` so repeated executions stop
+paying source generation + ``exec``; ``executor.cache_hit``,
+``executor.vectorized`` and ``executor.fallback`` counters land in
+:func:`repro.telemetry.get_registry`.
 """
 
 from __future__ import annotations
@@ -25,9 +40,13 @@ from __future__ import annotations
 import enum
 import keyword
 import math
+import threading
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..telemetry.registry import get_registry
+from ..telemetry.spans import get_tracer
 
 from ..ir.directives import AccLoop
 from ..ir.expr import (
@@ -134,7 +153,8 @@ class _CodeGen:
         self.level = 1
         self.dtypes: dict[str, DType] = {}
         self.array_dtypes: dict[str, DType] = {}
-        self._snapshot_stack: list[frozenset[str]] = []
+        # one dict per active PARALLEL_SNAPSHOT frame: array -> snapshot name
+        self._snapshot_stack: list[dict[str, str]] = []
         self._tmp = 0
         for param in kernel.params:
             if isinstance(param.type, ArrayType):
@@ -159,9 +179,24 @@ class _CodeGen:
         if isinstance(expr, FloatLit):
             return expr.dtype
         if isinstance(expr, Var):
-            return self.dtypes.get(expr.name, DType.INT32)
+            dtype = self.dtypes.get(expr.name)
+            if dtype is None:
+                # a silent INT32 default here would route float division
+                # of undeclared scalars through _idiv
+                raise ExecutionError(
+                    f"unknown scalar {expr.name!r}: not a parameter, "
+                    f"declaration, or loop variable of kernel "
+                    f"{self.kernel.name!r}"
+                )
+            return dtype
         if isinstance(expr, ArrayRef):
-            return self.array_dtypes.get(expr.name, DType.FLOAT32)
+            dtype = self.array_dtypes.get(expr.name)
+            if dtype is None:
+                raise ExecutionError(
+                    f"unknown array {expr.name!r} in kernel "
+                    f"{self.kernel.name!r}"
+                )
+            return dtype
         if isinstance(expr, BinOp):
             if expr.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
                 return DType.BOOL
@@ -183,10 +218,23 @@ class _CodeGen:
         raise ExecutionError(f"cannot type {type(expr).__name__}")
 
     def _snapshot_name(self, array: str) -> str | None:
+        # innermost frame wins: an inner parallel loop snapshots the state
+        # at *its* entry, not the outer loop's
         for frame in reversed(self._snapshot_stack):
             if array in frame:
-                return f"_snap_{array}"
+                return frame[array]
         return None
+
+    def _push_snapshots(self, written: list[str]) -> dict[str, str]:
+        """Emit loop-entry copies of *written* arrays under frame-unique
+        names and push the frame (names must not collide across nesting
+        levels: a shared ``_snap_{array}`` lets an inner loop clobber the
+        outer loop's snapshot)."""
+        frame = {name: f"{self._fresh('snap')}_{name}" for name in written}
+        for name, snap in frame.items():
+            self._emit(f"{snap} = {_pyname(name)}.copy()")
+        self._snapshot_stack.append(frame)
+        return frame
 
     def gen_expr(self, expr: Expr, as_store_target: bool = False) -> str:
         if isinstance(expr, IntLit):
@@ -201,7 +249,7 @@ class _CodeGen:
                 snap = self._snapshot_name(name)
                 if snap is not None:
                     name = snap
-            name = _pyname(name) if not name.startswith("_snap_") else name
+            name = _pyname(name) if not name.startswith("_snap") else name
             index = ", ".join(self.gen_expr(i) for i in expr.indices)
             return f"{name}[{index}]"
         if isinstance(expr, BinOp):
@@ -299,6 +347,11 @@ class _CodeGen:
         raise ExecutionError(f"cannot execute {type(stmt).__name__}")
 
     def _gen_for(self, loop: For) -> None:
+        if loop.step == 0:
+            raise ExecutionError(
+                f"loop over {loop.var!r} in kernel {self.kernel.name!r} "
+                f"has step 0 (would never terminate)"
+            )
         self.dtypes[loop.var] = DType.INT32
         semantics = self.semantics.get(loop.loop_id, LoopSemantics())
         lower = self.gen_expr(loop.lower)
@@ -315,9 +368,7 @@ class _CodeGen:
 
         if semantics.mode is ExecMode.PARALLEL_SNAPSHOT:
             written = sorted({ref.name for ref in writes_and_reads(loop.body)[0]})
-            for name in written:
-                self._emit(f"_snap_{name} = {_pyname(name)}.copy()")
-            self._snapshot_stack.append(frozenset(written))
+            self._push_snapshots(written)
             self._emit(
                 f"for {_pyname(loop.var)} in range(int({lower}), int({upper}), {loop.step}):"
             )
@@ -331,8 +382,13 @@ class _CodeGen:
             length = self._fresh("len")
             chunk = self._fresh("chunk")
             start = self._fresh("start")
+            # trip count: ceil((upper - lower) / step), clamped at 0.
+            # ceil(x/y) == -(-x // y) under Python floor division for
+            # either sign of y, so this is exact for negative and
+            # non-unit steps too (covered by tests).
             self._emit(f"{length} = max(0, -(-(int({upper}) - int({lower})) // {loop.step}))")
             self._emit(f"{chunk} = -(-{length} // {semantics.chunks})")
+            # first iterate of the last ceil(length/chunks)-sized chunk
             self._emit(
                 f"{start} = int({lower}) + max(0, {length} - {chunk}) * {loop.step}"
             )
@@ -357,22 +413,126 @@ class _CodeGen:
         return "\n".join([header, *body])
 
 
+#: execution backends: "scalar" and "vector" generate code; "check" runs
+#: both and asserts bitwise-identical array outputs (execute_kernel only).
+BACKENDS = ("scalar", "vector", "check")
+
+_default_backend = "scalar"
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the process-wide backend used when ``execute_kernel`` is called
+    without an explicit one (the CLI's ``--exec-backend`` lands here)."""
+    global _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown executor backend {backend!r}; "
+                         f"expected one of {BACKENDS}")
+    _default_backend = backend
+
+
+def get_default_backend() -> str:
+    return _default_backend
+
+
+def _make_codegen(kernel: KernelFunction,
+                  semantics: dict[int, LoopSemantics] | None,
+                  backend: str) -> _CodeGen:
+    if backend == "scalar":
+        return _CodeGen(kernel, semantics)
+    if backend == "vector":
+        from .vectorize import _VectorCodeGen  # local: vectorize subclasses us
+
+        return _VectorCodeGen(kernel, semantics)
+    raise ExecutionError(f"unknown codegen backend {backend!r}")
+
+
+# -- compiled-kernel cache ---------------------------------------------------
+#
+# Keyed on (kernel fingerprint, canonical semantics, backend).  The
+# fingerprint is content-addressed (repro.service.fingerprint over the
+# canonical mini-C print), and semantics loop_ids are mapped to pre-order
+# loop *positions*, so a re-parsed identical kernel with fresh loop_ids
+# still hits.
+
+_CACHE_CAP = 512
+_fn_cache: dict[tuple, tuple] = {}
+_fn_cache_lock = threading.Lock()
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached compiled kernel function (tests, benchmarks)."""
+    with _fn_cache_lock:
+        _fn_cache.clear()
+
+
+def _semantics_key(kernel: KernelFunction,
+                   semantics: dict[int, LoopSemantics] | None) -> tuple:
+    if not semantics:
+        return ()
+    position = {loop.loop_id: i for i, loop in enumerate(kernel.loops())}
+    items = []
+    for loop_id, sem in semantics.items():
+        pos = position.get(loop_id)
+        if pos is None:
+            continue  # semantics for loops the kernel doesn't have are inert
+        chunks = sem.chunks if sem.mode is ExecMode.REDUCTION_LAST_CHUNK else 0
+        items.append((pos, sem.mode.value, chunks))
+    return tuple(sorted(items))
+
+
 def compile_kernel_fn(
     kernel: KernelFunction,
     semantics: dict[int, LoopSemantics] | None = None,
+    backend: str = "scalar",
 ):
-    """Compile *kernel* into a callable ``f(**args)``."""
-    gen = _CodeGen(kernel, semantics)
-    source = gen.source()
+    """Compile *kernel* into a callable ``f(**args)`` (memoized)."""
+    from ..service.fingerprint import fingerprint_kernel
+
+    key = (fingerprint_kernel(kernel), _semantics_key(kernel, semantics),
+           backend)
+    with _fn_cache_lock:
+        cached = _fn_cache.get(key)
+    if cached is not None:
+        get_registry().counter("executor.cache_hit").inc()
+        return cached
+
+    if backend == "vector":
+        with get_tracer().span("execute.vectorize", category="executor",
+                               kernel=kernel.name):
+            gen = _make_codegen(kernel, semantics, backend)
+            source = gen.source()
+        registry = get_registry()
+        registry.counter("executor.vectorized").inc(gen.vectorized_loops)
+        registry.counter("executor.fallback").inc(gen.fallback_loops)
+    else:
+        gen = _make_codegen(kernel, semantics, backend)
+        source = gen.source()
     namespace: dict[str, object] = dict(_HELPERS)
+    namespace.update(getattr(gen, "runtime_helpers", {}))
     try:
         exec(compile(source, f"<kernel {kernel.name}>", "exec"), namespace)
     except SyntaxError as exc:  # pragma: no cover - codegen bug guard
         raise ExecutionError(f"generated code failed to compile:\n{source}") from exc
-    return namespace["_kernel"], source
+    compiled = (namespace["_kernel"], source)
+
+    with _fn_cache_lock:
+        if len(_fn_cache) >= _CACHE_CAP:
+            _fn_cache.pop(next(iter(_fn_cache)))  # FIFO eviction
+        _fn_cache[key] = compiled
+    return compiled
 
 
-def _check_args(kernel: KernelFunction, args: dict[str, object]) -> None:
+def _check_args(kernel: KernelFunction,
+                args: dict[str, object]) -> dict[str, object]:
+    """Validate *args* against the kernel signature.
+
+    Returns the mapping actually passed to the compiled function: arrays
+    by reference (dtype *kind* must match the declared element type —
+    an int buffer bound to a float parameter silently changes division
+    semantics), scalars explicitly cast to plain Python ``int``/``float``
+    (C truncation semantics for float-to-int).
+    """
+    call: dict[str, object] = {}
     for param in kernel.params:
         if param.name not in args:
             raise ExecutionError(f"missing argument {param.name!r}")
@@ -385,28 +545,77 @@ def _check_args(kernel: KernelFunction, args: dict[str, object]) -> None:
                     f"argument {param.name!r} has rank {value.ndim}, "
                     f"expected {param.type.rank}"
                 )
+            kinds = "iub" if param.type.dtype.is_integer else "f"
+            if value.dtype.kind not in kinds:
+                raise ExecutionError(
+                    f"argument {param.name!r} has dtype {value.dtype}, "
+                    f"incompatible with declared {param.type.dtype.name}"
+                )
+            call[param.name] = value
         else:
             if isinstance(value, np.ndarray):
                 raise ExecutionError(f"argument {param.name!r} must be a scalar")
+            if not isinstance(value, (bool, int, float, np.bool_,
+                                      np.integer, np.floating)):
+                raise ExecutionError(
+                    f"argument {param.name!r} must be a number, "
+                    f"got {type(value).__name__}"
+                )
+            if param.type.dtype.is_integer:
+                call[param.name] = int(value)  # C-style truncation
+            else:
+                call[param.name] = float(value)
     extra = set(args) - {p.name for p in kernel.params}
     if extra:
         raise ExecutionError(f"unexpected arguments: {sorted(extra)}")
+    return call
 
 
 def execute_kernel(
     kernel: KernelFunction,
     args: dict[str, object],
     semantics: dict[int, LoopSemantics] | None = None,
+    backend: str | None = None,
 ) -> None:
-    """Execute *kernel* in place on the NumPy arrays in *args*."""
-    _check_args(kernel, args)
-    fn, _ = compile_kernel_fn(kernel, semantics)
-    fn(**{_pyname(name): value for name, value in args.items()})
+    """Execute *kernel* in place on the NumPy arrays in *args*.
+
+    *backend* is ``"scalar"``, ``"vector"`` or ``"check"`` (run both,
+    raise :class:`ExecutionError` on any bitwise output difference);
+    ``None`` uses :func:`get_default_backend`.
+    """
+    backend = backend or _default_backend
+    if backend not in BACKENDS:
+        raise ExecutionError(f"unknown executor backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+    call = _check_args(kernel, args)
+
+    if backend == "check":
+        ref = {name: value.copy() if isinstance(value, np.ndarray) else value
+               for name, value in call.items()}
+        fn_scalar, _ = compile_kernel_fn(kernel, semantics, "scalar")
+        fn_scalar(**{_pyname(name): value for name, value in ref.items()})
+        fn_vector, _ = compile_kernel_fn(kernel, semantics, "vector")
+        fn_vector(**{_pyname(name): value for name, value in call.items()})
+        diverged = [
+            name for name, value in call.items()
+            if isinstance(value, np.ndarray)
+            and value.tobytes() != ref[name].tobytes()  # bitwise, NaN-safe
+        ]
+        if diverged:
+            raise ExecutionError(
+                f"vector backend diverged from scalar on kernel "
+                f"{kernel.name!r}, arrays {sorted(diverged)}"
+            )
+        return
+
+    fn, _ = compile_kernel_fn(kernel, semantics, backend)
+    fn(**{_pyname(name): value for name, value in call.items()})
 
 
 def kernel_python_source(
     kernel: KernelFunction,
     semantics: dict[int, LoopSemantics] | None = None,
+    backend: str = "scalar",
 ) -> str:
     """The generated Python source (debugging / documentation aid)."""
-    return _CodeGen(kernel, semantics).source()
+    return _make_codegen(kernel, semantics, backend).source()

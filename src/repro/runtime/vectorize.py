@@ -1,0 +1,842 @@
+"""Vectorizing NumPy backend for the kernel executor.
+
+:class:`_VectorCodeGen` subclasses the scalar code generator and, for each
+loop, tries to lower the whole iteration space to array-at-a-time NumPy
+statements; any loop it cannot prove safe falls back — *per loop* — to
+the inherited scalar codegen, so the two backends always agree statement
+for statement on the parts that are not vectorized.
+
+Legality (see ``docs/EXECUTOR.md`` for the full rules):
+
+* innermost loops only — the body may contain nothing but assignments and
+  ``if``s (no declarations, nested loops, ``while``, barriers);
+* ``SEQUENTIAL`` loops need an ``INDEPENDENT`` or ``REDUCTION`` verdict
+  from :func:`repro.analysis.dependence.analyze_loop`; statement-at-a-time
+  execution of an independent loop is observationally identical to
+  iteration-at-a-time;
+* ``PARALLEL_SNAPSHOT`` loops are always eligible: every read of a
+  written array goes to the loop-entry snapshot, so statements cannot
+  interfere through *reads* — and when several statements write the same
+  array their stores are deferred into one iteration-major interleaved
+  scatter (``_vstore_multi``) so overlapping writes land in the scalar
+  loop's order; snapshot *copies* are only materialized for arrays whose
+  reads could actually observe the loop's own stores
+  (:func:`_snapshot_copies_needed`) — everything else reads live memory,
+  which equals the loop-entry state by construction;
+* loops containing *atomic* updates are never vectorized in any mode —
+  the dependence analyzer excludes atomics from its write set, so its
+  verdicts cannot vouch for them, and a compound atomic accumulates on
+  live memory across iterations;
+* ``REDUCTION_LAST_CHUNK`` loops are never vectorized — they exist to
+  model a *broken* chunked reduction and their semantics are inherently
+  iteration-ordered.
+
+Bit-compatibility with the scalar backend is the design invariant, not an
+aspiration: the lowering tracks the NEP-50 "weak scalar" promotion the
+scalar backend gets from Python ints/floats (a *kind* lattice — weak int,
+weak float, and the strong NumPy dtypes) and inserts explicit ``astype``
+casts exactly where per-element execution would have converted, so each
+array statement computes the same bits the scalar loop would.  Constructs
+whose NumPy lowering is *not* bit-identical to the ``math``-module scalar
+path (``exp``/``log``/``pow``, vector ``min``/``max``, bitwise ops) are
+rejected rather than approximated.  Scalar reductions are recognized
+(single ``acc += / -= / *=`` statement, float accumulator, accumulator
+referenced nowhere else) and lowered to ``np.add.accumulate`` /
+``np.multiply.accumulate``, whose documented semantics are the exact
+left-to-right recurrence of the scalar loop — *not* ``np.sum``, whose
+pairwise summation would change the bits.
+
+Known, documented divergences are all on error paths: the scalar backend
+raises for ``math.sqrt`` of a negative or ``float`` division by zero
+where NumPy yields NaN/inf with a warning, and a mid-loop ``IndexError``
+leaves partially-written arrays under the scalar backend but nothing
+written under the vector one.  ``execute_kernel(..., backend="check")``
+only compares runs that complete.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from ..analysis.dependence import Verdict, analyze_loop
+from ..ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cast,
+    Expr,
+    FloatLit,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from ..ir.stmt import Assign, Block, For, If, Stmt
+from ..ir.types import ArrayType, DType
+from ..ir.visitors import writes_and_reads
+from .executor import (
+    _CALL_MAP,
+    _CodeGen,
+    ExecMode,
+    ExecutionError,
+    LoopSemantics,
+    _pyname,
+)
+
+
+class _NotVectorizable(Exception):
+    """Internal control flow: this loop must use the scalar fallback."""
+
+
+# -- the kind lattice --------------------------------------------------------
+#
+# Scalar-backend values are Python scalars (weak under NEP 50) or NumPy
+# scalars/array elements (strong).  A lowered value's *kind* records which,
+# so binary ops can insert the cast per-element execution would perform.
+
+KB = "bool"      # boolean (comparisons, logical ops)
+KWI = "weak-int"   # Python int / int64-backed vector acting weakly
+KI32 = "int32"
+KI64 = "int64"
+KFW = "weak-float"  # Python float / float64-backed vector acting weakly
+KF32 = "float32"
+KF64 = "float64"
+
+_NPDT = {
+    KWI: "np.int64",
+    KI32: "np.int32",
+    KI64: "np.int64",
+    KFW: "np.float64",
+    KF32: "np.float32",
+    KF64: "np.float64",
+}
+
+#: storage representation; kinds sharing a backing never need a real cast
+_BACKING = {
+    KB: "b1", KWI: "i8", KI64: "i8", KI32: "i4",
+    KFW: "f8", KF64: "f8", KF32: "f4",
+}
+
+_DTYPE_KIND = {
+    DType.BOOL: KB,
+    DType.INT32: KI32,
+    DType.INT64: KI64,
+    DType.FLOAT32: KF32,
+    DType.FLOAT64: KF64,
+}
+
+_INT_KINDS = (KWI, KI32, KI64)
+_NUMERIC_KINDS = (KWI, KI32, KI64, KFW, KF32, KF64)
+
+
+def _pair(a: str, b: str) -> frozenset:
+    return frozenset((a, b))
+
+
+#: result kind of a binary arithmetic op, mirroring what NEP 50 gives the
+#: scalar backend per element (weak operands adopt the strong side's
+#: precision; int-meets-float among strong kinds promotes to float64).
+_COMBINE = {
+    _pair(KWI, KI32): KI32,
+    _pair(KWI, KI64): KI64,
+    _pair(KI32, KI64): KI64,
+    _pair(KWI, KFW): KFW,
+    _pair(KWI, KF32): KF32,
+    _pair(KWI, KF64): KF64,
+    _pair(KFW, KF32): KF32,
+    _pair(KFW, KF64): KF64,
+    _pair(KF32, KF64): KF64,
+    _pair(KFW, KI32): KF64,
+    _pair(KFW, KI64): KF64,
+    _pair(KF32, KI32): KF64,
+    _pair(KF32, KI64): KF64,
+    _pair(KF64, KI32): KF64,
+    _pair(KF64, KI64): KF64,
+}
+
+
+def _combine(a: str, b: str) -> str:
+    if a == b:
+        return a
+    result = _COMBINE.get(_pair(a, b))
+    if result is None:
+        raise _NotVectorizable(f"cannot combine kinds {a}/{b}")
+    return result
+
+
+class _VVal(NamedTuple):
+    """A lowered value: code string, promotion kind, vector-or-scalar."""
+
+    code: str
+    kind: str
+    vector: bool
+
+
+# -- runtime helpers injected into generated namespaces ----------------------
+
+
+def _vidiv(a, b):
+    """Elementwise C-style truncating integer division (``_idiv``)."""
+    q = np.abs(a) // np.abs(b)
+    return np.where((a >= 0) == (b >= 0), q, -q)
+
+
+def _vimod(a, b):
+    """Elementwise C-style remainder (sign of the dividend)."""
+    return a - _vidiv(a, b) * b
+
+
+def _vstore(arr, idx, val, mask, n):
+    """Masked scatter with the scalar loop's write order.
+
+    NumPy fancy assignment applies duplicate indices in order, so the
+    last (= highest iteration) value wins — exactly what the sequential
+    snapshot-semantics loop produces.
+    """
+    idx = np.broadcast_to(np.asarray(idx), (n,))
+    val = np.broadcast_to(np.asarray(val), (n,))
+    if mask is not None:
+        idx = idx[mask]
+        val = val[mask]
+    arr[idx] = val
+
+
+def _vstore_multi(arr, writes, n):
+    """Scatter several statements' writes to one array in iteration-major
+    order.
+
+    When two statements write overlapping cells, the scalar loop's final
+    value is the one from the highest (iteration, statement) pair in
+    *iteration-major* order; per-statement scatters would impose
+    statement-major order instead.  Interleaving all writes as an
+    (n, statements) grid and raveling row-major restores the scalar
+    order, and fancy assignment's in-order duplicate handling does the
+    rest.
+    """
+    if not writes:
+        return
+    cols = len(writes)
+    idx = np.empty((n, cols), dtype=np.int64)
+    val = np.empty((n, cols), dtype=arr.dtype)
+    keep = np.empty((n, cols), dtype=bool)
+    for col, (i, v, m) in enumerate(writes):
+        idx[:, col] = np.broadcast_to(np.asarray(i), (n,))
+        val[:, col] = np.broadcast_to(np.asarray(v), (n,))
+        keep[:, col] = True if m is None else m
+    flat = keep.ravel()
+    arr[idx.ravel()[flat]] = val.ravel()[flat]
+
+
+def _vreduce(acc, terms, op, weak):
+    """Fold *terms* into *acc* with the scalar loop's exact bits.
+
+    ``np.add.accumulate`` / ``np.multiply.accumulate`` are documented as
+    the left-to-right recurrence ``t = op(t, a[i])`` — unlike ``np.sum``
+    (pairwise) they reassociate nothing.  The chain dtype replicates the
+    per-step NEP 50 promotion: a weak (Python) accumulator adopts strong
+    terms' dtype; a strong accumulator converts weak terms per step,
+    which equals one up-front ``astype``.
+    """
+    terms = np.asarray(terms)
+    if terms.size == 0:
+        return acc
+    if op == "-":
+        terms = -terms  # a - b == a + (-b) exactly in IEEE 754
+        op = "+"
+    acc_weak = isinstance(acc, (int, float)) and not isinstance(acc, bool)
+    if acc_weak and weak:
+        dt = np.dtype(np.float64)  # pure-Python chain
+    elif acc_weak:
+        dt = terms.dtype
+    elif weak:
+        dt = np.asarray(acc).dtype
+    else:
+        dt = np.result_type(np.asarray(acc).dtype, terms.dtype)
+    chain = np.empty(terms.size + 1, dtype=dt)
+    chain[0] = acc
+    chain[1:] = terms
+    ufunc = np.add if op == "+" else np.multiply
+    total = ufunc.accumulate(chain)[-1]
+    # a fully-weak chain stays a Python float for downstream promotion
+    return float(total) if acc_weak and weak else total
+
+
+_VHELPERS = {
+    "np": np,
+    "_vidiv": _vidiv,
+    "_vimod": _vimod,
+    "_vstore": _vstore,
+    "_vstore_multi": _vstore_multi,
+    "_vreduce": _vreduce,
+}
+
+
+def _collect_assigns(stmt: Stmt) -> list[Assign]:
+    return [node for node in stmt.walk() if isinstance(node, Assign)]
+
+
+def _body_is_straight_line(stmt: Stmt) -> bool:
+    """Only assignments and (possibly nested) ifs — no loops, decls, ..."""
+    if isinstance(stmt, Block):
+        return all(_body_is_straight_line(s) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        if not _body_is_straight_line(stmt.then_body):
+            return False
+        return stmt.else_body is None or _body_is_straight_line(stmt.else_body)
+    return isinstance(stmt, Assign)
+
+
+def _snapshot_copies_needed(body: Stmt, deferred: set[str]) -> set[str]:
+    """Which written arrays actually need a snapshot *copy*.
+
+    Statement-at-a-time execution evaluates each statement's reads before
+    its own store, so a read only observes mutated state when an earlier
+    statement already stored to that array.  Arrays whose writes are
+    deferred (multi-writer scatter) never mutate until the loop's final
+    ``_vstore_multi``, so live reads of them equal the loop-entry
+    snapshot by construction.  Everything else can read the live array
+    and skip the (potentially large) ``.copy()``.
+
+    Conservative linear scan: ``if`` branches are treated as executing in
+    emission order and a store anywhere marks the array stored from then
+    on — over-approximating ``needed`` is always safe.
+    """
+    stored: set[str] = set()
+    needed: set[str] = set()
+
+    def expr_reads(expr: Expr) -> None:
+        for sub in expr.walk():
+            if isinstance(sub, ArrayRef) and sub.name in stored:
+                needed.add(sub.name)
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                visit(child)
+        elif isinstance(stmt, If):
+            expr_reads(stmt.cond)
+            visit(stmt.then_body)
+            if stmt.else_body is not None:
+                visit(stmt.else_body)
+        elif isinstance(stmt, Assign):
+            expr_reads(stmt.value)
+            if isinstance(stmt.target, ArrayRef):
+                for index in stmt.target.indices:
+                    expr_reads(index)
+                name = stmt.target.name
+                if stmt.op is not None and name in stored:
+                    needed.add(name)  # compound read of mutated state
+                if name not in deferred:
+                    stored.add(name)
+
+    visit(body)
+    return needed
+
+
+def _reads_scalar(stmt: Stmt, names: set[str]) -> bool:
+    """Does any expression in *stmt* mention one of *names*?  (Assignment
+    targets are writes, but their subscripts are reads; a ``Var`` target
+    itself does not count.)"""
+    for node in stmt.walk():
+        exprs: list[Expr] = []
+        if isinstance(node, Assign):
+            exprs.append(node.value)
+            if isinstance(node.target, ArrayRef):
+                exprs.extend(node.target.indices)
+        elif isinstance(node, If):
+            exprs.append(node.cond)
+        for expr in exprs:
+            for sub in expr.walk():
+                if isinstance(sub, Var) and sub.name in names:
+                    return True
+    return False
+
+
+class _VectorCodeGen(_CodeGen):
+    """Scalar codegen that opportunistically vectorizes eligible loops."""
+
+    def __init__(self, kernel, semantics=None) -> None:
+        super().__init__(kernel, semantics)
+        self.vectorized_loops = 0
+        self.fallback_loops = 0
+        self.runtime_helpers = dict(_VHELPERS)
+        self._param_scalars = {
+            p.name for p in kernel.params if not isinstance(p.type, ArrayType)
+        }
+        #: scalar-loop variables in scope: guaranteed plain Python ints
+        self._int_scalars: set[str] = set()
+        self._vec_var: str | None = None
+        self._vec_iv: str | None = None
+        self._reductions: dict[int, Assign] = {}
+        #: arrays written by >1 statement of the current snapshot loop,
+        #: mapped to the runtime list their writes are deferred into
+        self._multi_writers: dict[str, str] = {}
+
+    # -- loop dispatch ------------------------------------------------------
+
+    def _gen_for(self, loop: For) -> None:
+        if loop.step != 0 and self._try_vectorize(loop):
+            self.vectorized_loops += 1
+            self._int_scalars.add(loop.var)
+            return
+        self.fallback_loops += 1
+        self._int_scalars.add(loop.var)
+        super()._gen_for(loop)
+
+    def _try_vectorize(self, loop: For) -> bool:
+        semantics = self.semantics.get(loop.loop_id, LoopSemantics())
+        if semantics.mode is ExecMode.REDUCTION_LAST_CHUNK:
+            return False
+        if not _body_is_straight_line(loop.body):
+            return False
+        if not self._plan_scalar_writes(loop, semantics):
+            return False
+        if semantics.mode is ExecMode.SEQUENTIAL:
+            report = analyze_loop(loop)
+            if report.verdict not in (Verdict.INDEPENDENT, Verdict.REDUCTION):
+                return False
+
+        outer_lines = self.lines
+        level = self.level
+        snap_depth = len(self._snapshot_stack)
+        self.lines = []
+        self._vec_var = loop.var
+        try:
+            self._emit_vector_loop(loop, semantics)
+        except _NotVectorizable:
+            self.lines = outer_lines
+            self.level = level
+            del self._snapshot_stack[snap_depth:]
+            return False
+        else:
+            outer_lines.extend(self.lines)
+            self.lines = outer_lines
+            return True
+        finally:
+            self._vec_var = None
+            self._vec_iv = None
+            self._reductions = {}
+            self._multi_writers = {}
+
+    def _plan_scalar_writes(self, loop: For,
+                            semantics: LoopSemantics) -> bool:
+        """Vet every assignment target; record recognized reductions."""
+        reductions: dict[str, Assign] = {}
+        for assign in _collect_assigns(loop.body):
+            if isinstance(assign.target, ArrayRef):
+                # The dependence analyzer excludes atomic updates from its
+                # write set (skip_atomic), so its verdicts say nothing about
+                # them — and a compound atomic accumulates on live memory
+                # across iterations (c[i] *= x with i invariant applies n
+                # times).  Never vectorize a loop containing one.
+                if assign.atomic:
+                    return False
+                continue
+            if not isinstance(assign.target, Var):
+                return False
+            name = assign.target.name
+            if (
+                assign.op not in ("+", "-", "*")
+                or name == loop.var
+                or self.dtypes.get(name) not in (DType.FLOAT32, DType.FLOAT64)
+                or name in reductions  # two updates: interleaving differs
+            ):
+                return False
+            reductions[name] = assign
+        # accumulators must feed nothing inside the loop (not even their
+        # own update), or prefix values would leak into other statements
+        if reductions and _reads_scalar(loop.body, set(reductions)):
+            return False
+        self._reductions = {id(a): a for a in reductions.values()}
+        return True
+
+    # -- emission -----------------------------------------------------------
+
+    def _emit_vector_loop(self, loop: For, semantics: LoopSemantics) -> None:
+        lower = self.gen_expr(loop.lower)
+        upper = self.gen_expr(loop.upper)
+        iv = self._fresh("iv")
+        self._emit(f"{iv} = np.arange(int({lower}), int({upper}), {loop.step})")
+        self.dtypes[loop.var] = DType.INT32
+        self._vec_iv = iv
+
+        pushed = False
+        if semantics.mode is ExecMode.PARALLEL_SNAPSHOT:
+            written = sorted(
+                {ref.name for ref in writes_and_reads(loop.body)[0]}
+            )
+            # Snapshots make *reads* order-free, but when two statements
+            # write overlapping cells the final value still depends on
+            # write order (iteration-major in the scalar loop).  Defer
+            # such arrays' writes and scatter them interleaved at the end.
+            counts: dict[str, int] = {}
+            for assign in _collect_assigns(loop.body):
+                if isinstance(assign.target, ArrayRef):
+                    name = assign.target.name
+                    counts[name] = counts.get(name, 0) + 1
+            for name in sorted(n for n, c in counts.items() if c > 1):
+                deferred = self._fresh("wr")
+                self._multi_writers[name] = deferred
+                self._emit(f"{deferred} = []")
+            # Only copy arrays whose reads could observe this loop's own
+            # stores; everything else reads live memory, which equals the
+            # loop-entry snapshot by construction.  On copy-dominated
+            # kernels (e.g. GE's fan2 copies an N^2 matrix per outer
+            # iteration) this is the difference between O(N^2) and O(N)
+            # work per entry.
+            needed = _snapshot_copies_needed(
+                loop.body, set(self._multi_writers)
+            )
+            frame: dict[str, str] = {}
+            for name in written:
+                if name in needed:
+                    snap = f"{self._fresh('snap')}_{name}"
+                    self._emit(f"{snap} = {_pyname(name)}.copy()")
+                    frame[name] = snap
+                else:
+                    frame[name] = _pyname(name)
+            self._snapshot_stack.append(frame)
+            pushed = True
+        try:
+            self._vstmt(loop.body, None)
+            for name in sorted(self._multi_writers):
+                self._emit(
+                    f"_vstore_multi({_pyname(name)}, "
+                    f"{self._multi_writers[name]}, {iv}.size)"
+                )
+        finally:
+            if pushed:
+                self._snapshot_stack.pop()
+            self._multi_writers = {}
+        # Python for-loops leak the final iterate into the enclosing scope
+        self._emit(f"if {iv}.size:")
+        self._emit(f"    {_pyname(loop.var)} = int({iv}[-1])")
+
+    def _vstmt(self, stmt: Stmt, mask: str | None) -> None:
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                self._vstmt(child, mask)
+            return
+        if isinstance(stmt, If):
+            self._vif(stmt, mask)
+            return
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.target, Var):
+                self._emit_reduction(stmt, mask)
+            else:
+                self._emit_store(stmt, mask)
+            return
+        raise _NotVectorizable(f"statement {type(stmt).__name__}")
+
+    def _vif(self, stmt: If, mask: str | None) -> None:
+        cond = self._vexpr(stmt.cond, mask)
+        if cond.kind != KB:
+            if cond.kind not in _NUMERIC_KINDS:
+                raise _NotVectorizable("if condition kind")
+            cond = _VVal(f"({cond.code} != 0)", KB, cond.vector)  # C truthiness
+        has_else = stmt.else_body is not None and len(stmt.else_body) > 0
+        if not cond.vector:
+            # loop-invariant condition: one Python branch for all lanes
+            self._emit(f"if {cond.code}:")
+            self.level += 1
+            self._vblock(stmt.then_body, mask)
+            self.level -= 1
+            if has_else:
+                self._emit("else:")
+                self.level += 1
+                self._vblock(stmt.else_body, mask)
+                self.level -= 1
+            return
+        c = self._fresh("c")
+        self._emit(f"{c} = {cond.code}")
+        then_mask = c if mask is None else f"({mask} & {c})"
+        self._vstmt(stmt.then_body, then_mask)
+        if has_else:
+            else_mask = f"(~{c})" if mask is None else f"({mask} & ~{c})"
+            self._vstmt(stmt.else_body, else_mask)
+
+    def _vblock(self, stmt: Stmt, mask: str | None) -> None:
+        """Statement list under a Python-level ``if`` (needs a ``pass``
+        when empty, unlike mask-guarded emission)."""
+        if isinstance(stmt, Block) and not stmt.stmts:
+            self._emit("pass")
+            return
+        self._vstmt(stmt, mask)
+
+    def _emit_store(self, stmt: Assign, mask: str | None) -> None:
+        target = stmt.target
+        assert isinstance(target, ArrayRef)
+        dtype = self.array_dtypes.get(target.name)
+        if dtype is None:
+            raise ExecutionError(
+                f"unknown array {target.name!r} in kernel {self.kernel.name!r}"
+            )
+        if len(target.indices) != 1:
+            raise _NotVectorizable("rank > 1 store")
+        arr = _pyname(target.name)  # stores always hit live memory
+        idx = self._vexpr(target.indices[0], mask)
+        if idx.kind not in _INT_KINDS:
+            raise _NotVectorizable("non-integer subscript")
+        value = self._vexpr(stmt.value, mask)
+        if stmt.op is not None:
+            # compound update: the scalar backend reads the snapshot for
+            # non-atomic updates of snapshotted arrays, live memory else
+            snap = self._snapshot_name(target.name)
+            src = snap if (snap is not None and not stmt.atomic) else arr
+            read = self._gather(src, idx, mask, _DTYPE_KIND[dtype])
+            value = self._vbinop(stmt.op, read, value, stmt.target, stmt.value)
+        deferred = self._multi_writers.get(target.name)
+        if deferred is not None:
+            # multi-writer array: preserve iteration-major write order by
+            # deferring to one interleaved _vstore_multi scatter
+            self._emit(f"{deferred}.append(({idx.code}, {value.code}, {mask}))")
+            return
+        if not idx.vector and not value.vector and mask is None:
+            # every iteration writes the same cell with the same value
+            self._emit(f"{arr}[{idx.code}] = {value.code}")
+            return
+        self._emit(
+            f"_vstore({arr}, {idx.code}, {value.code}, {mask}, "
+            f"{self._vec_iv}.size)"
+        )
+
+    def _emit_reduction(self, stmt: Assign, mask: str | None) -> None:
+        if id(stmt) not in self._reductions:
+            raise _NotVectorizable("unplanned scalar write")
+        assert isinstance(stmt.target, Var)
+        acc = _pyname(stmt.target.name)
+        value = self._vexpr(stmt.value, mask)
+        if value.kind not in _NUMERIC_KINDS:
+            raise _NotVectorizable("non-numeric reduction term")
+        weak = value.kind in (KFW, KWI)
+        terms = (
+            value.code
+            if value.vector
+            else f"np.full({self._vec_iv}.shape, {value.code})"
+        )
+        if mask is not None:
+            terms = f"({terms})[{mask}]"
+        self._emit(f"{acc} = _vreduce({acc}, {terms}, {stmt.op!r}, {weak})")
+
+    # -- expression lowering ------------------------------------------------
+
+    def _cast(self, value: _VVal, kind: str) -> str:
+        if _BACKING[value.kind] == _BACKING[kind]:
+            return value.code
+        npdt = _NPDT[kind]
+        if value.vector:
+            return f"{value.code}.astype({npdt})"
+        return f"{npdt}({value.code})"
+
+    def _gather(self, arr: str, idx: _VVal, mask: str | None,
+                kind: str) -> _VVal:
+        if not idx.vector:
+            return _VVal(f"{arr}[{idx.code}]", kind, False)
+        icode = idx.code
+        if mask is not None:
+            # inactive lanes may hold out-of-range subscripts the scalar
+            # loop would never evaluate; clamp them to a safe cell
+            icode = f"np.where({mask}, {icode}, 0)"
+        return _VVal(f"{arr}[{icode}]", kind, True)
+
+    def _vbinop(self, op: str, lv: _VVal, rv: _VVal,
+                lexpr: Expr, rexpr: Expr) -> _VVal:
+        vector = lv.vector or rv.vector
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            if KB in (lv.kind, rv.kind):
+                if lv.kind != KB or rv.kind != KB or op not in ("==", "!="):
+                    raise _NotVectorizable("comparison on bool")
+                return _VVal(f"({lv.code} {op} {rv.code})", KB, vector)
+            kind = _combine(lv.kind, rv.kind)
+            return _VVal(
+                f"({self._cast(lv, kind)} {op} {self._cast(rv, kind)})",
+                KB, vector,
+            )
+        if op in ("&&", "||"):
+            if lv.kind != KB or rv.kind != KB:
+                raise _NotVectorizable("logical op on non-bool")
+            if not vector:
+                word = "and" if op == "&&" else "or"
+                return _VVal(f"({lv.code} {word} {rv.code})", KB, False)
+            sym = "&" if op == "&&" else "|"
+            return _VVal(f"({lv.code} {sym} {rv.code})", KB, True)
+        if op in ("&", "|", "^", "<<", ">>"):
+            # Python's unbounded ints vs int64 lanes differ on overflow
+            raise _NotVectorizable("bitwise op")
+        if op in ("/", "%") and (
+            self._dtype_of(lexpr).is_integer
+            and self._dtype_of(rexpr).is_integer
+        ):
+            kind = _combine(lv.kind, rv.kind)
+            if kind not in _INT_KINDS:
+                raise _NotVectorizable("integer division on non-int kinds")
+            lc, rc = self._cast(lv, kind), self._cast(rv, kind)
+            if not vector:
+                fn = "_idiv" if op == "/" else "_imod"
+            else:
+                fn = "_vidiv" if op == "/" else "_vimod"
+            return _VVal(f"{fn}({lc}, {rc})", kind, vector)
+        if op in ("+", "-", "*", "/", "%"):
+            if op == "%":
+                raise _NotVectorizable("float modulo")  # scalar uses % too
+            kind = _combine(lv.kind, rv.kind)
+            return _VVal(
+                f"({self._cast(lv, kind)} {op} {self._cast(rv, kind)})",
+                kind, vector,
+            )
+        raise _NotVectorizable(f"operator {op!r}")
+
+    def _vexpr(self, expr: Expr, mask: str | None) -> _VVal:
+        if isinstance(expr, IntLit):
+            return _VVal(repr(expr.value), KWI, False)
+        if isinstance(expr, FloatLit):
+            return _VVal(repr(expr.value), KFW, False)
+        if isinstance(expr, Var):
+            name = expr.name
+            if name == self._vec_var:
+                assert self._vec_iv is not None
+                return _VVal(self._vec_iv, KWI, True)
+            if name in self._int_scalars:
+                return _VVal(_pyname(name), KWI, False)
+            if name in self._param_scalars:
+                dtype = self.dtypes[name]
+                kind = KWI if dtype.is_integer else KFW
+                return _VVal(_pyname(name), kind, False)
+            # locals declared in outer scopes may hold NumPy scalars whose
+            # promotion strength we cannot know statically
+            raise _NotVectorizable(f"scalar local {name!r}")
+        if isinstance(expr, ArrayRef):
+            dtype = self.array_dtypes.get(expr.name)
+            if dtype is None:
+                raise ExecutionError(
+                    f"unknown array {expr.name!r} in kernel "
+                    f"{self.kernel.name!r}"
+                )
+            if len(expr.indices) != 1:
+                raise _NotVectorizable("rank > 1 gather")
+            snap = self._snapshot_name(expr.name)
+            arr = snap if snap is not None else _pyname(expr.name)
+            idx = self._vexpr(expr.indices[0], mask)
+            if idx.kind not in _INT_KINDS:
+                raise _NotVectorizable("non-integer subscript")
+            return self._gather(arr, idx, mask, _DTYPE_KIND[dtype])
+        if isinstance(expr, BinOp):
+            lv = self._vexpr(expr.lhs, mask)
+            rv = self._vexpr(expr.rhs, mask)
+            return self._vbinop(expr.op, lv, rv, expr.lhs, expr.rhs)
+        if isinstance(expr, UnaryOp):
+            operand = self._vexpr(expr.operand, mask)
+            if expr.op == "!":
+                if operand.kind != KB:
+                    raise _NotVectorizable("! on non-bool")
+                code = (
+                    f"(~{operand.code})" if operand.vector
+                    else f"(not {operand.code})"
+                )
+                return _VVal(code, KB, operand.vector)
+            if operand.kind not in _NUMERIC_KINDS:
+                raise _NotVectorizable("unary op on bool")
+            return _VVal(
+                f"({expr.op}{operand.code})", operand.kind, operand.vector
+            )
+        if isinstance(expr, Call):
+            return self._vcall(expr, mask)
+        if isinstance(expr, Ternary):
+            return self._vternary(expr, mask)
+        if isinstance(expr, Cast):
+            operand = self._vexpr(expr.operand, mask)
+            if expr.dtype.is_integer:
+                if operand.vector:
+                    # astype truncates toward zero, like C and int()
+                    return _VVal(f"{operand.code}.astype(np.int64)", KWI, True)
+                return _VVal(f"int({operand.code})", KWI, False)
+            if operand.vector:
+                return _VVal(f"{operand.code}.astype(np.float64)", KFW, True)
+            return _VVal(f"float({operand.code})", KFW, False)
+        raise _NotVectorizable(f"expression {type(expr).__name__}")
+
+    def _vcall(self, expr: Call, mask: str | None) -> _VVal:
+        helper = _CALL_MAP.get(expr.func)
+        if helper is None:
+            raise ExecutionError(
+                f"no executor mapping for intrinsic {expr.func!r}"
+            )
+        args = [self._vexpr(a, mask) for a in expr.args]
+        if any(a.kind not in _NUMERIC_KINDS for a in args):
+            raise _NotVectorizable("intrinsic on bool")
+        if not any(a.vector for a in args):
+            # pure-scalar call: emit exactly what the scalar backend would
+            kind = self._scalar_call_kind(expr.func, args)
+            code = f"{helper}({', '.join(a.code for a in args)})"
+            return _VVal(code, kind, False)
+        if expr.func == "sqrt":
+            (arg,) = args
+            code = (
+                arg.code if _BACKING[arg.kind] == "f8"
+                else self._cast(arg, KFW)
+            )
+            # math.sqrt computes in double and returns a weak float
+            return _VVal(f"np.sqrt({code})", KFW, True)
+        if expr.func in ("fabs", "abs"):
+            (arg,) = args
+            return _VVal(f"np.abs({arg.code})", arg.kind, True)
+        if expr.func in ("floor", "ceil"):
+            (arg,) = args
+            # math.floor/ceil return weak Python ints
+            return _VVal(
+                f"np.{expr.func}({arg.code}).astype(np.int64)", KWI, True
+            )
+        # exp/log/pow: NumPy and libm differ by ulps; min/max: Python's
+        # pick-an-operand semantics (signed zeros, mixed kinds) don't map
+        raise _NotVectorizable(f"intrinsic {expr.func!r} on vectors")
+
+    def _scalar_call_kind(self, func: str, args: list[_VVal]) -> str:
+        if func in ("sqrt", "exp", "log"):
+            return KFW  # math.* return Python floats
+        if func == "pow":
+            if all(a.kind in _INT_KINDS for a in args):
+                return KWI  # pow(int, int) is an int
+            return KFW
+        if func in ("floor", "ceil"):
+            return KWI
+        if func in ("fabs", "abs"):
+            return args[0].kind
+        # min/max return one operand unchanged: kind is only defined
+        # when both agree
+        kinds = {a.kind for a in args}
+        if len(kinds) != 1:
+            raise _NotVectorizable(f"{func} on mixed kinds")
+        return kinds.pop()
+
+    def _vternary(self, expr: Ternary, mask: str | None) -> _VVal:
+        cond = self._vexpr(expr.cond, mask)
+        if cond.kind != KB:
+            if cond.kind not in _NUMERIC_KINDS:
+                raise _NotVectorizable("ternary condition kind")
+            cond = _VVal(f"({cond.code} != 0)", KB, cond.vector)
+        if not cond.vector:
+            then = self._vexpr(expr.then, mask)
+            other = self._vexpr(expr.otherwise, mask)
+            if then.kind != other.kind:
+                raise _NotVectorizable("ternary branch kinds differ")
+            return _VVal(
+                f"({then.code} if {cond.code} else {other.code})",
+                then.kind, then.vector or other.vector,
+            )
+        then_mask = (
+            cond.code if mask is None else f"({mask} & {cond.code})"
+        )
+        else_mask = (
+            f"(~{cond.code})" if mask is None
+            else f"({mask} & ~{cond.code})"
+        )
+        then = self._vexpr(expr.then, then_mask)
+        other = self._vexpr(expr.otherwise, else_mask)
+        if then.kind != other.kind:
+            raise _NotVectorizable("ternary branch kinds differ")
+        return _VVal(
+            f"np.where({cond.code}, {then.code}, {other.code})",
+            then.kind, True,
+        )

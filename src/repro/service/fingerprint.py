@@ -28,8 +28,8 @@ from dataclasses import dataclass, field
 
 from ..compilers.flags import FlagSet
 from ..devices.specs import DeviceSpec
-from ..ir.printer import print_module
-from ..ir.stmt import Module
+from ..ir.printer import print_kernel, print_module
+from ..ir.stmt import KernelFunction, Module
 
 #: modeled tool-chain versions (paper section IV-A); part of every
 #: fingerprint so a future version bump invalidates stale artifacts.
@@ -94,6 +94,21 @@ def fingerprint_parts(
         "\x1f".join(canonical_flags(flags)),
         canonical_device(device),
     )
+
+
+def fingerprint_kernel(kernel: KernelFunction) -> str:
+    """SHA-256 hex digest content-addressing one kernel function.
+
+    Computed over the canonical mini-C print, so two IR instances that
+    print identically share a digest regardless of object identity or
+    ``loop_id`` assignment — the key space of the executor's
+    compiled-kernel cache (:mod:`repro.runtime.executor`).
+    """
+    digest = hashlib.sha256()
+    for part in (SCHEMA, "kernel", print_kernel(kernel)):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 def fingerprint_request(

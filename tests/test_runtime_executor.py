@@ -270,3 +270,215 @@ class TestParallelSnapshotEdges:
             k, {"a": a}, {lid: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT)}
         )
         assert a.tolist() == [0.0, 1.0, 1.0, 1.0]  # sequential: 0,1,2,3
+
+
+class TestNestedSnapshot:
+    def test_outer_reads_resolve_to_outer_snapshot(self):
+        # An inner parallel loop writing the same array must not clobber
+        # the outer loop's snapshot: after the inner loop exits, reads in
+        # the outer frame still see the state at *outer* loop entry.
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; int j; "
+            "for (i = 0; i < 1; i++) { "
+            "a[0] = a[1] + 10.0f; "
+            "for (j = 1; j < 3; j++) a[j] = a[j - 1] + 1.0f; "
+            "a[3] = a[0] + 100.0f; } }"
+        )
+        outer, inner = k.loops()
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        execute_kernel(
+            k, {"a": a, "n": 4},
+            {outer.loop_id: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT),
+             inner.loop_id: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT)},
+        )
+        # outer snapshot [1,2,3,4]: a[0] = 2+10 = 12
+        # inner snapshot [12,2,3,4]: a[1] = 13, a[2] = 3
+        # a[3] reads the OUTER snapshot's a[0] (= 1), not the inner's (= 12)
+        assert a.tolist() == [12.0, 13.0, 3.0, 101.0]
+
+    def test_inner_loop_gets_fresh_snapshot_each_iteration(self):
+        k = parse_kernel(
+            "void f(float *a) { int i; int j; "
+            "for (i = 0; i < 2; i++) { "
+            "for (j = 0; j < 2; j++) a[j] = a[j] + 1.0f; } }"
+        )
+        outer, inner = k.loops()
+        a = np.zeros(2)
+        execute_kernel(
+            k, {"a": a},
+            {outer.loop_id: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT),
+             inner.loop_id: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT)},
+        )
+        # each outer iteration re-snapshots at inner entry, so the
+        # increments accumulate across outer iterations
+        assert a.tolist() == [2.0, 2.0]
+
+
+class TestLastChunkStepEdges:
+    def _reduction_kernel(self):
+        return parse_kernel(
+            "void f(const float *a, float *out) { int i; float s = 0.0f; "
+            "for (i = 0; i < 7; i += 2) s += a[i];\n"
+            "out[0] = s; }"
+        )
+
+    def test_negative_step_trip_count(self):
+        from repro.ir.expr import IntLit
+
+        k = self._reduction_kernel()
+        loop = k.loops()[0]
+        # the parser only emits forward loops; model a descending one
+        loop.lower = IntLit(6)
+        loop.upper = IntLit(0)
+        loop.step = -2
+        a = np.arange(8, dtype=np.float64)
+        seq = np.zeros(1)
+        execute_kernel(k, {"a": a, "out": seq})
+        assert seq[0] == 12.0  # iterates 6, 4, 2
+        # trip count 3, chunks=3 -> size 1: start = 6 + 2*(-2) = 2
+        out = np.zeros(1)
+        execute_kernel(
+            k, {"a": a, "out": out},
+            {loop.loop_id: LoopSemantics(
+                ExecMode.REDUCTION_LAST_CHUNK, chunks=3)},
+        )
+        assert out[0] == 2.0
+
+    def test_negative_step_empty_range(self):
+        from repro.ir.expr import IntLit
+
+        k = self._reduction_kernel()
+        loop = k.loops()[0]
+        loop.lower = IntLit(0)
+        loop.upper = IntLit(6)
+        loop.step = -2  # range(0, 6, -2) is empty
+        out = np.full(1, 9.0)
+        execute_kernel(
+            k, {"a": np.arange(8, dtype=np.float64), "out": out},
+            {loop.loop_id: LoopSemantics(
+                ExecMode.REDUCTION_LAST_CHUNK, chunks=2)},
+        )
+        assert out[0] == 0.0  # s = 0.0 still stored; no iterations run
+
+    def test_step_zero_raises(self):
+        k = self._reduction_kernel()
+        k.loops()[0].step = 0
+        with pytest.raises(ExecutionError, match="step 0"):
+            execute_kernel(
+                k, {"a": np.zeros(8), "out": np.zeros(1)}
+            )
+
+
+class TestUnknownScalar:
+    def test_undeclared_name_raises_instead_of_int32_default(self):
+        from repro.ir.expr import BinOp, FloatLit, Var
+        from repro.ir.stmt import Assign
+
+        # an unknown name used to default to INT32, routing float
+        # division through _idiv; now it is a hard error
+        k = parse_kernel("void f(float *a, float x) { a[0] = x / 2.0f; }")
+        assign = next(s for s in k.body.walk() if isinstance(s, Assign))
+        assign.value = BinOp("/", Var("mystery"), FloatLit(2.0))
+        with pytest.raises(ExecutionError, match="mystery"):
+            execute_kernel(k, {"a": np.zeros(1), "x": 1.0})
+
+
+class TestArgTyping:
+    def _kernel(self):
+        return parse_kernel(
+            "void f(float *a, const int *idx, float x, int n) "
+            "{ a[0] = x; a[1] = (float) idx[0]; a[2] = (float) n; }"
+        )
+
+    def _args(self, **over):
+        args = {
+            "a": np.zeros(3, dtype=np.float32),
+            "idx": np.zeros(1, dtype=np.int32),
+            "x": 1.5,
+            "n": 2,
+        }
+        args.update(over)
+        return args
+
+    def test_int_buffer_for_float_param_rejected(self):
+        with pytest.raises(ExecutionError, match="incompatible"):
+            execute_kernel(
+                self._kernel(), self._args(a=np.zeros(3, dtype=np.int64))
+            )
+
+    def test_float_buffer_for_int_param_rejected(self):
+        with pytest.raises(ExecutionError, match="incompatible"):
+            execute_kernel(
+                self._kernel(), self._args(idx=np.zeros(1, dtype=np.float64))
+            )
+
+    def test_wider_float_buffer_accepted(self):
+        # kind matches (both float): float64 storage for a float32 param
+        # is how every existing harness allocates buffers
+        execute_kernel(
+            self._kernel(), self._args(a=np.zeros(3, dtype=np.float64))
+        )
+
+    def test_numpy_scalars_normalized_to_python(self):
+        a = np.zeros(3, dtype=np.float64)
+        execute_kernel(
+            self._kernel(),
+            self._args(a=a, x=np.float32(1.5), n=np.int64(2)),
+        )
+        assert a.tolist() == [1.5, 0.0, 2.0]
+
+    def test_float_for_int_param_truncates_like_c(self):
+        a = np.zeros(3, dtype=np.float64)
+        execute_kernel(self._kernel(), self._args(a=a, n=2.9))
+        assert a[2] == 2.0
+
+    def test_non_number_scalar_rejected(self):
+        with pytest.raises(ExecutionError, match="must be a number"):
+            execute_kernel(self._kernel(), self._args(n="2"))
+
+
+class TestCompiledKernelCache:
+    def test_cache_hits_are_counted(self):
+        from repro.runtime.executor import clear_kernel_cache
+        from repro.telemetry import get_registry, reset_registry
+
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; "
+            "for (i = 0; i < n; i++) a[i] = 2.0f; }"
+        )
+        clear_kernel_cache()
+        reset_registry()
+        a = np.zeros(4)
+        execute_kernel(k, {"a": a, "n": 4})
+        execute_kernel(k, {"a": a, "n": 4})
+        assert get_registry().counter("executor.cache_hit").value == 1
+
+    def test_semantics_changes_miss_the_cache(self):
+        from repro.runtime.executor import clear_kernel_cache
+        from repro.telemetry import get_registry, reset_registry
+
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; "
+            "for (i = 0; i < n; i++) a[i] = a[i] + 1.0f; }"
+        )
+        lid = k.loops()[0].loop_id
+        clear_kernel_cache()
+        reset_registry()
+        a = np.zeros(4)
+        execute_kernel(k, {"a": a, "n": 4})
+        execute_kernel(k, {"a": a, "n": 4},
+                       {lid: LoopSemantics(ExecMode.PARALLEL_SNAPSHOT)})
+        assert get_registry().counter("executor.cache_hit").value == 0
+
+    def test_equal_print_shares_cache_across_objects(self):
+        from repro.runtime.executor import clear_kernel_cache
+        from repro.telemetry import get_registry, reset_registry
+
+        src = ("void f(float *a, int n) { int i; "
+               "for (i = 0; i < n; i++) a[i] = 3.0f; }")
+        clear_kernel_cache()
+        reset_registry()
+        a = np.zeros(4)
+        execute_kernel(parse_kernel(src), {"a": a, "n": 4})
+        execute_kernel(parse_kernel(src), {"a": a, "n": 4})
+        assert get_registry().counter("executor.cache_hit").value == 1
