@@ -108,18 +108,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_from_args(args: argparse.Namespace) -> dict:
+    """Translate --faults/--retries/--hedge/--resume into CompileService
+    keyword arguments (docs/FAULTS.md).  Empty dict when none are set."""
+    from .faults import parse_fault_spec
+    from .service import CircuitBreaker, RetryPolicy, SweepJournal
+
+    kwargs: dict = {}
+    spec = getattr(args, "faults", None)
+    if spec:
+        kwargs["fault_plan"] = parse_fault_spec(spec)
+        # injected faults come with the full healing kit: a breaker so a
+        # persistently failing route degrades loudly instead of erroring
+        # silently slot after slot
+        kwargs["breaker"] = CircuitBreaker()
+    retries = getattr(args, "retries", None)
+    if retries is None and spec:
+        retries = 3  # faults without --retries still get the default kit
+    if retries:
+        kwargs["retry"] = RetryPolicy(max_retries=retries)
+    hedge = getattr(args, "hedge", None)
+    if hedge is not None:
+        kwargs["hedge_after_s"] = hedge
+    resume = getattr(args, "resume", None)
+    if resume is not None:
+        kwargs["journal"] = SweepJournal(resume)
+    return kwargs
+
+
 def _service_from_args(args: argparse.Namespace):
-    """Build a CompileService from --jobs/--cache-dir (None if defaults)."""
+    """Build a CompileService from --jobs/--cache-dir plus the resilience
+    flags (None if everything is at its default)."""
     from .service import CompileService
     from .service.cache import ArtifactCache
     from .telemetry import get_tracer
 
+    resilience = _resilience_from_args(args)
     # a traced run always gets an explicit service so its metrics can be
     # published into the exported trace
-    if args.jobs == 1 and args.cache_dir is None and not get_tracer().enabled:
+    if (args.jobs == 1 and args.cache_dir is None and not resilience
+            and not get_tracer().enabled):
         return None
     return CompileService(
-        cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs
+        cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs,
+        **resilience,
     )
 
 
@@ -143,9 +175,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from .service import configure_default_service, get_default_service
     from .telemetry import get_tracer
 
-    if args.jobs != 1 or args.cache_dir is not None:
+    resilience = _resilience_from_args(args)
+    if args.jobs != 1 or args.cache_dir is not None or resilience:
         # the experiment drivers share the process-wide default service
-        configure_default_service(jobs=args.jobs, cache_dir=args.cache_dir)
+        configure_default_service(jobs=args.jobs, cache_dir=args.cache_dir,
+                                  **resilience)
 
     names = list(ALL_EXPERIMENTS) if "all" in args.ids else args.ids
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -161,7 +195,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(result.report())
         print()
         failures += len(result.failed_claims())
-    if args.jobs != 1 or args.cache_dir is not None:
+    if args.jobs != 1 or args.cache_dir is not None or resilience:
         _print_service_stats(get_default_service())
     _maybe_publish(get_default_service())
     return 1 if failures else 0
@@ -199,7 +233,8 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     # tuners always share one service: the exhaustive sweep, the hill
     # climber, and the portable tuner revisit the same configurations
     service = CompileService(
-        cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs
+        cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs,
+        **_resilience_from_args(args),
     )
     if args.jobs > 1:
         # fan the whole candidate grid over the worker pool up front;
@@ -228,7 +263,8 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
     from .service.cache import ArtifactCache
 
     service = CompileService(
-        cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs
+        cache=ArtifactCache(cache_dir=args.cache_dir), jobs=args.jobs,
+        **_resilience_from_args(args),
     )
     if args.replay is not None:
         result = replay_file(args.replay, service)
@@ -284,6 +320,32 @@ def build_parser() -> argparse.ArgumentParser:
                  "a warm cache makes re-sweeps compile-free)",
         )
 
+    def add_resilience_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--faults", default=None, metavar="SPEC",
+            help="inject deterministic tool-chain faults, e.g. "
+                 "'transient:p=0.3,seed=11' or "
+                 "'transient:p=0.2;slow:p=0.1,s=0.05;cache:p=0.05' "
+                 "(docs/FAULTS.md); implies a circuit breaker and, unless "
+                 "--retries says otherwise, 3 retries",
+        )
+        p.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="retry transient compile failures up to N times with "
+                 "exponential backoff (default: 3 with --faults, else 0)",
+        )
+        p.add_argument(
+            "--hedge", type=float, default=None, metavar="S",
+            help="duplicate a sweep point still unfinished after S seconds; "
+                 "first result wins (requires --jobs > 1 to matter)",
+        )
+        p.add_argument(
+            "--resume", default=None, metavar="FILE",
+            help="checkpoint completed sweep points to FILE (JSONL) and "
+                 "skip points already journaled there — a killed sweep "
+                 "resumes byte-identically",
+        )
+
     def add_exec_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--exec-backend", choices=("scalar", "vector", "check"),
@@ -334,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="experiment ids (e.g. fig3 table7) or 'all'")
     p.add_argument("--paper-scale", action="store_true")
     add_service_flags(p)
+    add_resilience_flags(p)
     add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_experiment)
@@ -343,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
     p.add_argument("--size", type=int, default=2048)
     add_service_flags(p)
+    add_resilience_flags(p)
     add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_heatmap)
@@ -350,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("autotune", help="auto-tune LUD thread distribution")
     p.add_argument("--size", type=int, default=1024)
     add_service_flags(p)
+    add_resilience_flags(p)
     add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_autotune)
@@ -369,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", default=None, metavar="FILE",
                    help="re-run one dumped reproducer instead of sweeping")
     add_service_flags(p)
+    add_resilience_flags(p)
     add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_difftest)
@@ -386,6 +452,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cli_errors(func):
+    """Turn the two structured failure modes into clean CLI exits: a bad
+    --faults spec is a usage error (2); a sweep point still failing after
+    the retry/breaker kit is exhausted is a run failure (1), reported as
+    one line rather than a traceback."""
+    import functools
+
+    from .faults import FaultSpecError
+    from .service import JobError
+
+    @functools.wraps(func)
+    def wrapped(args: argparse.Namespace) -> int:
+        try:
+            return func(args)
+        except FaultSpecError as exc:
+            print(f"repro: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        except JobError as exc:
+            print(f"repro: sweep failed after retries: {exc}",
+                  file=sys.stderr)
+            return 1
+
+    return wrapped
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     backend = getattr(args, "exec_backend", None)
@@ -397,7 +488,7 @@ def main(argv: list[str] | None = None) -> int:
         set_default_backend(backend)
     trace_path = getattr(args, "trace", None)
     if trace_path is None:
-        return args.func(args)
+        return _cli_errors(args.func)(args)
 
     from .telemetry import (
         configure_tracer,
@@ -411,7 +502,7 @@ def main(argv: list[str] | None = None) -> int:
     configure_tracer(enabled=True)
     reset_registry()
     try:
-        return args.func(args)
+        return _cli_errors(args.func)(args)
     finally:
         count = write_trace(trace_path, args.trace_format, get_tracer(),
                             get_registry())

@@ -17,7 +17,7 @@ from ..devices.specs import DeviceSpec
 from ..kernels.base import Benchmark
 from ..runtime.launcher import Accelerator
 from ..service.fingerprint import CompileRequest
-from ..service.scheduler import CompileService
+from ..service.scheduler import CompileService, JobError
 from ..telemetry.spans import get_tracer
 from ..transforms.distribute import set_gang_worker
 
@@ -147,7 +147,14 @@ def lud_heatmap(
                      device=device.name, points=len(gangs) * len(workers)):
         requests = distribution_requests(benchmark, compiler, target, gangs,
                                          workers)
-        compiled_grid = service.compile_many(requests)
+        # sweep (not compile_many) so the grid checkpoints through the
+        # service's journal and survives injected faults point-by-point;
+        # the heat map itself is still strict — a point that stayed
+        # failed after retries/degradation aborts the map
+        compiled_grid = service.sweep(requests)
+        for slot in compiled_grid:
+            if isinstance(slot, JobError):
+                raise slot
 
         times: list[list[float]] = []
         point = iter(compiled_grid)

@@ -10,9 +10,13 @@ points.  This package turns those repeated compiles into a service:
 * :mod:`.scheduler` — :class:`CompileService`: dedup, worker pool,
   deterministic batch results, structured per-point errors;
 * :mod:`.metrics` — request/hit/latency counters, surfaced through
-  :meth:`repro.runtime.profiler.Profiler.report`.
+  :meth:`repro.runtime.profiler.Profiler.report`;
+* :mod:`.resilience` — retry policies with deterministic backoff,
+  simulated clocks, per-target circuit breakers, and the sweep
+  checkpoint journal (pairs with :mod:`repro.faults`).
 
-See ``docs/SERVICE.md`` for the architecture.
+See ``docs/SERVICE.md`` for the architecture and ``docs/FAULTS.md``
+for the fault-injection + resilience story.
 """
 
 from .cache import MISS, ArtifactCache, CacheStats
@@ -24,6 +28,15 @@ from .fingerprint import (
     fingerprint_request,
 )
 from .metrics import ServiceMetrics, percentile
+from .resilience import (
+    DEFAULT_FALLBACKS,
+    CircuitBreaker,
+    Clock,
+    RetryPolicy,
+    SimClock,
+    SweepJournal,
+    SystemClock,
+)
 from .scheduler import (
     CompileService,
     JobError,
@@ -36,11 +49,18 @@ __all__ = [
     "ArtifactCache",
     "COMPILER_VERSIONS",
     "CacheStats",
+    "CircuitBreaker",
+    "Clock",
     "CompileRequest",
     "CompileService",
+    "DEFAULT_FALLBACKS",
     "JobError",
     "MISS",
+    "RetryPolicy",
     "ServiceMetrics",
+    "SimClock",
+    "SweepJournal",
+    "SystemClock",
     "canonical_flags",
     "configure_default_service",
     "fingerprint_parts",

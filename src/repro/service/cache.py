@@ -42,6 +42,10 @@ class CacheStats:
     evictions: int = 0
     stores: int = 0
     disk_stores: int = 0
+    #: ``put`` calls for a fingerprint that was already stored — e.g. a
+    #: timed-out worker's discarded result landing after a retry or a
+    #: hedge already published the artifact.  Skipped, never re-written.
+    redundant_stores: int = 0
 
     @property
     def hits(self) -> int:
@@ -63,6 +67,7 @@ class CacheStats:
             "evictions": self.evictions,
             "stores": self.stores,
             "disk_stores": self.disk_stores,
+            "redundant_stores": self.redundant_stores,
             "hit_rate": self.hit_rate,
         }
 
@@ -130,10 +135,25 @@ class ArtifactCache:
     # -- store ----------------------------------------------------------------
 
     def put(self, fingerprint: str, artifact: Any) -> None:
-        """Store *artifact* in both tiers under *fingerprint*."""
+        """Store *artifact* in both tiers under *fingerprint*.
+
+        Idempotent per fingerprint: a second ``put`` for a stored key is
+        a counted no-op (``stats.redundant_stores``).  The compilers are
+        content-addressed pure functions, so a repeat store can only be
+        a *discarded duplicate* — a timed-out worker finishing after its
+        result was abandoned, or the losing side of a hedged pair — and
+        must not double-count stores or re-write the disk tier.
+        """
         with self._lock:
+            if fingerprint in self._entries:
+                self.stats.redundant_stores += 1
+                return
             self.stats.stores += 1
             self._install(fingerprint, self._in(artifact))
+            disk = self._disk_path(fingerprint)
+            if disk is not None and disk.exists():
+                self.stats.redundant_stores += 1
+                return
             self._disk_store(fingerprint, artifact)
 
     def clear(self, memory_only: bool = True) -> None:

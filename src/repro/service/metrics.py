@@ -31,6 +31,15 @@ class ServiceMetrics:
     compiles: int = 0
     errors: int = 0
     timeouts: int = 0
+    #: resilience counters (docs/FAULTS.md): injected faults seen at the
+    #: compiler/cache boundaries, retries spent healing them, hedged
+    #: duplicates (and how many beat the primary), breaker fallbacks.
+    faults_injected: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    degraded: int = 0
+    cache_io_errors: int = 0
     #: modeled wall-clock not spent recompiling: on every hit, the recorded
     #: compile time of that fingerprint (or the running mean for artifacts
     #: inherited from a previous process via the disk tier)
@@ -71,6 +80,26 @@ class ServiceMetrics:
         with self._lock:
             self.timeouts += 1
 
+    def record_fault(self, cache_io: bool = False) -> None:
+        with self._lock:
+            self.faults_injected += 1
+            if cache_io:
+                self.cache_io_errors += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_hedge(self, won: bool = False) -> None:
+        with self._lock:
+            self.hedges += 1
+            if won:
+                self.hedge_wins += 1
+
+    def record_degraded(self) -> None:
+        with self._lock:
+            self.degraded += 1
+
     # -- views -----------------------------------------------------------------
 
     def _mean_compile_s(self) -> float:
@@ -104,6 +133,12 @@ class ServiceMetrics:
                 "errors": self.errors,
                 "timeouts": self.timeouts,
                 "time_saved_s": self.time_saved_s,
+                "faults_injected": self.faults_injected,
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+                "degraded": self.degraded,
+                "cache_io_errors": self.cache_io_errors,
             }
 
     def publish(self, registry: MetricsRegistry,
@@ -121,9 +156,22 @@ class ServiceMetrics:
                 "timeouts": self.timeouts,
                 "time_saved_s": self.time_saved_s,
             }
+            # resilience counters publish under the ``faults.`` namespace
+            # (docs/FAULTS.md) so dashboards see one fault-injection
+            # story regardless of which service produced it
+            faults = {
+                "faults.injected": self.faults_injected,
+                "faults.retries": self.retries,
+                "faults.hedges": self.hedges,
+                "faults.hedge_wins": self.hedge_wins,
+                "faults.degraded": self.degraded,
+                "faults.cache_io_errors": self.cache_io_errors,
+            }
             seconds = list(self._compile_seconds)
         for name, value in snap.items():
             registry.gauge(f"{prefix}.{name}").set(float(value))
+        for name, value in faults.items():
+            registry.gauge(name).set(float(value))
         histogram = registry.histogram(f"{prefix}.compile_seconds")
         already = histogram.count
         if len(seconds) > already:
@@ -147,4 +195,13 @@ class ServiceMetrics:
                 f"~{snap['time_saved_s'] * 1e3:.3f} ms saved by caching"
             ),
         ]
+        if any(snap[k] for k in ("faults_injected", "retries", "hedges",
+                                 "degraded")):
+            lines.append(
+                f"resilience: {snap['faults_injected']} faults injected "
+                f"({snap['cache_io_errors']} cache I/O), "
+                f"{snap['retries']} retries, "
+                f"{snap['hedges']} hedges ({snap['hedge_wins']} wins), "
+                f"{snap['degraded']} degraded fallbacks"
+            )
         return lines

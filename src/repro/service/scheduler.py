@@ -15,16 +15,44 @@ owns an :class:`ArtifactCache`, a :class:`ServiceMetrics`, and (when
   point yields a structured :class:`JobError` in its slot and the rest
   of the sweep completes.
 
+Resilience (docs/FAULTS.md): the service survives the compiler
+fragility the paper documents — injected via :mod:`repro.faults` —
+with four mechanisms, all off by default and all deterministic:
+
+* **retry** (:class:`~repro.service.resilience.RetryPolicy`) —
+  transient failures are re-attempted with exponential backoff and
+  counter-hashed jitter, slept on an injectable
+  :class:`~repro.service.resilience.Clock` (tests use ``SimClock``;
+  ``time.sleep`` never runs under test);
+* **circuit breaker**
+  (:class:`~repro.service.resilience.CircuitBreaker`) — per
+  (compiler, target) consecutive-failure breaker advanced in *gather
+  order*; once open, failed sweep points degrade to the route's
+  fallback (CAPS/OpenCL -> CAPS/CUDA), marked ``degraded=True`` on the
+  artifact — never silent;
+* **hedging** (``hedge_after_s``) — a sweep point still unfinished
+  after the hedge delay is duplicated inline; first result wins (the
+  compilers are pure, so either copy is byte-identical);
+* **checkpoint/resume**
+  (:class:`~repro.service.resilience.SweepJournal`) — completed sweep
+  points append to a JSONL journal; a resumed sweep skips journaled
+  fingerprints and equals an uninterrupted one byte for byte.
+
 Determinism contract: the compiler models are pure functions of the
 fingerprinted inputs, requests are materialized by the *caller* in a
-fixed order (IR loop ids are allocated before submission), and results
-are returned in request order — so a ``jobs=4`` sweep is byte-identical
-to a serial one, and a warm-cache sweep to a cold one.
+fixed order (IR loop ids are allocated before submission), results are
+returned in request order, and every fault/retry/breaker decision is a
+counter-based hash of (seed, fingerprint, attempt) — so a ``jobs=4``
+sweep is byte-identical to a serial one, a warm-cache sweep to a cold
+one, and a faulted sweep to a re-run under the same plan.
 
 Per-job timeouts are enforced at the gather point for pooled execution
 (``jobs > 1``); a timed-out point becomes a ``JobError(kind="timeout")``
-without killing the sweep (the worker thread is left to finish and its
-result is discarded).
+without killing the sweep.  The abandoned worker thread is left to
+finish; its discarded result's cache write is idempotent
+(:meth:`ArtifactCache.put` skips already-stored fingerprints) so a
+late-landing duplicate can never double-count stores or re-write the
+disk tier.
 """
 
 from __future__ import annotations
@@ -38,12 +66,26 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..compilers.flags import FlagSet
 from ..devices.specs import DeviceSpec
+from ..faults.adapter import FaultyCacheAdapter, FaultyCompilerAdapter
+from ..faults.plan import FaultPlan, is_injected_fault, is_transient
 from ..ir.stmt import Module
 from ..telemetry.registry import MetricsRegistry
 from ..telemetry.spans import get_tracer
 from .cache import MISS, ArtifactCache
 from .fingerprint import CompileRequest
 from .metrics import ServiceMetrics
+from .resilience import (
+    CircuitBreaker,
+    Clock,
+    RetryPolicy,
+    SweepJournal,
+    SystemClock,
+)
+
+#: hedge attempts draw faults from a disjoint attempt range, so a hedge
+#: is a genuinely independent replica (it does not replay the straggling
+#: primary's injected fault)
+_HEDGE_ATTEMPT_BASE = 1 << 20
 
 
 class JobError(Exception):
@@ -54,7 +96,7 @@ class JobError(Exception):
         super().__init__(message)
         self.label = label
         self.fingerprint = fingerprint
-        self.kind = kind  # "compile-error" | "timeout" | "error"
+        self.kind = kind  # "compile-error" | "timeout" | "fault" | "error"
         self.message = message
         self.seconds = seconds
 
@@ -76,7 +118,8 @@ class JobError(Exception):
 @dataclass
 class _CachedFailure:
     """Marker artifact for a deterministic compile failure (so warm
-    sweeps replay the error without recompiling)."""
+    sweeps replay the error without recompiling).  Injected faults are
+    *never* cached — they belong to a fault plan, not to the request."""
 
     error: Exception
 
@@ -92,7 +135,8 @@ def _default_compile_fn(request: CompileRequest) -> Any:
 
 
 class CompileService:
-    """Content-addressed, deduplicating, pool-backed compilation."""
+    """Content-addressed, deduplicating, pool-backed, fault-resilient
+    compilation."""
 
     def __init__(
         self,
@@ -101,12 +145,30 @@ class CompileService:
         timeout_s: float | None = None,
         metrics: ServiceMetrics | None = None,
         compile_fn: Callable[[CompileRequest], Any] | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        hedge_after_s: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        clock: Clock | None = None,
+        journal: SweepJournal | None = None,
     ) -> None:
-        self.cache = cache if cache is not None else ArtifactCache()
+        self.cache: Any = cache if cache is not None else ArtifactCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.jobs = max(1, int(jobs))
         self.timeout_s = timeout_s
+        self.retry = retry
+        self.breaker = breaker
+        self.hedge_after_s = hedge_after_s
+        self.fault_plan = fault_plan
+        self.clock = clock if clock is not None else SystemClock()
+        self.journal = journal
         self._compile_fn = compile_fn or _default_compile_fn
+        self._adapter: FaultyCompilerAdapter | None = None
+        if fault_plan is not None:
+            self._adapter = FaultyCompilerAdapter(
+                self._compile_fn, fault_plan, clock=self.clock
+            )
+            self.cache = FaultyCacheAdapter(self.cache, fault_plan)
         self._pool: ThreadPoolExecutor | None = None
         self._inflight: dict[str, Future] = {}
         self._lock = threading.Lock()
@@ -129,15 +191,20 @@ class CompileService:
         )
 
     def compile_request(self, request: CompileRequest) -> Any:
+        return self._compile_request(request, attempt_base=0)
+
+    def _compile_request(self, request: CompileRequest,
+                         attempt_base: int = 0) -> Any:
         fingerprint = request.fingerprint
         self.metrics.record_request()
-        with get_tracer().span(
+        tracer = get_tracer()
+        with tracer.span(
             "service.compile", category="service",
             label=request.label or request.module.name,
             compiler=request.compiler, target=request.target,
             fingerprint=fingerprint[:12],
         ) as span:
-            cached = self.cache.get(fingerprint)
+            cached = self._cache_get(fingerprint)
             if cached is not MISS:
                 self.metrics.record_cache_hit(fingerprint)
                 span.set(cache="hit")
@@ -145,18 +212,77 @@ class CompileService:
                     raise cached.error
                 return cached
             span.set(cache="miss")
-            start = time.perf_counter()
-            try:
-                artifact = self._compile_fn(request)
-            except Exception as exc:
-                seconds = time.perf_counter() - start
-                self.cache.put(fingerprint, _CachedFailure(exc))
-                self.metrics.record_compile(fingerprint, seconds, failed=True)
+            attempt = 0
+            while True:
+                start = time.perf_counter()
+                try:
+                    artifact, penalty_s = self._invoke_compile(
+                        request, attempt_base + attempt
+                    )
+                except Exception as exc:
+                    seconds = time.perf_counter() - start
+                    injected = is_injected_fault(exc)
+                    if injected:
+                        self.metrics.record_fault()
+                    if (
+                        self.retry is not None
+                        and is_transient(exc)
+                        and attempt < self.retry.max_retries
+                    ):
+                        backoff = self.retry.backoff_s(fingerprint, attempt)
+                        self.metrics.record_retry()
+                        if tracer.enabled:
+                            tracer.record_span(
+                                "service.retry", backoff, category="service",
+                                label=request.label or request.module.name,
+                                attempt=attempt + 1,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        self.clock.sleep(backoff)
+                        attempt += 1
+                        continue
+                    if not injected:
+                        # deterministic compiler behaviour: cacheable.
+                        # injected faults are plan state, never cached.
+                        self._cache_put(fingerprint, _CachedFailure(exc))
+                    self.metrics.record_compile(fingerprint, seconds,
+                                                failed=True)
+                    span.set(attempts=attempt + 1)
+                    raise
+                seconds = time.perf_counter() - start + penalty_s
+                self._cache_put(fingerprint, artifact)
+                self.metrics.record_compile(fingerprint, seconds)
+                if attempt:
+                    span.set(attempts=attempt + 1)
+                return artifact
+
+    def _invoke_compile(self, request: CompileRequest,
+                        attempt: int) -> tuple[Any, float]:
+        if self._adapter is not None:
+            return self._adapter.compile(request, attempt)
+        return self._compile_fn(request), 0.0
+
+    # -- fault-tolerant cache access -------------------------------------------
+
+    def _cache_get(self, fingerprint: str) -> Any:
+        """A flaky cache read degrades to a miss (counted, traced)."""
+        try:
+            return self.cache.get(fingerprint)
+        except Exception as exc:
+            if not is_injected_fault(exc):
                 raise
-            seconds = time.perf_counter() - start
+            self.metrics.record_fault(cache_io=True)
+            return MISS
+
+    def _cache_put(self, fingerprint: str, artifact: Any) -> None:
+        """A flaky cache write degrades to a skipped store (the next
+        identical request simply recompiles)."""
+        try:
             self.cache.put(fingerprint, artifact)
-            self.metrics.record_compile(fingerprint, seconds)
-            return artifact
+        except Exception as exc:
+            if not is_injected_fault(exc):
+                raise
+            self.metrics.record_fault(cache_io=True)
 
     # -- batch API -------------------------------------------------------------
 
@@ -203,35 +329,171 @@ class CompileService:
                 results.append(self._gather(request, future, strict=True))
             return results
 
-    def sweep(self, requests: Iterable[CompileRequest]
-              ) -> list[Any]:
+    def sweep(self, requests: Iterable[CompileRequest],
+              journal: SweepJournal | None = None) -> list[Any]:
         """Fault-tolerant batch: each slot is an artifact or a
-        :class:`JobError`; a bad point never kills the sweep."""
+        :class:`JobError`; a bad point never kills the sweep.
+
+        With a *journal* (explicit, or the service-level default),
+        completed points are checkpointed as they gather and journaled
+        fingerprints from a previous run are skipped — the resume path.
+        """
         materialized = list(requests)
+        journal = journal if journal is not None else self.journal
         with get_tracer().span(
             "service.sweep", category="service",
             points=len(materialized), jobs=self.jobs,
+            resumed=len(journal) if journal is not None else 0,
         ):
-            return self._sweep(materialized)
+            return self._sweep(materialized, journal)
 
-    def _sweep(self, materialized: list[CompileRequest]) -> list[Any]:
-        futures = [self.submit(request) for request in materialized]
+    def _sweep(self, materialized: list[CompileRequest],
+               journal: SweepJournal | None = None) -> list[Any]:
+        pending: dict[int, Future] = {}
+        for index, request in enumerate(materialized):
+            if (journal is not None
+                    and journal.lookup(request.fingerprint) is not None):
+                continue  # checkpointed by a previous run: replay at gather
+            pending[index] = self.submit(request)
         results: list[Any] = []
-        for request, future in zip(materialized, futures):
+        for index, request in enumerate(materialized):
+            if index not in pending:
+                results.append(self._replay_journal_entry(
+                    request, journal.lookup(request.fingerprint)  # type: ignore[union-attr,arg-type]
+                ))
+                continue
             try:
-                results.append(self._gather(request, future, strict=True))
+                result = self._gather(request, pending[index], strict=True)
             except JobError as err:
-                results.append(err)
+                result = err
             except Exception as exc:  # compiler error captured in-slot
-                results.append(
-                    JobError(
-                        request.label or request.module.name,
-                        request.fingerprint,
-                        "compile-error",
-                        str(exc),
-                    )
+                result = JobError(
+                    request.label or request.module.name,
+                    request.fingerprint,
+                    "fault" if is_injected_fault(exc) else "compile-error",
+                    str(exc),
                 )
+            if self.breaker is not None:
+                result = self._admit(request, result)
+            if journal is not None:
+                journal.record(request.fingerprint,
+                               self._journal_entry(result))
+            results.append(result)
         return results
+
+    # -- circuit breaker -------------------------------------------------------
+
+    def _admit(self, request: CompileRequest, result: Any) -> Any:
+        """Advance the breaker with one gathered result; degrade a
+        failure to the route's fallback while the breaker is open.
+
+        Only *infrastructure* failures count: injected faults
+        (``kind="fault"``) and timeouts.  A deterministic compiler
+        refusal (``kind="compile-error"``) is data — PGI rejecting
+        OpenCL will reject it forever, and papering over it with a
+        fallback would corrupt the sweep's error accounting (the
+        difftest relies on seeing expected refusals as refusals).
+        """
+        breaker = self.breaker
+        assert breaker is not None
+        key = breaker.key_for(request.compiler, request.target)
+        failed = (isinstance(result, JobError)
+                  and result.kind in ("fault", "timeout"))
+        transition = breaker.on_result(key, failed)
+        tracer = get_tracer()
+        if transition is not None and tracer.enabled:
+            tracer.record_span(
+                "service.breaker", 0.0, category="service",
+                key="-".join(key), transition=transition,
+            )
+        if not (failed and breaker.is_open(key)):
+            return result
+        fallback = breaker.fallback_for(*key)
+        if fallback is None:
+            return result
+        fb_compiler, fb_target = fallback
+        with tracer.span(
+            "service.breaker", category="service",
+            label=request.label or request.module.name,
+            key="-".join(key), fallback=f"{fb_compiler}-{fb_target}",
+        ) as span:
+            fb_request = CompileRequest(
+                request.module, fb_compiler, fb_target,
+                request.flags, request.device, request.label,
+            )
+            try:
+                artifact = self.compile_request(fb_request)
+            except Exception as exc:
+                span.set(status="fallback-failed")
+                # graceful degradation failed too: surface the original
+                # error, annotated with the fallback's
+                result.message += (
+                    f" (breaker fallback {fb_compiler}->{fb_target} "
+                    f"also failed: {exc})"
+                )
+                return result
+            span.set(status="degraded")
+        self._mark_degraded(artifact, key, (fb_compiler, fb_target))
+        self.metrics.record_degraded()
+        return artifact
+
+    def _mark_degraded(self, artifact: Any, original: tuple[str, str],
+                       fallback: tuple[str, str]) -> None:
+        """Surface a breaker fallback on the artifact itself (results
+        are deep copies, so the cached pristine artifact is untouched)."""
+        try:
+            artifact.degraded = True
+            artifact.degraded_from = "-".join(original)
+            artifact.degraded_to = "-".join(fallback)
+        except AttributeError:
+            # artifacts without a __dict__ (e.g. test stubs returning
+            # builtins) still surface degradation via metrics + journal
+            pass
+
+    # -- journal replay --------------------------------------------------------
+
+    def _journal_entry(self, result: Any) -> dict[str, Any]:
+        if isinstance(result, JobError):
+            return {
+                "status": "error", "kind": result.kind,
+                "message": result.message, "label": result.label,
+                "seconds": result.seconds,
+            }
+        if getattr(result, "degraded", False):
+            compiler, _, target = result.degraded_to.partition("-")
+            return {"status": "degraded", "compiler": compiler,
+                    "target": target, "from": result.degraded_from}
+        return {"status": "ok"}
+
+    def _replay_journal_entry(self, request: CompileRequest,
+                              entry: dict[str, Any]) -> Any:
+        """Materialize a checkpointed slot byte-identically: errors are
+        rebuilt field-for-field; artifacts re-materialize through the
+        cache (free with a disk tier, a pure recompile otherwise)."""
+        status = entry.get("status")
+        if status == "error":
+            return JobError(
+                entry.get("label", request.label or request.module.name),
+                request.fingerprint,
+                entry.get("kind", "error"),
+                entry.get("message", ""),
+                float(entry.get("seconds", 0.0)),
+            )
+        if status == "degraded":
+            original = entry.get(
+                "from",
+                "-".join((request.compiler.lower(), request.target.lower())),
+            )
+            fb_request = CompileRequest(
+                request.module, entry["compiler"], entry["target"],
+                request.flags, request.device, request.label,
+            )
+            artifact = self.compile_request(fb_request)
+            compiler, _, target = original.partition("-")
+            self._mark_degraded(artifact, (compiler, target),
+                                (entry["compiler"], entry["target"]))
+            return artifact
+        return self.compile_request(request)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -239,6 +501,8 @@ class CompileService:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "CompileService":
         return self
@@ -249,7 +513,7 @@ class CompileService:
     def report_lines(self) -> list[str]:
         """Service metrics + cache-tier counters (profiler section)."""
         stats = self.cache.stats
-        return self.metrics.report_lines() + [
+        lines = self.metrics.report_lines() + [
             (
                 f"cache: {stats.memory_hits} memory hits, "
                 f"{stats.disk_hits} disk hits, {stats.misses} misses, "
@@ -257,12 +521,23 @@ class CompileService:
                 f"({len(self.cache)} resident entries)"
             ),
         ]
+        if self.breaker is not None:
+            snap = self.breaker.snapshot()
+            state = ", ".join(snap["open"]) if snap["open"] else "all closed"
+            lines.append(
+                f"breaker: {state} "
+                f"({snap['trips']} trips, {snap['closes']} closes)"
+            )
+        return lines
 
     def publish(self, registry: MetricsRegistry) -> None:
-        """Publish service metrics and cache-tier counters into the
-        unified telemetry registry (one call covers both)."""
+        """Publish service metrics, cache-tier counters, and breaker
+        state into the unified telemetry registry (one call covers
+        all)."""
         self.metrics.publish(registry, prefix="service")
         self.cache.stats.publish(registry, prefix="cache")
+        if self.breaker is not None:
+            self.breaker.publish(registry, prefix="faults")
 
     # -- internals -------------------------------------------------------------
 
@@ -298,6 +573,14 @@ class CompileService:
 
     def _gather(self, request: CompileRequest, future: Future,
                 strict: bool) -> Any:
+        if self.hedge_after_s is not None and self.jobs > 1:
+            try:
+                return future.result(timeout=self.hedge_after_s)
+            except FutureTimeoutError:
+                hedged = self._hedge(request, future)
+                if hedged is not _NO_HEDGE:
+                    return hedged
+            # the hedge failed too: fall through and wait for the primary
         try:
             return future.result(timeout=self.timeout_s)
         except FutureTimeoutError:
@@ -310,6 +593,32 @@ class CompileService:
                 self.timeout_s or 0.0,
             ) from None
 
+    def _hedge(self, request: CompileRequest, future: Future) -> Any:
+        """Duplicate a straggler inline; first finisher wins.  The
+        compilers are pure, so both copies are byte-identical — hedging
+        only changes *when* the result lands, never what it is."""
+        tracer = get_tracer()
+        with tracer.span(
+            "service.hedge", category="service",
+            label=request.label or request.module.name,
+        ) as span:
+            try:
+                result = self._compile_request(
+                    request, attempt_base=_HEDGE_ATTEMPT_BASE
+                )
+            except Exception:
+                span.set(status="hedge-failed")
+                self.metrics.record_hedge(won=False)
+                return _NO_HEDGE
+            won = not future.done()
+            span.set(status="won" if won else "lost")
+            self.metrics.record_hedge(won=won)
+            return result
+
+
+#: sentinel: the hedge attempt failed; wait for the primary instead
+_NO_HEDGE = object()
+
 
 # -- process-wide default service ---------------------------------------------
 
@@ -320,7 +629,8 @@ _default_lock = threading.Lock()
 def get_default_service() -> CompileService:
     """The process-wide service the experiment drivers share (memory-tier
     cache only, serial execution) — configurable via
-    :func:`configure_default_service` (the CLI's ``--jobs/--cache-dir``)."""
+    :func:`configure_default_service` (the CLI's
+    ``--jobs/--cache-dir/--faults/--retries/--resume``)."""
     global _default_service
     with _default_lock:
         if _default_service is None:
@@ -333,6 +643,11 @@ def configure_default_service(
     cache_dir: str | None = None,
     max_entries: int = 512,
     timeout_s: float | None = None,
+    retry: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    hedge_after_s: float | None = None,
+    fault_plan: FaultPlan | None = None,
+    journal: SweepJournal | None = None,
 ) -> CompileService:
     """Replace the process-wide default service (returns the new one)."""
     global _default_service
@@ -342,6 +657,11 @@ def configure_default_service(
             cache=ArtifactCache(max_entries=max_entries, cache_dir=cache_dir),
             jobs=jobs,
             timeout_s=timeout_s,
+            retry=retry,
+            breaker=breaker,
+            hedge_after_s=hedge_after_s,
+            fault_plan=fault_plan,
+            journal=journal,
         )
     if old is not None:
         old.close()

@@ -73,3 +73,52 @@ class TestBenchAndTools:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestResilienceFlags:
+    def test_heatmap_with_faults_heals_and_reports(self, capsys):
+        assert main(["heatmap", "--size", "512",
+                     "--faults", "transient:p=0.3,seed=11",
+                     "--retries", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+        assert "resilience:" in out and "0 errors" in out
+
+    def test_faulted_heatmap_output_matches_clean(self, capsys):
+        assert main(["heatmap", "--size", "512"]) == 0
+        clean = capsys.readouterr().out
+        assert main(["heatmap", "--size", "512",
+                     "--faults", "transient:p=0.3,seed=11"]) == 0
+        faulted = capsys.readouterr().out
+        # the heat map itself is byte-identical; only the appended
+        # service-stats section differs
+        assert faulted.startswith(clean.split("\n-- compile service --")[0]
+                                  .rstrip("\n"))
+
+    def test_unhealable_sweep_exits_1_cleanly(self, capsys):
+        """A fault plan no retry budget can beat (p=1, and caps-cuda has
+        no breaker fallback) must exit 1 with a one-line error, not a
+        traceback."""
+        assert main(["heatmap", "--size", "512",
+                     "--faults", "transient:p=1.0",
+                     "--retries", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "sweep failed after retries" in err
+        assert "Traceback" not in err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        assert main(["heatmap", "--size", "512",
+                     "--faults", "warp-drive:p=0.5"]) == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_difftest_resume_skips_journaled_points(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        assert main(["difftest", "--seeds", "2", "--resume", journal]) == 0
+        first = capsys.readouterr().out
+        lines = (tmp_path / "sweep.jsonl").read_text().splitlines()
+        assert len(lines) == 8  # 2 cases x 4 pairs, one line per point
+        assert main(["difftest", "--seeds", "2", "--resume", journal]) == 0
+        second = capsys.readouterr().out
+        assert (tmp_path / "sweep.jsonl").read_text().splitlines() == lines
+        assert first.split("\n-- compile service --")[0] == \
+            second.split("\n-- compile service --")[0]

@@ -1,0 +1,158 @@
+"""repro.faults: deterministic fault plans, spec parsing, adapters."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    FaultyCacheAdapter,
+    FaultyCompilerAdapter,
+    FlakyIOError,
+    PersistentCompileFault,
+    TransientCompileFault,
+    is_injected_fault,
+    is_transient,
+    parse_fault_spec,
+)
+from repro.service.cache import MISS, ArtifactCache
+
+FP = "a" * 64
+FP2 = "b" * 64
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        plan_a = FaultPlan(seed=7, rules=(FaultRule("transient", 0.5),))
+        plan_b = FaultPlan(seed=7, rules=(FaultRule("transient", 0.5),))
+        decisions_a = [plan_a.compile_fault(FP, k) is not None
+                       for k in range(64)]
+        decisions_b = [plan_b.compile_fault(FP, k) is not None
+                       for k in range(64)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seed_different_decisions(self):
+        rules = (FaultRule("transient", 0.5),)
+        a = [FaultPlan(seed=1, rules=rules).compile_fault(FP, k) is not None
+             for k in range(64)]
+        b = [FaultPlan(seed=2, rules=rules).compile_fault(FP, k) is not None
+             for k in range(64)]
+        assert a != b
+
+    def test_probability_extremes(self):
+        never = FaultPlan(seed=3, rules=(FaultRule("transient", 0.0),))
+        always = FaultPlan(seed=3, rules=(FaultRule("transient", 1.0),))
+        assert all(never.compile_fault(FP, k) is None for k in range(16))
+        assert all(isinstance(always.compile_fault(FP, k),
+                              TransientCompileFault) for k in range(16))
+
+    def test_persistent_ignores_attempt(self):
+        plan = FaultPlan(seed=11, rules=(FaultRule("persistent", 0.5),))
+        fps = [ch * 64 for ch in "abcdefgh"]
+        broken = [fp for fp in fps if plan.compile_fault(fp, 0) is not None]
+        assert broken and len(broken) < len(fps)
+        for fp in broken:
+            # every attempt replays the same fault — retries cannot heal
+            assert all(
+                isinstance(plan.compile_fault(fp, k), PersistentCompileFault)
+                for k in range(8)
+            )
+
+    def test_slow_penalty_seconds(self):
+        plan = FaultPlan(seed=5, rules=(FaultRule("slow", 1.0, seconds=0.25),))
+        assert plan.slow_penalty_s(FP, 0) == 0.25
+        assert FaultPlan(seed=5).slow_penalty_s(FP, 0) == 0.0
+
+    def test_cache_fault_counter_advances(self):
+        plan = FaultPlan(seed=9, rules=(FaultRule("cache", 0.5),))
+        first = [plan.cache_fault("read", FP) is not None for _ in range(32)]
+        plan.reset_counters()
+        second = [plan.cache_fault("read", FP) is not None for _ in range(32)]
+        assert first == second  # counter-based: replayable after reset
+        assert any(first) and not all(first)
+
+    def test_transient_flags(self):
+        t = TransientCompileFault("x")
+        p = PersistentCompileFault("x")
+        io = FlakyIOError("x")
+        assert is_injected_fault(t) and is_injected_fault(p)
+        assert is_transient(t) and is_transient(io)
+        assert not is_transient(p)
+        assert not is_injected_fault(ValueError("x"))
+        assert isinstance(io, OSError)
+
+    def test_bad_rule_kind_and_probability(self):
+        with pytest.raises(FaultSpecError):
+            FaultRule("cosmic-ray", 0.5)
+        with pytest.raises(FaultSpecError):
+            FaultRule("transient", 1.5)
+
+
+class TestParseFaultSpec:
+    def test_single_clause(self):
+        plan = parse_fault_spec("transient:p=0.3,seed=7")
+        assert plan.seed == 7
+        assert plan.rules == (FaultRule("transient", 0.3),)
+
+    def test_multi_clause(self):
+        plan = parse_fault_spec(
+            "transient:p=0.2;slow:p=0.1,s=0.05;cache:p=0.05"
+        )
+        assert [r.kind for r in plan.rules] == ["transient", "slow", "cache"]
+        assert plan.rule("slow").seconds == 0.05
+
+    def test_seconds_alias(self):
+        plan = parse_fault_spec("slow:p=1,seconds=0.2")
+        assert plan.rule("slow").seconds == 0.2
+
+    @pytest.mark.parametrize("bad", [
+        "", "transient", "transient:q=0.3", "transient:p=oops",
+        "transient:p=0.3,seed=x", "warp-drive:p=0.5",
+        "transient:p=0.3,unknown=1",
+    ])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+    def test_describe_round_trips_the_shape(self):
+        plan = parse_fault_spec("transient:p=0.3,seed=7;slow:p=0.1,s=0.05")
+        assert "seed=7" in plan.describe()
+        assert "transient:p=0.3" in plan.describe()
+        assert "s=0.05" in plan.describe()
+
+
+class _Request:
+    def __init__(self, fingerprint):
+        self.fingerprint = fingerprint
+
+
+class TestAdapters:
+    def test_compiler_adapter_transparent_without_rules(self):
+        adapter = FaultyCompilerAdapter(
+            lambda request: f"artifact:{request.fingerprint[:4]}",
+            FaultPlan(seed=0),
+        )
+        artifact, penalty = adapter.compile(_Request(FP), attempt=0)
+        assert artifact == "artifact:aaaa"
+        assert penalty == 0.0
+
+    def test_compiler_adapter_raises_before_compiling(self):
+        calls = []
+        plan = FaultPlan(seed=0, rules=(FaultRule("transient", 1.0),))
+        adapter = FaultyCompilerAdapter(
+            lambda request: calls.append(request), plan
+        )
+        with pytest.raises(TransientCompileFault):
+            adapter.compile(_Request(FP), attempt=0)
+        assert calls == []  # the model itself was never invoked
+
+    def test_cache_adapter_flakes_and_delegates(self):
+        cache = ArtifactCache()
+        plan = FaultPlan(seed=0, rules=(FaultRule("cache-write", 1.0),))
+        adapter = FaultyCacheAdapter(cache, plan)
+        with pytest.raises(FlakyIOError):
+            adapter.put(FP, "artifact")
+        assert len(adapter) == 0
+        assert adapter.get(FP) is MISS  # reads unaffected by a write rule
+        assert adapter.stats.misses == 1  # __getattr__ delegation
