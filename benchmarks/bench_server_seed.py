@@ -1,0 +1,105 @@
+"""Regenerate BENCH_server.json: the daemon's latency trajectory.
+
+Measures the 72-point Fig. 4 LUD sweep through a real daemon (TCP,
+ephemeral port) in three regimes:
+
+* **cold** — fresh daemon, one client, empty cache: every point
+  compiles;
+* **warm** — the same daemon again: every point is a cache hit;
+* **coalesced_4_clients** — a fresh daemon swept by 4 concurrent
+  clients at once: cross-client coalescing folds 288 requests into 72
+  compiles.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_server_seed.py
+"""
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.server import ServerClient, ServerConfig, spawn_local
+from repro.server.daemon import ReproServer
+from repro.server.smoke import fig4_requests
+
+POINTS = 72
+CLIENTS = 4
+
+
+def timed_sweep(client: ServerClient, requests) -> float:
+    start = time.perf_counter()
+    slots = client.sweep(requests)
+    elapsed = time.perf_counter() - start
+    assert len(slots) == len(requests)
+    return elapsed
+
+
+def main() -> int:
+    requests = fig4_requests(POINTS)
+
+    with spawn_local(ServerConfig(jobs=4), client_id="seed") as (_s, client):
+        cold = timed_sweep(client, requests)
+        warm = timed_sweep(client, requests)
+
+    server = ReproServer(
+        ServerConfig(port=0, jobs=4,
+                     max_queue_depth=CLIENTS * POINTS)
+    ).start()
+    try:
+        host, port = server.address
+        clients = [ServerClient(host, port, client_id=f"seed-{i}")
+                   for i in range(CLIENTS)]
+        barrier = threading.Barrier(CLIENTS + 1)
+
+        def drive(c: ServerClient) -> None:
+            barrier.wait(timeout=30)
+            assert len(c.sweep(requests)) == POINTS
+
+        threads = [threading.Thread(target=drive, args=(c,)) for c in clients]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=30)
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=300)
+        coalesced_wall = time.perf_counter() - start
+        counters = {
+            "compiles": int(server.service.metrics.snapshot()["compiles"]),
+            "coalesced": int(server.batcher.snapshot()["coalesced"]),
+            "batches": int(server.batcher.snapshot()["batches"]),
+        }
+        for c in clients:
+            c.close()
+    finally:
+        server.drain()
+
+    record = {
+        "benchmark": "server-fig4-sweep",
+        "points": POINTS,
+        "clients": CLIENTS,
+        "jobs": 4,
+        "latency_s": {
+            "cold": round(cold, 4),
+            "warm": round(warm, 4),
+            "coalesced_4_clients": round(coalesced_wall, 4),
+        },
+        "counters": counters,
+        "notes": (
+            "cold = fresh daemon, 1 client, empty cache; warm = same "
+            "daemon re-swept (cache hits); coalesced_4_clients = fresh "
+            f"daemon, {CLIENTS} concurrent clients x {POINTS} points "
+            "(cross-client coalescing)."
+        ),
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(record["latency_s"], indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

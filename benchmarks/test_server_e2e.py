@@ -1,0 +1,107 @@
+"""Bench: the compile-daemon acceptance gate on the Fig. 4 sweep.
+
+The ISSUE-6 acceptance criteria, executed:
+
+* the full 72-point LUD heat-map grid swept through a real daemon (TCP,
+  ephemeral port) by 4 concurrent clients is **byte-identical** to the
+  in-process sweep;
+* cross-client **coalescing** fired (4 identical sweeps cost 72
+  compiles, not 288) and **zero** requests were rejected — quotas are
+  configured and never violated by well-behaved clients;
+* the telemetry trace shows **per-client lanes** (`lane=client:<id>` on
+  every `server.request` span);
+* admission control demonstrably **rejects** an oversized sweep against
+  a tiny daemon (429) rather than queueing or hanging it.
+
+The benchmark time is the wall-clock of the whole 4-client daemon run
+(sockets, batching, and compiles included).
+
+`BENCH_server.json` at the repo root records the cold / warm /
+coalesced latency trajectory this gate protects (regenerate it with
+``python benchmarks/bench_server_seed.py``).
+"""
+
+import json
+from pathlib import Path
+
+from repro.server import ServerConfig, run_server_smoke
+from repro.telemetry import configure_tracer, get_tracer, reset_tracer
+
+CLIENTS = 4
+POINTS = 72
+
+
+def _traced_smoke():
+    configure_tracer(enabled=True)
+    try:
+        report = run_server_smoke(
+            clients=CLIENTS,
+            points=POINTS,
+            jobs=4,
+            config=ServerConfig(
+                jobs=4,
+                # generous quotas: configured (so the quota path is live)
+                # but never violated by a well-behaved sweep
+                quota_rate=1000.0,
+                quota_burst=4 * POINTS,
+            ),
+        )
+        lanes = {
+            span.attributes.get("lane")
+            for span in get_tracer().spans()
+            if span.name == "server.request"
+        }
+        return report, lanes
+    finally:
+        reset_tracer()
+
+
+def test_server_e2e(benchmark):
+    report, lanes = benchmark.pedantic(
+        _traced_smoke, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    # byte-identity: every client's every slot equals the in-process path
+    assert report.points == POINTS
+    assert report.clients == CLIENTS
+    assert report.identical, (
+        f"{report.mismatches} daemon slots differ from the in-process sweep"
+    )
+
+    # coalescing fired; nothing was rejected (zero quota violations)
+    assert report.coalesced > 0, "no cross-client coalescing observed"
+    assert report.rejected == 0, (
+        f"{report.rejected} requests rejected during a well-behaved sweep"
+    )
+    assert report.compiles <= POINTS, (
+        f"{report.compiles} compiles for a {POINTS}-point grid: "
+        f"coalescing/caching failed to deduplicate"
+    )
+
+    # the telemetry trace shows one lane per client
+    client_lanes = {lane for lane in lanes
+                    if lane and lane.startswith("client:client-")}
+    assert len(client_lanes) == CLIENTS, (
+        f"expected {CLIENTS} per-client lanes, saw {sorted(client_lanes)}"
+    )
+
+    # admission control rejects (not hangs) an oversized sweep
+    assert report.rejection_probe_ok, (
+        "the oversized-sweep probe was not rejected with a 429"
+    )
+
+    assert report.ok
+
+
+def test_bench_server_trajectory_is_recorded():
+    """The seeded BENCH_server.json stays present, parseable, and shaped
+    like the trajectory ROADMAP item 5 asks for."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+    record = json.loads(path.read_text())
+    assert record["benchmark"] == "server-fig4-sweep"
+    assert record["points"] == POINTS
+    for phase in ("cold", "warm", "coalesced_4_clients"):
+        assert record["latency_s"][phase] > 0
+    # a warm sweep must not be slower than a cold one by construction
+    assert record["latency_s"]["warm"] <= record["latency_s"]["cold"]
+    assert record["counters"]["coalesced"] > 0

@@ -14,6 +14,10 @@ Commands:
   static race checker (docs/DIFFTEST.md).
 * ``telemetry FILE`` — render a saved trace (either format) as the
   hierarchical text report (docs/TELEMETRY.md).
+* ``serve``          — run the compile daemon: many clients, one shared
+  cache/scheduler, batching + admission control (docs/SERVER.md).
+* ``client``         — talk to a running daemon: ``compile``, ``sweep``,
+  ``status``, ``stats`` (or ``--spawn`` an ephemeral in-process one).
 
 ``experiment``, ``heatmap``, and ``autotune`` accept ``--jobs N`` and
 ``--cache-dir PATH`` to route compilations through the
@@ -292,6 +296,117 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
     return 1 if report.unexplained else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import ReproServer, ServerConfig, run_server_smoke
+    from .telemetry import get_registry, get_tracer
+
+    config = ServerConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        cache_dir=args.cache_dir, shards=args.shards,
+        peer_dirs=tuple(args.peer_dir or ()),
+        max_queue_depth=args.queue_depth,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        batch_window_s=args.batch_window, max_batch=args.max_batch,
+        service_kwargs=_resilience_from_args(args),
+    )
+    if args.self_test:
+        report = run_server_smoke(clients=args.clients, points=args.points,
+                                  jobs=args.jobs, config=config)
+        print("\n".join(report.lines()))
+        return 0 if report.ok else 1
+
+    server = ReproServer(config).start()
+    host, port = server.address
+    print(f"repro server listening on {host}:{port} "
+          f"(jobs={args.jobs}, shards={args.shards}, "
+          f"queue-depth={args.queue_depth})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+    finally:
+        server.drain()
+        if get_tracer().enabled:
+            server.publish(get_registry())
+        print("\n".join(server.report_lines()))
+    return 0
+
+
+def _client_connection(args: argparse.Namespace):
+    """Connect per --host/--port, or --spawn an in-process daemon.
+
+    Returns a context manager yielding the connected ServerClient.
+    """
+    import contextlib
+
+    from .server import ServerClient, ServerConfig, spawn_local
+
+    if args.spawn:
+        config = ServerConfig(jobs=args.jobs, cache_dir=args.cache_dir,
+                              service_kwargs=_resilience_from_args(args))
+
+        @contextlib.contextmanager
+        def spawned():
+            with spawn_local(config, client_id=args.id) as (_server, client):
+                yield client
+
+        return spawned()
+    return ServerClient(args.host, args.port, client_id=args.id)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .server import artifact_signature, fig4_requests
+    from .service import JobError
+
+    try:
+        connection = _client_connection(args)
+    except ConnectionError as exc:
+        print(f"repro: cannot reach server {args.host}:{args.port}: {exc} "
+              f"(is `repro serve` running? or pass --spawn)", file=sys.stderr)
+        return 1
+    with connection as client:
+        if args.client_command == "status":
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "compile":
+            source = Path(args.file).read_text()
+            artifact = client.compile_source(
+                source, args.compiler, args.target, Path(args.file).stem
+            )
+            print(f"# {artifact.compiler} -> {artifact.target} (via daemon)")
+            for line in artifact.log:
+                print(f"log: {line}")
+            for kernel in artifact.kernels:
+                print(f"kernel {kernel.name}: "
+                      f"{kernel.distribution.strategy.value}")
+            return 0
+        # sweep: drive the Fig. 4 grid through the daemon
+        requests = fig4_requests(args.points, compiler=args.compiler)
+        slots = client.sweep(requests)
+        failures = 0
+        for request, slot in zip(requests, slots):
+            if isinstance(slot, JobError):
+                failures += 1
+                print(f"  FAIL {request.label}: {slot}")
+        digest = __import__("hashlib").sha256(
+            "\x1d".join(artifact_signature(s) for s in slots).encode()
+        ).hexdigest()
+        print(f"sweep: {len(slots)} points, {failures} failed "
+              f"(result digest {digest[:16]})")
+        stats = client.stats()
+        service = stats.get("service", {})
+        print(f"server: {service.get('compiles', '?')} compiles, "
+              f"{service.get('cache_hits', '?')} cache hits, "
+              f"{stats.get('server', {}).get('batcher', {}).get('coalesced', 0)} "
+              f"coalesced")
+        return 1 if failures else 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     from .telemetry import load_trace, text_report
 
@@ -440,6 +555,75 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_difftest)
 
     p = sub.add_parser(
+        "serve",
+        help="run the compile daemon: shared cache, batching, admission "
+             "control (docs/SERVER.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7453,
+                   help="TCP port (0 picks an ephemeral one; default 7453)")
+    p.add_argument("--shards", type=int, default=16, metavar="N",
+                   help="artifact-store shards, each with its own lock "
+                        "(default 16)")
+    p.add_argument("--peer-dir", action="append", default=None, metavar="PATH",
+                   help="read-through peer cache directory (repeatable): "
+                        "local misses consult PATH before compiling")
+    p.add_argument("--queue-depth", type=int, default=256, metavar="N",
+                   help="admission bound on queued sweep points; beyond it "
+                        "requests are rejected with 429 (default 256)")
+    p.add_argument("--quota-rate", type=float, default=64.0, metavar="R",
+                   help="per-client sustained points/second (default 64)")
+    p.add_argument("--quota-burst", type=float, default=256.0, metavar="B",
+                   help="per-client burst allowance in points (default 256)")
+    p.add_argument("--batch-window", type=float, default=0.005, metavar="S",
+                   help="micro-batch collection window in seconds "
+                        "(default 0.005)")
+    p.add_argument("--max-batch", type=int, default=32, metavar="N",
+                   help="max points per scheduler batch (default 32)")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the end-to-end smoke (concurrent clients, "
+                        "byte-identity, coalescing, admission) and exit")
+    p.add_argument("--clients", type=int, default=4, metavar="N",
+                   help="concurrent clients for --self-test (default 4)")
+    p.add_argument("--points", type=int, default=72, metavar="N",
+                   help="Fig. 4 grid points for --self-test (default 72)")
+    add_service_flags(p)
+    add_resilience_flags(p)
+    add_trace_flags(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running repro serve daemon (docs/SERVER.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7453)
+    p.add_argument("--id", default="cli", metavar="NAME",
+                   help="client id for quotas and trace lanes (default cli)")
+    p.add_argument("--spawn", action="store_true",
+                   help="spawn an ephemeral in-process daemon instead of "
+                        "connecting (ignores --host/--port)")
+    add_service_flags(p)
+    add_resilience_flags(p)
+    add_trace_flags(p)
+    csub = p.add_subparsers(dest="client_command", required=True)
+
+    cp = csub.add_parser("compile", help="compile one source via the daemon")
+    cp.add_argument("file")
+    cp.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
+    cp.add_argument("--target", choices=("cuda", "opencl"), default="cuda")
+
+    cp = csub.add_parser("sweep",
+                         help="drive the Fig. 4 grid through the daemon")
+    cp.add_argument("--points", type=int, default=None, metavar="N",
+                    help="grid points to sweep (default: all 72)")
+    cp.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
+
+    csub.add_parser("status", help="print the daemon's status JSON")
+    csub.add_parser("stats", help="print the daemon's counters JSON")
+    p.set_defaults(func=_cmd_client)
+
+    p = sub.add_parser(
         "telemetry",
         help="render a saved --trace file as a text report "
              "(docs/TELEMETRY.md)",
@@ -453,14 +637,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cli_errors(func):
-    """Turn the two structured failure modes into clean CLI exits: a bad
-    --faults spec is a usage error (2); a sweep point still failing after
-    the retry/breaker kit is exhausted is a run failure (1), reported as
-    one line rather than a traceback."""
+    """Turn the structured failure modes into clean CLI exits: a bad
+    --faults spec or an unusable --cache-dir is a usage error (2); a
+    sweep point still failing after the retry/breaker kit is exhausted
+    is a run failure (1), reported as one line rather than a
+    traceback."""
     import functools
 
     from .faults import FaultSpecError
-    from .service import JobError
+    from .service import CacheDirError, JobError
 
     @functools.wraps(func)
     def wrapped(args: argparse.Namespace) -> int:
@@ -468,6 +653,9 @@ def _cli_errors(func):
             return func(args)
         except FaultSpecError as exc:
             print(f"repro: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        except CacheDirError as exc:
+            print(f"repro: bad --cache-dir: {exc}", file=sys.stderr)
             return 2
         except JobError as exc:
             print(f"repro: sweep failed after retries: {exc}",

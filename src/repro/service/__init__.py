@@ -19,7 +19,15 @@ See ``docs/SERVICE.md`` for the architecture and ``docs/FAULTS.md``
 for the fault-injection + resilience story.
 """
 
-from .cache import MISS, ArtifactCache, CacheStats
+from .cache import (
+    MISS,
+    ArtifactCache,
+    CacheDirError,
+    CacheStats,
+    ShardedArtifactCache,
+    ensure_writable_dir,
+    shard_prefix,
+)
 from .fingerprint import (
     COMPILER_VERSIONS,
     CompileRequest,
@@ -48,7 +56,11 @@ from .scheduler import (
 __all__ = [
     "ArtifactCache",
     "COMPILER_VERSIONS",
+    "CacheDirError",
     "CacheStats",
+    "ShardedArtifactCache",
+    "ensure_writable_dir",
+    "shard_prefix",
     "CircuitBreaker",
     "Clock",
     "CompileRequest",

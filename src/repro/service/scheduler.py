@@ -530,6 +530,26 @@ class CompileService:
             )
         return lines
 
+    def inflight_count(self) -> int:
+        """Requests currently being compiled (the server's status view)."""
+        with self._lock:
+            return sum(1 for f in self._inflight.values() if not f.done())
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """One structured snapshot of everything the service counts —
+        the payload of the ``repro serve`` daemon's ``stats`` endpoint
+        (and of anything else that wants machine-readable state without
+        scraping :meth:`report_lines`)."""
+        snap: dict[str, Any] = {
+            "service": self.metrics.snapshot(),
+            "cache": self.cache.stats.snapshot(),
+            "jobs": self.jobs,
+            "inflight": self.inflight_count(),
+        }
+        if self.breaker is not None:
+            snap["breaker"] = self.breaker.snapshot()
+        return snap
+
     def publish(self, registry: MetricsRegistry) -> None:
         """Publish service metrics, cache-tier counters, and breaker
         state into the unified telemetry registry (one call covers

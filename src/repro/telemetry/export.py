@@ -10,7 +10,12 @@ Three consumers of one span stream:
   file).  Spans become ``"ph": "X"`` complete events; each recording
   thread becomes its own lane (``tid``) labeled with thread-name
   metadata, so a ``--jobs 4`` sweep shows four ``repro-compile-N`` lanes
-  of compile spans under the caller's sweep span.
+  of compile spans under the caller's sweep span.  A span carrying a
+  ``lane`` attribute (the daemon tags every ``server.request`` with
+  ``lane=client:<id>``) is pulled out of its recording thread into a
+  synthetic lane named after the attribute — a multi-client daemon
+  trace reads as one swimlane per client, regardless of which handler
+  thread happened to serve each request.
 * :func:`text_report` — the plain-text hierarchical view (what the
   ``repro telemetry`` subcommand prints); subsumes the flat event dump
   of ``Profiler.report()``.
@@ -108,9 +113,19 @@ def chrome_trace_events(spans: Iterable[Span],
     lanes: dict[int, str] = {}
     for span in spans:
         lanes.setdefault(span.thread_id, span.thread_name)
+    # named lanes: spans tagged with a `lane` attribute (e.g. the daemon's
+    # lane=client:<id>) get synthetic tids so each named lane renders as
+    # one swimlane independent of the serving thread
+    named = sorted(
+        {str(s.attributes["lane"]) for s in spans if s.attributes.get("lane")}
+    )
+    base_tid = max(lanes, default=0) + 1
+    lane_tids = {name: base_tid + i for i, name in enumerate(named)}
     for span in spans:
         if not span.finished:
             continue
+        lane = span.attributes.get("lane")
+        tid = lane_tids[str(lane)] if lane else span.thread_id
         args = {k: _jsonable(v) for k, v in span.attributes.items()}
         args["span_id"] = span.span_id
         if span.parent_id is not None:
@@ -125,7 +140,7 @@ def chrome_trace_events(spans: Iterable[Span],
                 "ts": span.start_s * 1e6,
                 "dur": span.duration_s * 1e6,
                 "pid": _PID,
-                "tid": span.thread_id,
+                "tid": tid,
                 "args": args,
             }
         )
@@ -138,7 +153,7 @@ def chrome_trace_events(spans: Iterable[Span],
                     "s": "t",
                     "ts": event.at_s * 1e6,
                     "pid": _PID,
-                    "tid": span.thread_id,
+                    "tid": tid,
                     "args": {
                         k: _jsonable(v) for k, v in event.attributes.items()
                     },
@@ -162,6 +177,16 @@ def chrome_trace_events(spans: Iterable[Span],
                 "pid": _PID,
                 "tid": tid,
                 "args": {"name": lanes[tid] or f"thread-{tid}"},
+            }
+        )
+    for name, tid in lane_tids.items():
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": name},
             }
         )
     if registry is not None:
@@ -376,7 +401,7 @@ def text_report(spans: list[Span],
             k: v
             for k, v in span.attributes.items()
             if k in ("label", "compiler", "target", "seed", "cache", "device",
-                     "kernel", "status", "nbytes")
+                     "kernel", "status", "nbytes", "lane", "op")
         }
         if interesting:
             detail = "  " + " ".join(

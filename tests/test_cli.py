@@ -122,3 +122,58 @@ class TestResilienceFlags:
         assert (tmp_path / "sweep.jsonl").read_text().splitlines() == lines
         assert first.split("\n-- compile service --")[0] == \
             second.split("\n-- compile service --")[0]
+
+
+class TestServerCli:
+    def test_unwritable_cache_dir_exits_2(self, tmp_path, capsys):
+        occupied = tmp_path / "occupied"
+        occupied.write_text("a file, not a directory")
+        # the same convention as a bad --faults spec: usage error, exit 2,
+        # one clean line on stderr — never a traceback
+        code = main(["heatmap", "--cache-dir", str(occupied / "sub")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bad --cache-dir" in err
+        assert "Traceback" not in err
+
+    def test_unwritable_cache_dir_exits_2_for_serve(self, tmp_path, capsys):
+        occupied = tmp_path / "occupied"
+        occupied.write_text("a file")
+        code = main(["serve", "--self-test", "--points", "1",
+                     "--cache-dir", str(occupied / "sub")])
+        assert code == 2
+        assert "bad --cache-dir" in capsys.readouterr().err
+
+    def test_serve_self_test_passes(self, capsys):
+        code = main(["serve", "--self-test", "--clients", "2",
+                     "--points", "4", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "server self-test: PASS" in out
+        assert "byte-identical=yes" in out
+        assert "rejected with 429" in out
+
+    def test_client_spawn_compile(self, demo_file, capsys):
+        assert main(["client", "--spawn", "compile", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "CAPS -> cuda (via daemon)" in out
+
+    def test_client_spawn_sweep(self, capsys):
+        assert main(["client", "--spawn", "sweep", "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 3 points, 0 failed" in out
+        assert "result digest" in out
+
+    def test_client_spawn_status(self, capsys):
+        assert main(["client", "--spawn", "status"]) == 0
+        out = capsys.readouterr().out
+        assert '"draining": false' in out
+
+    def test_client_connection_refused_is_a_clean_error(self, capsys):
+        from repro.server.daemon import free_port
+
+        code = main(["client", "--port", str(free_port()), "status"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot reach server" in err
+        assert "Traceback" not in err

@@ -97,6 +97,19 @@ def normalized(argv: list[str]) -> list[str]:
         argv = _force_flag(argv, "--size", SIZE_CAP)
     elif cmd == "bench":
         argv = _force_flag(argv, "--size", BENCH_SIZES.get(argv[1], 128))
+    elif cmd == "serve":
+        # a documented daemon would block the suite: run its self-test
+        # (real sockets, ephemeral port) at a tiny grid instead
+        if "--self-test" not in argv:
+            argv.append("--self-test")
+        argv = _force_flag(argv, "--points", 4)
+        argv = _force_flag(argv, "--clients", 2)
+    elif cmd == "client":
+        # documented clients talk to a long-lived daemon; the suite
+        # spawns an ephemeral in-process one instead
+        if "--spawn" not in argv:
+            argv.insert(1, "--spawn")
+        argv = _cap_flag(argv, "--points", 4)
     return argv
 
 
