@@ -31,15 +31,12 @@ Behaviours implemented from the paper:
 
 from __future__ import annotations
 
-import dataclasses
-
-from ..ir.directives import AccData, AccLoop, HmppBlocksize, HmppTile, HmppUnroll
-from ..ir.stmt import For, KernelFunction, Module
-from ..ir.visitors import clone_kernel
-from ..ptx.codegen import CodegenStyle, ParallelMapping, generate_ptx
+from ..ir.directives import AccData
+from ..ir.stmt import KernelFunction, Module
+from ..passes import PassContext, pipeline_for
+from ..passes.library.caps import ADVERTISED_GANGS, ADVERTISED_WORKERS  # noqa: F401  (back-compat re-export)
+from ..ptx.codegen import CodegenStyle, ParallelMapping, generate_ptx, stage_shared_ptx
 from ..telemetry.spans import get_tracer
-from ..transforms.tile import nest_is_tileable, tile_in_kernel
-from ..transforms.unroll import unroll_in_kernel
 from .flags import FlagSet
 from .framework import (
     CompilationError,
@@ -71,11 +68,6 @@ CAPS_CUDA_STYLE_FIRST = CodegenStyle(
     use_fma=True,
     cse_loads=True,
 )
-
-#: advertised (but not actually applied) default distribution
-ADVERTISED_GANGS = 192
-ADVERTISED_WORKERS = 256
-
 
 class CapsCompiler:
     """CAPS 3.4.1 front-end + CUDA/OpenCL backends."""
@@ -109,44 +101,17 @@ class CapsCompiler:
         self, kernel: KernelFunction, target: str, log: list[str],
         first: bool = False,
     ) -> CompiledKernel:
-        tracer = get_tracer()
-        messages: list[str] = []
-        work = clone_kernel(kernel)
-
-        with tracer.span("caps.unroll", category="pass", kernel=kernel.name):
-            work, messages_u = self._apply_unroll(work, target)
-        messages += messages_u
-        with tracer.span("caps.tile", category="pass", kernel=kernel.name):
-            work, messages_t = self._apply_tiling(work)
-        messages += messages_t
-
-        with tracer.span("caps.distribute", category="pass",
-                         kernel=kernel.name):
-            distribution, parallel_ids, messages_d = self._distribute(work)
-        messages += messages_d
-
-        broken_reduction: list[int] = []
-        shared_reduction_ids: set[int] = set()
-        for loop in work.loops():
-            acc = loop.directives.first(AccLoop)
-            if acc is not None and acc.reduction is not None:  # type: ignore[union-attr]
-                if loop.loop_id in parallel_ids:
-                    continue
-                if target == "cuda":
-                    # shared-memory tree emitted, but not actually parallel
-                    shared_reduction_ids.add(loop.loop_id)
-                    messages.append(
-                        f"Reduction '{acc.reduction.var}' lowered with shared "  # type: ignore[union-attr]
-                        "memory (gridified)"
-                    )
-                else:
-                    # the OpenCL codelet races on MIC (paper V-D2)
-                    broken_reduction.append(loop.loop_id)
-                    messages.append(
-                        f"Reduction '{acc.reduction.var}' lowered for OpenCL"  # type: ignore[union-attr]
-                    )
+        ctx = PassContext(compiler="caps", target=target, flags=self.flags)
+        work = pipeline_for("caps", target).run(kernel, ctx)
+        messages = ctx.messages
+        distribution = ctx.state["distribution"]
+        parallel_ids = ctx.state["parallel_ids"]
+        shared_reduction_ids = ctx.state.get("shared_reduction_ids", set())
+        broken_reduction = ctx.state.get("broken_reduction", [])
+        cache_staged = ctx.state.get("cache_staged", ())
 
         ptx = None
+        traffic_reuse = 1.0
         if target == "cuda":
             # The codelet is gridified in *code* even when the runtime
             # configuration degenerates to gang(1) x worker(1): only the
@@ -166,6 +131,12 @@ class CapsCompiler:
             )
             style = CAPS_CUDA_STYLE_FIRST if first else CAPS_CUDA_STYLE
             ptx = generate_ptx(work, mapping, style)
+            if cache_staged:
+                # `acc cache` honored: the named arrays' reads are staged
+                # through shared memory (paper Fig. 1a), halving their
+                # global traffic relative to the plain tiled code
+                ptx = stage_shared_ptx(ptx, cache_staged, rewrite_uses=True)
+                traffic_reuse = 0.5
 
         data_region = work.directives.first(AccData) is not None
         if data_region:
@@ -183,188 +154,11 @@ class CapsCompiler:
             messages=messages,
             broken_reduction_loops=broken_reduction,
             broken_reduction_device="mic",
+            shared_staged=cache_staged,
+            traffic_reuse=traffic_reuse,
             dispatch_overhead_us=8.0,
             has_data_region=data_region,
         )
-
-    # -- unroll ---------------------------------------------------------------
-
-    def _apply_unroll(
-        self, kernel: KernelFunction, target: str
-    ) -> tuple[KernelFunction, list[str]]:
-        messages: list[str] = []
-        # snapshot (loop_id, directive) pairs first: unrolling rewrites bodies
-        requests: list[tuple[int, HmppUnroll]] = []
-        for loop in kernel.loops():
-            for directive in loop.directives.all(HmppUnroll):
-                assert isinstance(directive, HmppUnroll)
-                if directive.target is not None and directive.target != target:
-                    continue
-                requests.append((loop.loop_id, directive))
-
-        for loop_id, directive in requests:
-            loop = kernel.find_loop(loop_id)
-            needs_jam = any(isinstance(s, For) for s in loop.body.walk())
-            if target == "cuda" and directive.jam and needs_jam:
-                # FAKE SUCCESS: message emitted, nothing changes (V-B3)
-                messages.append(
-                    f"Loop '{loop.var}' unrolled by {directive.factor} (jam)"
-                )
-                continue
-            kernel = unroll_in_kernel(kernel, loop_id, directive.factor,
-                                      jam=directive.jam)
-            messages.append(
-                f"Loop '{loop.var}' unrolled by {directive.factor}"
-                + (" (jam)" if directive.jam else "")
-            )
-        return kernel, messages
-
-    # -- tiling ---------------------------------------------------------------
-
-    def _apply_tiling(self, kernel: KernelFunction) -> tuple[KernelFunction, list[str]]:
-        messages: list[str] = []
-        requests: list[tuple[int, int | tuple[int, int], bool]] = []
-        for loop in kernel.loops():
-            acc = loop.directives.first(AccLoop)
-            independent = acc is not None and acc.independent  # type: ignore[union-attr]
-            if acc is not None and acc.tile is not None:  # type: ignore[union-attr]
-                sizes = acc.tile  # type: ignore[union-attr]
-                if len(sizes) >= 2 and nest_is_tileable(loop):
-                    requests.append((loop.loop_id, (sizes[0], sizes[1]), independent))
-                else:
-                    requests.append((loop.loop_id, sizes[0], independent))
-            hmpp_tile = loop.directives.first(HmppTile)
-            if hmpp_tile is not None:
-                requests.append(
-                    (loop.loop_id, hmpp_tile.factor, independent)  # type: ignore[union-attr]
-                )
-        for loop_id, sizes, independent in requests:
-            if not independent:
-                # Tiling rides on the Gridify machinery, which needs the
-                # loop to be independent; on a dependent loop CAPS accepts
-                # the directive but generates nothing — LUD's tiled version
-                # has identical PTX (paper Fig. 6: "the PTX instructions
-                # remain the same").
-                messages.append(
-                    f"Loop tiled with size {sizes} (directive accepted)"
-                )
-                continue
-            kernel = tile_in_kernel(kernel, loop_id, sizes)
-            messages.append(f"Loop tiled with size {sizes} (global memory)")
-        return kernel, messages
-
-    # -- thread distribution ----------------------------------------------------
-
-    def _distribute(
-        self, kernel: KernelFunction
-    ) -> tuple[ThreadDistribution, list[int], list[str]]:
-        messages: list[str] = []
-        loops = kernel.loops()
-
-        explicit: list[For] = []
-        independents: list[For] = []
-        for loop in loops:
-            acc = loop.directives.first(AccLoop)
-            if acc is None:
-                continue
-            if acc.gang is not None or acc.worker is not None:  # type: ignore[union-attr]
-                explicit.append(loop)
-            if acc.independent:  # type: ignore[union-attr]
-                independents.append(loop)
-
-        if explicit:
-            outer = explicit[0]
-            acc = outer.directives.first(AccLoop)
-            gang = acc.gang or ADVERTISED_GANGS  # type: ignore[union-attr]
-            worker = acc.worker  # type: ignore[union-attr]
-            parallel_ids = [outer.loop_id]
-            # a nested worker-annotated loop joins the mapping
-            for inner in explicit[1:]:
-                inner_acc = inner.directives.first(AccLoop)
-                if inner_acc is not None and inner_acc.worker is not None:  # type: ignore[union-attr]
-                    worker = worker or inner_acc.worker  # type: ignore[union-attr]
-                    parallel_ids.append(inner.loop_id)
-                    break
-            worker = worker or ADVERTISED_WORKERS
-            messages.append(
-                f"Loop '{outer.var}' was shared among gangs({gang}) and "
-                f"workers({worker})"
-            )
-            return (
-                ThreadDistribution(
-                    DistStrategy.GANG_MODE,
-                    gang=gang,
-                    worker=worker,
-                    advertised=f"gang({gang}) worker({worker})",
-                ),
-                parallel_ids,
-                messages,
-            )
-
-        if independents:
-            blocksize = self.flags.gridify_blocksize or (32, 4)
-            for loop in loops:
-                hint = loop.directives.first(HmppBlocksize)
-                if hint is not None:
-                    blocksize = (hint.x, hint.y)  # type: ignore[union-attr]
-            outer = independents[0]
-            inner = self._nested_independent(outer, independents)
-            if inner is not None:
-                messages.append(
-                    f"Loops '{outer.var}','{inner.var}' gridified 2D "
-                    f"blocksize {blocksize[0]}x{blocksize[1]}"
-                )
-                return (
-                    ThreadDistribution(
-                        DistStrategy.GRIDIFY_2D,
-                        blocksize=blocksize,
-                        advertised=f"gridify 2D {blocksize[0]}x{blocksize[1]}",
-                    ),
-                    [outer.loop_id, inner.loop_id],
-                    messages,
-                )
-            messages.append(
-                f"Loop '{outer.var}' gridified 1D blocksize "
-                f"{blocksize[0]}x{blocksize[1]}"
-            )
-            return (
-                ThreadDistribution(
-                    DistStrategy.GRIDIFY_1D,
-                    blocksize=blocksize,
-                    advertised=f"gridify 1D {blocksize[0]}x{blocksize[1]}",
-                ),
-                [outer.loop_id],
-                messages,
-            )
-
-        # the default-distribution bug: advertise 192x256, generate 1x1
-        first = loops[0] if loops else None
-        if first is not None:
-            messages.append(
-                f"Loop '{first.var}' was shared among "
-                f"gangs({ADVERTISED_GANGS}) and workers({ADVERTISED_WORKERS})"
-            )
-        return (
-            ThreadDistribution(
-                DistStrategy.SEQUENTIAL,
-                advertised=(
-                    f"gang({ADVERTISED_GANGS}) worker({ADVERTISED_WORKERS})"
-                    " [actual: gang(1) worker(1)]"
-                ),
-            ),
-            [],
-            messages,
-        )
-
-    @staticmethod
-    def _nested_independent(outer: For, independents: list[For]) -> For | None:
-        """The directly nested independent loop of *outer*, if any."""
-        body = outer.body.stmts
-        if len(body) == 1 and isinstance(body[0], For):
-            inner = body[0]
-            if any(loop.loop_id == inner.loop_id for loop in independents):
-                return inner
-        return None
 
 
 def generated_codelet(compiled: CompiledKernel) -> str:

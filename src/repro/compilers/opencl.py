@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..ir.stmt import KernelFunction, Module
-from ..ptx.codegen import CodegenStyle, ParallelMapping, generate_ptx
-from ..ptx.isa import PtxInst
+from ..passes import PassContext, pipeline_for
+from ..ptx.codegen import CodegenStyle, ParallelMapping, generate_ptx, stage_shared_ptx
 from .framework import (
     CompilationError,
     CompilationResult,
@@ -105,33 +105,8 @@ def _distribution_for(spec: OpenCLKernelSpec) -> ThreadDistribution:
     )
 
 
-def _stage_shared_ptx(ptx, staged: tuple[str, ...]):
-    """Rewrite staged arrays' global loads into the Fig. 1a pattern:
-    a local-memory copy loop (ld.global + st.shared + bar.sync) up front,
-    then ld.shared at the use sites."""
-    if not staged:
-        return ptx
-    prologue: list[PtxInst] = []
-    rewritten: list[PtxInst] = []
-    staged_markers = {f"%{name}" for name in staged}
-    for inst in ptx.instructions:
-        if inst.opcode == "ld.global" and any(
-            name in operand for operand in inst.operands for name in staged_markers
-        ):
-            rewritten.append(PtxInst("ld.shared", inst.suffix, inst.operands))
-        else:
-            rewritten.append(inst)
-    for name in staged:
-        prologue.extend(
-            [
-                PtxInst("ld.global", "f32", ("%f_stage", f"[%{name}+%tid.x*4]")),
-                PtxInst("st.shared", "f32", (f"[%s_{name}+%tid.x*4]", "%f_stage")),
-            ]
-        )
-    if prologue:
-        prologue.append(PtxInst("bar.sync", "", ("0",)))
-    ptx.instructions = prologue + rewritten
-    return ptx
+#: back-compat alias; the implementation moved next to the PTX generator
+_stage_shared_ptx = stage_shared_ptx
 
 
 class NvidiaOpenCLCompiler:
@@ -144,25 +119,29 @@ class NvidiaOpenCLCompiler:
     def compile(self, program: OpenCLProgram) -> CompilationResult:
         result = CompilationResult(program.name, self.name, self.target)
         for spec in program.specs:
+            ctx = PassContext(compiler="opencl", target="gpu",
+                              options={"staged": spec.shared_staged})
+            work = pipeline_for("opencl", "gpu").run(spec.kernel, ctx)
+            staged = ctx.state.get("shared_staged", ())
             mapping = ParallelMapping(
                 dims={
                     loop_id: dim
                     for dim, loop_id in enumerate(reversed(spec.parallel_loop_ids))
                 }
             )
-            ptx = generate_ptx(spec.kernel, mapping, NV_OPENCL_STYLE)
-            if spec.shared_staged:
-                ptx = _stage_shared_ptx(ptx, spec.shared_staged)
+            ptx = generate_ptx(work, mapping, NV_OPENCL_STYLE)
+            if staged:
+                ptx = stage_shared_ptx(ptx, staged)
             result.kernels.append(
                 CompiledKernel(
-                    name=spec.kernel.name,
-                    ir=spec.kernel,
+                    name=work.name,
+                    ir=work,
                     target=self.target,
                     compiler=self.name,
                     distribution=_distribution_for(spec),
                     parallel_loop_ids=list(spec.parallel_loop_ids),
                     ptx=ptx,
-                    shared_staged=spec.shared_staged,
+                    shared_staged=staged,
                     traffic_reuse=spec.traffic_reuse,
                     messages=[f"built with local size {spec.local_size}"],
                 )
@@ -181,16 +160,19 @@ class IntelOpenCLCompiler:
     def compile(self, program: OpenCLProgram) -> CompilationResult:
         result = CompilationResult(program.name, self.name, self.target)
         for spec in program.specs:
+            ctx = PassContext(compiler="opencl", target="mic",
+                              options={"staged": spec.shared_staged})
+            work = pipeline_for("opencl", "mic").run(spec.kernel, ctx)
             result.kernels.append(
                 CompiledKernel(
-                    name=spec.kernel.name,
-                    ir=spec.kernel,
+                    name=work.name,
+                    ir=work,
                     target=self.target,
                     compiler=self.name,
                     distribution=_distribution_for(spec),
                     parallel_loop_ids=list(spec.parallel_loop_ids),
                     ptx=None,
-                    shared_staged=spec.shared_staged,
+                    shared_staged=ctx.state.get("shared_staged", ()),
                     # __local staging buys nothing on MIC: "local" memory is
                     # ordinary cached DRAM there
                     traffic_reuse=1.0,

@@ -39,21 +39,19 @@ support Intel MIC in the future").  Behaviours implemented from the paper:
 
 from __future__ import annotations
 
-from ..analysis.dependence import (
-    LoopDependenceReport,
-    PairClass,
-    Verdict,
-    analyze_loop,
-    has_opaque_or_invariant_writes,
-    loop_pair_classes,
-)
-from ..ir.directives import AccKernels, AccLoop
-from ..ir.stmt import For, KernelFunction, Module, While
+from ..ir.stmt import KernelFunction, Module
 from ..ir.types import ArrayType
-from ..ir.visitors import clone_kernel, writes_and_reads
+from ..passes import PassContext, pipeline_for
+from ..passes.library.pgi import (  # noqa: F401  (back-compat re-exports)
+    _PGI_SAFE_PAIRS,
+    PGI_DEFAULT_BLOCK,
+    PGI_UNROLL_FACTOR,
+    _alias_blocked,
+    _loop_is_complex,
+    _pgi_parallelizable,
+)
 from ..ptx.codegen import CodegenStyle, ParallelMapping, empty_ptx, generate_ptx
 from ..telemetry.spans import get_tracer
-from ..transforms.unroll import unroll_in_kernel
 from .flags import FlagSet
 from .framework import (
     CompilationError,
@@ -74,77 +72,6 @@ PGI_CUDA_STYLE = CodegenStyle(
     use_fma=True,
     fold_immediates=False,
 )
-
-PGI_DEFAULT_BLOCK = 128
-PGI_UNROLL_FACTOR = 2
-
-
-def _loop_is_complex(loop: For) -> bool:
-    """Opaque (indirect / data-dependent) or invariant *write* subscripts
-    make a loop "complex" for PGI: it ignores a user ``independent``
-    clause there (paper V-C1).  Indirect *reads* with affine writes are
-    acceptable under ``independent`` — this is what lets PGI parallelize
-    the regrouped (pull-style) BFS (Fig. 11, the 128x1 columns)."""
-    return has_opaque_or_invariant_writes(loop)
-
-
-#: pair classes PGI's richer range analysis optimistically accepts:
-#: same-iteration pairs, broadcast reads (assumed range-disjoint from the
-#: written region), and symbolic-offset pairs (assumed non-aliasing under
-#: -Msafeptr-era reasoning).  Constant-offset distances (A[i-1]), invariant
-#: writes, mismatched strides, and anything unanalyzable block.
-_PGI_SAFE_PAIRS = frozenset(
-    {PairClass.SAME, PairClass.BROADCAST, PairClass.DISTANCE_SYMBOLIC}
-)
-
-
-def _alias_blocked(loop: For, kernel: KernelFunction) -> bool:
-    """C aliasing blocks PGI: a write to one pointer with reads through a
-    *different*, non-const pointer might alias (without -Msafeptr /
-    restrict).  This is why the GE baseline stays sequential under PGI
-    (writes ``a``/``m``/``b`` cross-read each other) while the
-    single-array LUD baseline parallelizes (paper Figs. 3 vs 7)."""
-    writes, reads = writes_and_reads(loop.body)
-    written = {ref.name for ref in writes}
-    const_params = {
-        p.name for p in kernel.params
-        if isinstance(p.type, ArrayType) and p.intent == "in"
-    }
-    for ref in reads:
-        if ref.name in written or ref.name in const_params:
-            continue
-        if written:
-            return True
-    return False
-
-
-def _pgi_parallelizable(loop: For, report: LoopDependenceReport,
-                        kernel: KernelFunction) -> bool:
-    """PGI's (stronger) parallelization test.
-
-    PGI's deeper range/aliasing analysis accepts loops whose array-
-    subscript pairs are all in ``_PGI_SAFE_PAIRS`` — this is what lets PGI
-    parallelize the LUD row updates our exact analyzer refuses (paper
-    V-A1) — provided there is no scalar-carried dependence and no
-    potential pointer aliasing between written and read arrays.  Bare
-    reductions (no clause) stay sequential: PGI will not guess a
-    reduction.
-    """
-    if report.verdict is Verdict.REDUCTION:
-        return False  # needs an explicit reduction clause
-    if any("scalar" in reason for reason in report.reasons):
-        return False
-    if report.reductions:
-        return False
-    if _alias_blocked(loop, kernel):
-        return False
-    if report.verdict is Verdict.INDEPENDENT:
-        return True
-    return all(
-        pair_class in _PGI_SAFE_PAIRS
-        for _, pair_class in loop_pair_classes(loop)
-    )
-
 
 class PgiCompiler:
     """PGI 14.9 OpenACC -> CUDA."""
@@ -186,16 +113,13 @@ class PgiCompiler:
     def _compile_kernel(
         self, kernel: KernelFunction, log: list[str]
     ) -> CompiledKernel:
-        messages: list[str] = []
-        work = clone_kernel(kernel)
-
-        if self.flags.unroll_requested:
-            work, unroll_messages = self._apply_munroll(work)
-            messages += unroll_messages
-
-        (distribution, parallel_ids, shared_reductions, host_fallback,
-         messages_d) = self._schedule(work)
-        messages += messages_d
+        ctx = PassContext(compiler="pgi", target="cuda", flags=self.flags)
+        work = pipeline_for("pgi", "cuda").run(kernel, ctx)
+        messages = ctx.messages
+        distribution = ctx.state["distribution"]
+        parallel_ids = ctx.state["parallel_ids"]
+        shared_reductions = ctx.state.get("shared_reductions", set())
+        host_fallback = ctx.state.get("host_fallback", False)
 
         if host_fallback:
             ptx = empty_ptx(work.name)
@@ -221,186 +145,3 @@ class PgiCompiler:
             messages=messages,
             elided=host_fallback,
         )
-
-    # -- -Munroll -------------------------------------------------------------
-
-    def _apply_munroll(self, kernel: KernelFunction
-                       ) -> tuple[KernelFunction, list[str]]:
-        messages: list[str] = []
-        candidates: list[int] = []
-        for loop in kernel.loops():
-            if any(isinstance(s, (For, While)) for s in loop.body.walk()):
-                continue  # not innermost
-            report = analyze_loop(loop)
-            has_scalar_dep = report.reductions or any(
-                "scalar" in reason for reason in report.reasons
-            )
-            if has_scalar_dep:
-                continue  # reduction-carried loops are not ILP-unrolled
-            bound_vars = set()
-            from ..ir.expr import free_vars
-
-            bound_vars |= free_vars(loop.lower) | free_vars(loop.upper)
-            loop_vars = {other.var for other in kernel.loops()}
-            if bound_vars & loop_vars:
-                continue  # trip count varies per outer iteration
-            candidates.append(loop.loop_id)
-        for loop_id in candidates:
-            var = kernel.find_loop(loop_id).var
-            kernel = unroll_in_kernel(kernel, loop_id, PGI_UNROLL_FACTOR)
-            messages.append(f"-Munroll: loop '{var}' unrolled "
-                            f"by {PGI_UNROLL_FACTOR}")
-        return kernel, messages
-
-    # -- scheduling -------------------------------------------------------------
-
-    def _schedule(
-        self, kernel: KernelFunction
-    ) -> tuple[ThreadDistribution, list[int], set[int], bool, list[str]]:
-        messages: list[str] = []
-        loops = kernel.loops()
-        if not loops:
-            return (
-                ThreadDistribution(DistStrategy.SEQUENTIAL),
-                [], set(), False, ["no loops; generated scalar kernel"],
-            )
-
-        # explicit gang/worker without independent: honored as given
-        for loop in loops:
-            acc = loop.directives.first(AccLoop)
-            if (
-                acc is not None
-                and not acc.independent  # type: ignore[union-attr]
-                and (acc.gang is not None or acc.worker is not None)  # type: ignore[union-attr]
-            ):
-                gang = acc.gang or 1  # type: ignore[union-attr]
-                worker = acc.worker or PGI_DEFAULT_BLOCK  # type: ignore[union-attr]
-                messages.append(
-                    f"Loop '{loop.var}': user-specified gang({gang}) "
-                    f"worker({worker})"
-                )
-                return (
-                    ThreadDistribution(
-                        DistStrategy.GANG_MODE, gang=gang, worker=worker,
-                        advertised=f"gang({gang}) worker({worker})",
-                    ),
-                    [loop.loop_id], set(), False, messages,
-                )
-
-        # find the outermost loop PGI will parallelize
-        chosen: For | None = None
-        for loop in kernel.top_level_loops():
-            chosen = self._find_parallel_loop(kernel, loop, messages)
-            if chosen is not None:
-                break
-
-        if chosen is None:
-            # conservative: everything sequential; under `kernels`, a fully
-            # complex kernel is not offloaded at all
-            all_complex = all(_loop_is_complex(loop) for loop in
-                              kernel.top_level_loops())
-            under_kernels = kernel.directives.first(AccKernels) is not None or not (
-                kernel.directives
-            )
-            if all_complex and under_kernels:
-                messages.append(
-                    "loop not vectorized/parallelized: kernel region "
-                    "executed on host"
-                )
-                return (
-                    ThreadDistribution(DistStrategy.SEQUENTIAL,
-                                       advertised="host fallback"),
-                    [], set(), True, messages,
-                )
-            messages.append("loop carried dependence: executed sequentially")
-            return (
-                ThreadDistribution(DistStrategy.SEQUENTIAL,
-                                   advertised="sequential"),
-                [], set(), False, messages,
-            )
-
-        parallel_ids = [chosen.loop_id]
-        shared_reductions: set[int] = set()
-
-        # a clean directly-nested loop is parallelized too (collapsed into
-        # the 1-D schedule); "the inner loop [runs] sequentially, once it
-        # detects any suspicious dependency in the inner loop" (V-B1) —
-        # suspicion includes the pointer-aliasing test, which is what keeps
-        # the GE fan2 inner loop sequential while BP's weight update gets
-        # both dimensions
-        body = chosen.body.stmts
-        if len(body) == 1 and isinstance(body[0], For):
-            inner_loop = body[0]
-            inner_acc = inner_loop.directives.first(AccLoop)
-            has_reduction_clause = (
-                inner_acc is not None and inner_acc.reduction is not None  # type: ignore[union-attr]
-            )
-            if not has_reduction_clause and not _loop_is_complex(inner_loop):
-                # the inner loop is collapsed only when PGI's OWN analysis
-                # clears it — a user `independent` does not extend inward:
-                # "to execute the outer loop in parallel and the inner loop
-                # sequentially, once it detects any suspicious dependency
-                # in the inner loop" (V-B1)
-                inner_report = analyze_loop(inner_loop)
-                if _pgi_parallelizable(inner_loop, inner_report, kernel):
-                    parallel_ids.append(inner_loop.loop_id)
-                    messages.append(
-                        f"Loop '{inner_loop.var}' also parallelized "
-                        "(collapsed)"
-                    )
-        for inner in chosen.body.walk():
-            if not isinstance(inner, For):
-                continue
-            acc = inner.directives.first(AccLoop)
-            if acc is not None and acc.reduction is not None:  # type: ignore[union-attr]
-                shared_reductions.add(inner.loop_id)
-                parallel_ids.append(inner.loop_id)
-                messages.append(
-                    f"Loop '{inner.var}': reduction "
-                    f"({acc.reduction.op}:{acc.reduction.var}) "  # type: ignore[union-attr]
-                    "parallelized with shared memory"
-                )
-
-        messages.append(
-            f"Loop '{chosen.var}' parallelized, "
-            f"[{PGI_DEFAULT_BLOCK},1,1] block, grid depends on the loop"
-        )
-        return (
-            ThreadDistribution(
-                DistStrategy.AUTO_1D, worker=PGI_DEFAULT_BLOCK,
-                advertised=f"[n/{PGI_DEFAULT_BLOCK},1,1] x "
-                           f"[{PGI_DEFAULT_BLOCK},1,1]",
-            ),
-            parallel_ids, shared_reductions, False, messages,
-        )
-
-    def _find_parallel_loop(
-        self, kernel: KernelFunction, loop: For, messages: list[str]
-    ) -> For | None:
-        """Outermost loop in this nest that passes PGI's analysis.
-
-        A user ``independent`` clause overrides the dependence *and*
-        aliasing analysis — that is its meaning — but is *ignored* on a
-        complex (indirect-subscript) loop: the conservative strategy of
-        paper V-C1.
-        """
-        report = analyze_loop(loop)
-        acc = loop.directives.first(AccLoop)
-        user_independent = acc is not None and acc.independent  # type: ignore[union-attr]
-
-        if _loop_is_complex(loop):
-            if user_independent:
-                messages.append(
-                    f"Loop '{loop.var}': independent clause ignored "
-                    "(complex loop; potential wrong results)"
-                )
-            return None
-        if user_independent or _pgi_parallelizable(loop, report, kernel):
-            return loop
-        # try nested loops
-        for stmt in loop.body.stmts:
-            if isinstance(stmt, For):
-                found = self._find_parallel_loop(kernel, stmt, messages)
-                if found is not None:
-                    return found
-        return None

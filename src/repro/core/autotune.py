@@ -30,7 +30,7 @@ from ..kernels.base import Benchmark
 from ..runtime.launcher import Accelerator
 from ..service.scheduler import CompileService
 from ..telemetry.spans import traced
-from ..transforms.distribute import set_gang_worker
+from ..passes.library.distribute import set_gang_worker
 from .method import compile_stage
 from .search import distribution_requests
 

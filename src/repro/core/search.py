@@ -19,7 +19,7 @@ from ..runtime.launcher import Accelerator
 from ..service.fingerprint import CompileRequest
 from ..service.scheduler import CompileService, JobError
 from ..telemetry.spans import get_tracer
-from ..transforms.distribute import set_gang_worker
+from ..passes.library.distribute import set_gang_worker
 
 DEFAULT_GANGS = (1, 16, 64, 128, 192, 256, 512, 1024)
 DEFAULT_WORKERS = (1, 2, 4, 8, 16, 32, 64, 128, 256)

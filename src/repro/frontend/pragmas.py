@@ -11,6 +11,7 @@ import re
 
 from ..ir.directives import (
     AccAtomic,
+    AccCache,
     AccData,
     AccKernels,
     AccLoop,
@@ -146,6 +147,15 @@ def _parse_acc(body: str) -> Directive:
             raise PragmaError(f"cannot parse acc tile sizes from {body!r}")
         sizes = tuple(int(s) for s in match.group(1).split(","))
         return AccLoop(tile=sizes)
+
+    if construct == "cache":
+        match = re.match(r"^\(\s*([^)]*?)\s*\)$", rest.strip())
+        if match is None:
+            raise PragmaError(f"cannot parse acc cache arrays from {body!r}")
+        arrays = tuple(a.strip() for a in match.group(1).split(",") if a.strip())
+        if not arrays:
+            raise PragmaError("acc cache requires at least one array")
+        return AccCache(arrays)
 
     if construct == "data":
         kwargs: dict[str, tuple[str, ...]] = {}

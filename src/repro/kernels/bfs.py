@@ -26,8 +26,8 @@ from ..frontend.parser import parse_kernel, parse_module
 from ..ir.stmt import Module
 from ..ir.visitors import clone_module
 from ..runtime.launcher import Accelerator
-from ..transforms.data import add_data_regions
-from ..transforms.independent import add_independent
+from ..passes.library.data import add_data_regions
+from ..passes.library.independent import add_independent
 from .base import Benchmark, BenchmarkMeta, RunResult
 
 SOURCE = """

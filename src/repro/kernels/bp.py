@@ -32,8 +32,8 @@ from ..ir.directives import HmppUnroll
 from ..ir.stmt import Module
 from ..ir.visitors import clone_module
 from ..runtime.launcher import Accelerator
-from ..transforms.independent import add_independent
-from ..transforms.reduction import add_reduction
+from ..passes.library.independent import add_independent
+from ..passes.library.reduction import add_reduction
 from .base import Benchmark, BenchmarkMeta, RunResult
 
 ETA = 0.3

@@ -35,7 +35,7 @@ from ..ir.directives import AccLoop, HmppUnroll
 from ..ir.stmt import Module
 from ..ir.visitors import clone_module
 from ..runtime.launcher import Accelerator
-from ..transforms.independent import add_independent
+from ..passes.library.independent import add_independent
 from .base import Benchmark, BenchmarkMeta, RunResult
 
 SOURCE = """

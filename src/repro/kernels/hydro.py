@@ -29,8 +29,8 @@ from ..frontend.parser import parse_kernel, parse_module
 from ..ir.stmt import Module
 from ..ir.visitors import clone_module
 from ..runtime.launcher import Accelerator
-from ..transforms.distribute import clear_distribution, set_gang_worker
-from ..transforms.independent import add_independent
+from ..passes.library.distribute import clear_distribution, set_gang_worker
+from ..passes.library.independent import add_independent
 from .base import Benchmark, BenchmarkMeta, RunResult
 
 GAMMA = 1.4

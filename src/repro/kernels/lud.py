@@ -21,7 +21,7 @@ from ..ir.directives import AccLoop, HmppUnroll
 from ..ir.stmt import Module
 from ..ir.visitors import clone_module
 from ..runtime.launcher import Accelerator
-from ..transforms.distribute import set_gang_worker
+from ..passes.library.distribute import set_gang_worker
 from .base import Benchmark, BenchmarkMeta, RunResult
 
 SOURCE = """

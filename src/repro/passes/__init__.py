@@ -1,0 +1,45 @@
+"""``repro.passes`` — the unified pass manager.
+
+The package has three layers:
+
+* :mod:`repro.passes.registry` — the pass registry: every transformation
+  is a :class:`Pass` with metadata (``preserves`` / ``requires`` /
+  ``invalidates``, ``semantics_preserving``).
+* :mod:`repro.passes.pipeline` — :class:`Pipeline` (ordered pass names,
+  inter-pass IR verification with pass-attributed provenance) and the
+  declarative per-(compiler, target) orderings in ``PIPELINES``.
+* :mod:`repro.passes.library` — the pass implementations: the paper's
+  systematic-method steps, the two shared-memory passes
+  (``shared-tile``, ``fuse-reuse``), and the per-compiler lowering
+  steps used by the CAPS/PGI/OpenCL models.
+
+See ``docs/PASSES.md`` for the authoring guide; a pass registered under
+``library/`` automatically inherits the conformance battery in
+``tests/passes/``.
+"""
+
+from .context import PassContext
+from .pipeline import PIPELINES, Pipeline, PipelineError, pipeline_for
+from .registry import (
+    Pass,
+    PassNotApplicable,
+    PassRegistryError,
+    all_passes,
+    get_pass,
+    register_pass,
+)
+from . import library  # noqa: E402,F401  (import-time pass registration)
+
+__all__ = [
+    "PIPELINES",
+    "Pass",
+    "PassContext",
+    "PassNotApplicable",
+    "PassRegistryError",
+    "Pipeline",
+    "PipelineError",
+    "all_passes",
+    "get_pass",
+    "pipeline_for",
+    "register_pass",
+]

@@ -1,0 +1,117 @@
+"""Data-region directives — the paper's named future work.
+
+"We will improve the systematic optimization method, such as inserting the
+data region directives for data-intensive kernels" (section VII).  This
+pass attaches ``#pragma acc data`` clauses to a kernel so the runtime can
+hoist host<->device transfers out of the host iteration loop — the very
+traffic that made the parallel CAPS BFS lose to sequential PGI
+(Table VII / Fig. 10).
+"""
+
+from __future__ import annotations
+
+from ...ir.directives import AccData
+from ...ir.stmt import KernelFunction, Module
+from ...ir.types import ArrayType
+from ...ir.visitors import clone_kernel, clone_module, writes_and_reads
+
+
+class DataRegionError(ValueError):
+    """Raised when a clause names a parameter the kernel does not have."""
+
+
+def add_data_region(
+    kernel: KernelFunction,
+    copy: tuple[str, ...] = (),
+    copyin: tuple[str, ...] = (),
+    copyout: tuple[str, ...] = (),
+    create: tuple[str, ...] = (),
+) -> KernelFunction:
+    """Return a copy of *kernel* with an ``acc data`` directive attached."""
+    out = clone_kernel(kernel)
+    arrays = {p.name for p in out.array_params}
+    for clause_name, names in (
+        ("copy", copy), ("copyin", copyin), ("copyout", copyout),
+        ("create", create),
+    ):
+        unknown = set(names) - arrays
+        if unknown:
+            raise DataRegionError(
+                f"data clause {clause_name}({', '.join(sorted(unknown))}) "
+                f"names arrays kernel {kernel.name!r} does not take"
+            )
+    out.directives = out.directives.with_added(
+        AccData(copy=copy, copyin=copyin, copyout=copyout, create=create)
+    )
+    return out
+
+
+def infer_data_region(kernel: KernelFunction) -> KernelFunction:
+    """Attach an inferred data region: read-only arrays become ``copyin``,
+    write-only arrays ``copyout``, read-write arrays ``copy``.
+
+    This is the mechanical version of what the paper's authors would have
+    inserted by hand.
+    """
+    writes, reads = writes_and_reads(kernel.body)
+    written = {ref.name for ref in writes}
+    read = {ref.name for ref in reads}
+    arrays = [p.name for p in kernel.params if isinstance(p.type, ArrayType)]
+    copy = tuple(a for a in arrays if a in written and a in read)
+    copyin = tuple(a for a in arrays if a in read and a not in written)
+    copyout = tuple(a for a in arrays if a in written and a not in read)
+    untouched = tuple(
+        a for a in arrays if a not in written and a not in read
+    )
+    return add_data_region(
+        kernel, copy=copy, copyin=copyin + untouched, copyout=copyout
+    )
+
+
+def has_data_region(kernel: KernelFunction) -> bool:
+    """Whether the kernel carries an ``acc data`` directive."""
+    return kernel.directives.first(AccData) is not None
+
+
+def add_data_regions(module: Module) -> Module:
+    """Infer and attach data regions for every kernel of *module*."""
+    out = clone_module(module)
+    out.kernels = [infer_data_region(kernel) for kernel in out.kernels]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# registered passes
+# ---------------------------------------------------------------------------
+
+from ..registry import PassNotApplicable, register_pass  # noqa: E402
+
+
+@register_pass(
+    "add-data-region",
+    description="Attach explicit `acc data` movement clauses to a kernel "
+    "(the paper's named future work, section VII)",
+    tags=("generic",),
+    options=("copy", "copyin", "copyout", "create"),
+)
+def add_data_region_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    clauses = {
+        name: tuple(ctx.option(name, ()))
+        for name in ("copy", "copyin", "copyout", "create")
+    }
+    if not any(clauses.values()):
+        raise PassNotApplicable("no data clauses supplied")
+    return add_data_region(kernel, **clauses)
+
+
+@register_pass(
+    "infer-data-region",
+    description="Infer and attach an `acc data` region: read-only arrays "
+    "copyin, write-only copyout, read-write copy",
+    tags=("generic",),
+    options=(),
+)
+def infer_data_region_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    if not kernel.array_params:
+        raise PassNotApplicable("kernel has no array parameters")
+    return infer_data_region(kernel)

@@ -1,0 +1,154 @@
+"""Step 2 of the systematic optimization method: thread distribution.
+
+Two distribution mechanisms, mirroring paper section III-B:
+
+* **Gang mode** — explicit ``gang(n)``/``worker(n)`` clauses on a loop
+  (works for both CAPS and PGI source-wise, though PGI ignores the sizes
+  once ``independent`` is present — that quirk lives in the PGI compiler
+  model, not here; this module only edits the source).
+* **Gridify mode** — the CAPS-specific ``#pragma hmppcg blocksize WxH``
+  (or the ``-Xhmppcg -grid-block-size,WxH`` flag), applicable only when the
+  loop is marked ``independent``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...ir.directives import AccLoop, HmppBlocksize
+from ...ir.stmt import KernelFunction
+from ...ir.visitors import clone_kernel
+from .independent import is_independent
+
+
+class DistributionError(ValueError):
+    """Raised when a distribution request is not applicable."""
+
+
+def set_gang_worker(
+    kernel: KernelFunction,
+    loop_id: int,
+    gang: int | None = None,
+    worker: int | None = None,
+    vector: int | None = None,
+) -> KernelFunction:
+    """Attach ``gang(n) worker(m) [vector(k)]`` clauses to one loop."""
+    if gang is not None and gang < 1:
+        raise DistributionError(f"gang must be >= 1, got {gang}")
+    if worker is not None and worker < 1:
+        raise DistributionError(f"worker must be >= 1, got {worker}")
+    out = clone_kernel(kernel)
+    loop = out.find_loop(loop_id)
+    existing = loop.directives.first(AccLoop) or AccLoop()
+    loop.directives = loop.directives.with_replaced(
+        AccLoop,
+        dataclasses.replace(
+            existing,  # type: ignore[arg-type]
+            gang=gang if gang is not None else existing.gang,  # type: ignore[union-attr]
+            worker=worker if worker is not None else existing.worker,  # type: ignore[union-attr]
+            vector=vector if vector is not None else existing.vector,  # type: ignore[union-attr]
+        ),
+    )
+    return out
+
+
+def set_gridify_blocksize(
+    kernel: KernelFunction, loop_id: int, x: int = 32, y: int = 4
+) -> KernelFunction:
+    """Attach the CAPS Gridify block size to an *independent* loop.
+
+    The paper (III-B): "Gridify ... can be only applied when the
+    independent directives are added."
+    """
+    out = clone_kernel(kernel)
+    loop = out.find_loop(loop_id)
+    if not is_independent(loop):
+        raise DistributionError(
+            "Gridify mode requires the loop to be marked independent "
+            f"(loop over {loop.var!r} is not)"
+        )
+    loop.directives = loop.directives.with_replaced(HmppBlocksize, HmppBlocksize(x, y))
+    return out
+
+
+def clear_distribution(kernel: KernelFunction, loop_id: int) -> KernelFunction:
+    """Remove any explicit gang/worker sizes from a loop (keep independence)."""
+    out = clone_kernel(kernel)
+    loop = out.find_loop(loop_id)
+    existing = loop.directives.first(AccLoop)
+    if existing is not None:
+        loop.directives = loop.directives.with_replaced(
+            AccLoop,
+            dataclasses.replace(
+                existing, gang=None, worker=None, vector=None,  # type: ignore[arg-type]
+                gang_auto=False, worker_auto=False,
+            ),
+        )
+    loop.directives = loop.directives.without(HmppBlocksize)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# registered passes
+# ---------------------------------------------------------------------------
+
+from ..registry import PassNotApplicable, register_pass  # noqa: E402
+
+
+def _default_top_loop(kernel: KernelFunction, ctx) -> int:
+    loop_id = ctx.option("loop_id")
+    if loop_id is not None:
+        return loop_id
+    tops = kernel.top_level_loops()
+    if not tops:
+        raise PassNotApplicable("kernel has no top-level loop")
+    return tops[0].loop_id
+
+
+@register_pass(
+    "set-gang-worker",
+    description="Attach explicit gang/worker/vector sizes to a loop "
+    "(Step 2, Gang mode)",
+    tags=("generic",),
+    options=("loop_id", "gang", "worker", "vector"),
+)
+def set_gang_worker_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    return set_gang_worker(
+        kernel,
+        _default_top_loop(kernel, ctx),
+        gang=ctx.option("gang", 192),
+        worker=ctx.option("worker", 256),
+        vector=ctx.option("vector"),
+    )
+
+
+@register_pass(
+    "gridify-blocksize",
+    description="Attach the CAPS Gridify block size to an independent "
+    "loop (Step 2, Gridify mode)",
+    tags=("generic",),
+    options=("loop_id", "x", "y"),
+)
+def gridify_blocksize_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    loop_id = ctx.option("loop_id")
+    if loop_id is None:
+        for loop in kernel.top_level_loops():
+            if is_independent(loop):
+                loop_id = loop.loop_id
+                break
+        else:
+            raise PassNotApplicable("no independent top-level loop")
+    return set_gridify_blocksize(
+        kernel, loop_id, ctx.option("x", 32), ctx.option("y", 4)
+    )
+
+
+@register_pass(
+    "clear-distribution",
+    description="Remove explicit gang/worker sizes from a loop "
+    "(keep independence)",
+    tags=("generic",),
+    options=("loop_id",),
+)
+def clear_distribution_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    return clear_distribution(kernel, _default_top_loop(kernel, ctx))

@@ -1,0 +1,106 @@
+"""Step 1 of the systematic optimization method: adding ``independent``.
+
+``add_independent`` annotates loops with ``#pragma acc loop independent``.
+By default only loops the dependence analysis proves parallelizable are
+annotated — the honest path.  ``force_loops`` lets the programmer assert
+independence the compiler cannot prove (the paper does this for BFS, whose
+indirect subscripts defeat any static analysis), exactly like writing the
+directive by hand in the C source.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ...analysis.dependence import LoopDependenceReport, analyze_loop
+from ...ir.directives import AccLoop
+from ...ir.stmt import For, KernelFunction
+from ...ir.visitors import clone_kernel
+
+
+@dataclass
+class IndependentResult:
+    """What Step 1 did to each loop of a kernel."""
+
+    kernel: KernelFunction
+    annotated: list[int] = field(default_factory=list)  # loop ids annotated
+    refused: dict[int, LoopDependenceReport] = field(default_factory=dict)
+    forced: list[int] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.annotated or self.forced)
+
+
+def _mark_independent(loop: For) -> None:
+    existing = loop.directives.first(AccLoop)
+    if existing is None:
+        loop.directives = loop.directives.with_added(AccLoop(independent=True))
+    else:
+        loop.directives = loop.directives.with_replaced(
+            AccLoop, dataclasses.replace(existing, independent=True)
+        )
+
+
+def add_independent(
+    kernel: KernelFunction,
+    force_loops: set[int] | None = None,
+    force_vars: set[str] | None = None,
+    only_top_level: bool = False,
+) -> IndependentResult:
+    """Return a copy of *kernel* with ``independent`` added where provable
+    (or forced).
+
+    ``force_loops``/``force_vars`` identify loops (by id or induction
+    variable) whose independence the programmer asserts despite the
+    analysis; they are annotated regardless of the verdict.
+    """
+    force_loops = force_loops or set()
+    force_vars = force_vars or set()
+    out = clone_kernel(kernel)
+    result = IndependentResult(kernel=out)
+
+    loops = out.top_level_loops() if only_top_level else out.loops()
+    for loop in loops:
+        forced = loop.loop_id in force_loops or loop.var in force_vars
+        report = analyze_loop(loop)
+        if report.parallelizable:
+            _mark_independent(loop)
+            result.annotated.append(loop.loop_id)
+        elif forced:
+            _mark_independent(loop)
+            result.forced.append(loop.loop_id)
+        else:
+            result.refused[loop.loop_id] = report
+    return result
+
+
+def is_independent(loop: For) -> bool:
+    """True when the loop carries an ``independent`` annotation."""
+    acc = loop.directives.first(AccLoop)
+    return acc is not None and acc.independent  # type: ignore[union-attr]
+
+
+# ---------------------------------------------------------------------------
+# registered pass
+# ---------------------------------------------------------------------------
+
+from ..registry import register_pass  # noqa: E402
+
+
+@register_pass(
+    "add-independent",
+    description="Annotate loops the dependence analysis proves "
+    "parallelizable with `#pragma acc loop independent` (Step 1)",
+    tags=("generic",),
+    options=("force_loops", "force_vars", "only_top_level"),
+)
+def add_independent_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    result = add_independent(
+        kernel,
+        force_loops=ctx.option("force_loops"),
+        force_vars=ctx.option("force_vars"),
+        only_top_level=ctx.option("only_top_level", False),
+    )
+    return result.kernel

@@ -1,0 +1,38 @@
+"""Hand-written OpenCL path passes.
+
+The OpenCL "compilers" consume human decisions recorded in
+:class:`~repro.compilers.opencl.OpenCLKernelSpec` rather than directives,
+so the single pass here transforms nothing: it validates the hand-written
+kernel IR (the pipeline's inter-pass verifier now covers the OpenCL
+versions of every benchmark, which the old hand-wired path never
+checked) and records the spec's explicit ``__local`` staging decision in
+``ctx.state["shared_staged"]`` for the backend, which rewrites the PTX
+via :func:`repro.ptx.codegen.stage_shared_ptx` (paper Fig. 1a).
+"""
+
+from __future__ import annotations
+
+from ...ir.stmt import KernelFunction
+from ..registry import register_pass
+
+
+@register_pass(
+    "opencl-stage-shared",
+    description="Record the hand-written kernel's explicit __local "
+    "staging decision (spec.shared_staged) for the PTX backend; the IR "
+    "is only validated, never transformed",
+    tags=("opencl",),
+    options=("staged",),
+)
+def opencl_stage_shared(kernel: KernelFunction, ctx) -> KernelFunction:
+    staged = tuple(ctx.option("staged", ()))
+    known = {p.name for p in kernel.array_params}
+    unknown = [name for name in staged if name not in known]
+    if unknown:
+        ctx.say(
+            f"__local staging ignored for unknown arrays: "
+            f"{', '.join(unknown)}"
+        )
+        staged = tuple(name for name in staged if name in known)
+    ctx.state["shared_staged"] = staged
+    return kernel

@@ -1,0 +1,85 @@
+"""The reduction optimization used for Back Propagation (paper V-D2).
+
+``add_reduction`` attaches ``reduction(op:var)`` to an inner loop whose
+body the dependence analysis recognizes as a scalar reduction, mirroring
+"we insert the reduction directive #pragma acc parallel reduction to the
+inner loops".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...analysis.dependence import analyze_loop
+from ...ir.directives import AccLoop, ReductionClause
+from ...ir.stmt import KernelFunction
+from ...ir.visitors import clone_kernel
+
+
+class ReductionError(ValueError):
+    """Raised when the target loop is not a recognizable reduction."""
+
+
+def add_reduction(
+    kernel: KernelFunction, loop_id: int, var: str | None = None
+) -> KernelFunction:
+    """Return a copy of *kernel* with a reduction clause on the given loop.
+
+    If *var* is omitted the (single) recognized reduction scalar is used;
+    it is an error if the loop has none or several.
+    """
+    out = clone_kernel(kernel)
+    loop = out.find_loop(loop_id)
+    report = analyze_loop(loop)
+    candidates = {r.var: r for r in report.reductions}
+    if var is None:
+        if len(candidates) != 1:
+            raise ReductionError(
+                f"loop over {loop.var!r} has {len(candidates)} reduction "
+                "candidates; specify var explicitly"
+            )
+        info = next(iter(candidates.values()))
+    else:
+        if var not in candidates:
+            raise ReductionError(
+                f"scalar {var!r} is not a recognized reduction in the loop "
+                f"over {loop.var!r} (candidates: {sorted(candidates) or 'none'})"
+            )
+        info = candidates[var]
+
+    existing = loop.directives.first(AccLoop) or AccLoop()
+    loop.directives = loop.directives.with_replaced(
+        AccLoop,
+        dataclasses.replace(
+            existing, reduction=ReductionClause(info.op, info.var)  # type: ignore[arg-type]
+        ),
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# registered pass
+# ---------------------------------------------------------------------------
+
+from ..registry import PassNotApplicable, register_pass  # noqa: E402
+
+
+@register_pass(
+    "add-reduction",
+    description="Attach `reduction(op:var)` to a loop the analysis "
+    "recognizes as a scalar reduction (the BP optimization, paper V-D2)",
+    tags=("generic",),
+    options=("loop_id", "var"),
+)
+def add_reduction_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    """Annotate ``options["loop_id"]`` (default: the first loop with
+    exactly one recognized reduction scalar)."""
+    loop_id = ctx.option("loop_id")
+    if loop_id is None:
+        for loop in kernel.loops():
+            if len(analyze_loop(loop).reductions) == 1:
+                loop_id = loop.loop_id
+                break
+        else:
+            raise PassNotApplicable("no loop with a recognizable reduction")
+    return add_reduction(kernel, loop_id, ctx.option("var"))

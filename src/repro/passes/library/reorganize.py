@@ -1,0 +1,263 @@
+"""Loop reorganization — the auxiliary optimization used for GE and BFS.
+
+The paper (section V-B1) reorganizes the Gaussian Elimination OpenACC
+version "which can turn three kernel loops into two", and (V-C2) regroups
+the BFS loops "to make the OpenACC versions have the same structure as the
+OpenCL version".  Mechanically these are *loop fusion* (merging adjacent
+compatible loops) and *kernel fusion* (merging adjacent kernels of a
+module).
+"""
+
+from __future__ import annotations
+
+from ...ir.stmt import Block, Decl, For, KernelFunction, Module, Param, Stmt
+from ...ir.visitors import (
+    clone_kernel,
+    clone_stmt,
+    scalar_writes,
+    stmt_free_vars,
+    writes_and_reads,
+)
+
+
+class ReorganizeError(ValueError):
+    """Raised when a requested fusion is not structurally possible."""
+
+
+def _headers_match(a: For, b: For) -> bool:
+    return (
+        a.var == b.var
+        and a.step == b.step
+        and a.lower == b.lower
+        and a.upper == b.upper
+    )
+
+
+def _cross_loop_dependence(a: For, b: For) -> bool:
+    """True if fusing *a* and *b* could reorder a dependence.
+
+    Originally all iterations of *a* run before any iteration of *b*;
+    fusion interleaves them (``a_i; b_i``).  That is value-preserving only
+    if every array element *b*'s iteration ``i`` touches that *a* also
+    touches was produced by *a*'s iteration ``i`` itself — i.e. every
+    (ref-in-a, ref-in-b) pair on a shared array classifies as
+    :class:`~repro.analysis.dependence.PairClass.SAME` (identical, loop-
+    variable-moving subscripts).  Anything weaker — constant-distance
+    offsets (``x[i+1]``), invariant cells, symbolic offsets, indirect
+    subscripts — may read a value a not-yet-executed iteration of *a*
+    was to produce, so fusion is refused.
+
+    Scalars carried from *a* to *b* (assigned in one body, used in the
+    other, and not re-declared locally) are refused the same way.
+    """
+    from ...analysis.dependence import (
+        PairClass,
+        _data_variant_scalars,
+        _loop_variant_vars,
+        _subscript_form,
+        classify_pair,
+    )
+
+    # -- scalar cross-loop dependences --------------------------------------
+    decls_a = {s.name for s in a.body.walk() if isinstance(s, Decl)}
+    decls_b = {s.name for s in b.body.walk() if isinstance(s, Decl)}
+    written_a = scalar_writes(a.body) - decls_a - {a.var}
+    written_b = scalar_writes(b.body) - decls_b - {b.var}
+    used_a = stmt_free_vars(a.body) - decls_a - {a.var}
+    used_b = stmt_free_vars(b.body) - decls_b - {b.var}
+    if written_a & (used_b | written_b) or written_b & used_a:
+        return True
+
+    # -- array cross-loop dependences ---------------------------------------
+    writes_in_a, reads_in_a = writes_and_reads(a.body)
+    writes_in_b, reads_in_b = writes_and_reads(b.body)
+    variant = _loop_variant_vars(a) | _loop_variant_vars(b)
+    data_variant = _data_variant_scalars(a) | _data_variant_scalars(b)
+    pairs = (
+        (writes_in_a, reads_in_b),   # flow:   a writes, b reads
+        (writes_in_a, writes_in_b),  # output: both write
+        (reads_in_a, writes_in_b),   # anti:   a reads, b overwrites
+    )
+    for refs_a, refs_b in pairs:
+        for ref_a in refs_a:
+            for ref_b in refs_b:
+                if ref_a.name != ref_b.name:
+                    continue
+                klass = classify_pair(
+                    _subscript_form(ref_a),
+                    _subscript_form(ref_b),
+                    a.var,
+                    variant,
+                    data_variant,
+                )
+                if klass is not PairClass.SAME:
+                    return True
+    return False
+
+
+def _fusable(a: For, b: For) -> bool:
+    """Structurally compatible headers *and* no cross-loop dependence.
+
+    The structural check alone used to green-light merging loops where
+    the second loop read elements the first had not produced yet in the
+    fused order (e.g. ``x[i+1]``) — see the regression test
+    ``tests/passes/test_reorganize_dependence.py``.
+    """
+    return _headers_match(a, b) and not _cross_loop_dependence(a, b)
+
+
+def fuse_adjacent_loops(kernel: KernelFunction) -> KernelFunction:
+    """Fuse every run of adjacent top-level loops with identical headers.
+
+    The caller is responsible for legality (the paper's reorganizations are
+    hand-verified); directives of the *first* loop of each run are kept.
+    """
+    out = clone_kernel(kernel)
+    out.body = _fuse_block(out.body)
+    return out
+
+
+def _fuse_block(block: Block) -> Block:
+    """Fuse runs of top-level loops with identical headers.
+
+    Initializer-less declarations (loop-index ``int i;`` lines) are
+    transparent: they are hoisted (deduplicated by name) so they never
+    break a fusable run.
+    """
+    decls: list[Decl] = []
+    seen_decls: set[str] = set()
+    fused: list[Stmt] = []
+    for stmt in block.stmts:
+        if isinstance(stmt, Decl) and stmt.init is None:
+            if stmt.name not in seen_decls:
+                seen_decls.add(stmt.name)
+                decls.append(stmt)
+            continue
+        if (
+            isinstance(stmt, For)
+            and fused
+            and isinstance(fused[-1], For)
+            and _fusable(fused[-1], stmt)
+        ):
+            prev = fused[-1]
+            assert isinstance(prev, For)
+            prev.body.stmts.extend(clone_stmt(stmt.body).stmts)  # type: ignore[attr-defined]
+        else:
+            fused.append(stmt)
+    return Block([*decls, *fused])
+
+
+def fuse_kernels(
+    module: Module, names: list[str], fused_name: str | None = None
+) -> Module:
+    """Merge the named kernels of *module* into one kernel (in order).
+
+    Parameters are united by name; a parameter appearing in several kernels
+    must have a consistent type.  The fused kernel replaces the first named
+    kernel in the module order; the others are removed.
+    """
+    if len(names) < 2:
+        raise ReorganizeError("fusing requires at least two kernel names")
+    kernels = [module.kernel(name) for name in names]
+
+    params: list[Param] = []
+    seen: dict[str, Param] = {}
+    for kernel in kernels:
+        for param in kernel.params:
+            if param.name in seen:
+                if seen[param.name].type != param.type:
+                    raise ReorganizeError(
+                        f"parameter {param.name!r} has conflicting types across kernels"
+                    )
+            else:
+                new_param = Param(param.name, param.type, param.intent)
+                seen[param.name] = new_param
+                params.append(new_param)
+
+    body = Block()
+    for kernel in kernels:
+        body.stmts.extend(clone_stmt(kernel.body).stmts)  # type: ignore[attr-defined]
+
+    fused = KernelFunction(
+        fused_name or names[0],
+        params,
+        _fuse_block(body),
+        kernels[0].directives,
+    )
+
+    remaining: list[KernelFunction] = []
+    inserted = False
+    for kernel in module.kernels:
+        if kernel.name == names[0]:
+            remaining.append(fused)
+            inserted = True
+        elif kernel.name in names:
+            continue
+        else:
+            remaining.append(clone_kernel(kernel))
+    if not inserted:  # pragma: no cover - kernel() above already raised
+        raise ReorganizeError(f"kernel {names[0]!r} not found")
+    return Module(module.name, remaining)
+
+
+def split_loop(kernel: KernelFunction, loop_id: int) -> KernelFunction:
+    """Loop fission: split a top-level loop with a multi-statement body into
+    one loop per statement (the inverse of fusion, used in ablations)."""
+    out = clone_kernel(kernel)
+    new_stmts: list[Stmt] = []
+    for stmt in out.body.stmts:
+        if isinstance(stmt, For) and stmt.loop_id == loop_id and len(stmt.body) > 1:
+            for sub in stmt.body.stmts:
+                new_stmts.append(
+                    For(
+                        var=stmt.var,
+                        lower=stmt.lower,
+                        upper=stmt.upper,
+                        body=Block([clone_stmt(sub)]),
+                        step=stmt.step,
+                        directives=stmt.directives,
+                    )
+                )
+        else:
+            new_stmts.append(stmt)
+    out.body = Block(new_stmts)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# registered passes
+# ---------------------------------------------------------------------------
+
+from ..registry import PassNotApplicable, register_pass  # noqa: E402
+
+
+@register_pass(
+    "fuse-loops",
+    description="Fuse runs of adjacent top-level loops with identical "
+    "headers and no cross-loop dependence (the GE/BFS reorganization)",
+    tags=("generic",),
+    options=(),
+)
+def fuse_loops_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    return fuse_adjacent_loops(kernel)
+
+
+@register_pass(
+    "split-loop",
+    description="Loop fission: split a multi-statement top-level loop "
+    "into one loop per statement (inverse of fusion, used in ablations; "
+    "NOT semantics-preserving in general — fission reorders iterations)",
+    semantics_preserving=False,
+    tags=("generic",),
+    options=("loop_id",),
+)
+def split_loop_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    loop_id = ctx.option("loop_id")
+    if loop_id is None:
+        for stmt in kernel.body.stmts:
+            if isinstance(stmt, For) and len(stmt.body) > 1:
+                loop_id = stmt.loop_id
+                break
+        else:
+            raise PassNotApplicable("no multi-statement top-level loop")
+    return split_loop(kernel, loop_id)

@@ -1,0 +1,165 @@
+"""Step 4 of the systematic optimization method: tiling.
+
+``tile_loop`` strip-mines a loop into a (tile, intra-tile) pair — "a single
+for loop may be transformed into a nested loop" (paper section III-D) — and
+``tile_nest`` tiles a 2-deep perfect nest with interchange, the OpenACC 2.0
+``tile(a, b)`` clause semantics.
+
+Crucially, *OpenACC tiling does not introduce shared/local memory staging*:
+the tiled code still reads global memory (paper Fig. 1b).  The shared-memory
+variant (Fig. 1a) exists only in the hand-written CUDA/OpenCL kernel
+descriptions, which is why OpenACC tiling fails to improve performance in
+the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from ...ir.expr import Call, Var, add, as_expr, const, mul
+from ...ir.stmt import Block, For, KernelFunction, Stmt
+from ...ir.visitors import clone_kernel, clone_stmt
+
+
+class TileError(ValueError):
+    """Raised when a loop cannot be tiled as requested."""
+
+
+def tile_loop(loop: For, tile_size: int, tile_var: str | None = None) -> For:
+    """Strip-mine *loop* with the given tile size.
+
+    ``for (v = lo; v < hi; v += s)`` becomes::
+
+        for (vt = lo; vt < hi; vt += T*s)
+            for (v = vt; v < min(vt + T*s, hi); v += s)
+    """
+    if tile_size < 2:
+        raise TileError(f"tile size must be >= 2, got {tile_size}")
+    outer_var = tile_var or f"{loop.var}_t"
+    stride = tile_size * loop.step
+    inner = For(
+        var=loop.var,
+        lower=Var(outer_var),
+        upper=Call("min", (add(Var(outer_var), const(stride)), loop.upper)),
+        body=clone_stmt(loop.body),  # type: ignore[arg-type]
+        step=loop.step,
+        loop_id=loop.loop_id,
+    )
+    return For(
+        var=outer_var,
+        lower=loop.lower,
+        upper=loop.upper,
+        body=Block([inner]),
+        step=stride,
+        directives=loop.directives,
+    )
+
+
+def tile_nest(outer: For, sizes: tuple[int, int]) -> For:
+    """Tile a 2-deep perfect nest: strip-mine both loops and interchange so
+    the two tile loops are outermost (OpenACC 2.0 ``tile(a, b)``)."""
+    if len(outer.body.stmts) != 1 or not isinstance(outer.body.stmts[0], For):
+        raise TileError("tile_nest requires a 2-deep perfect nest")
+    inner = outer.body.stmts[0]
+    t_outer, t_inner = sizes
+    if t_outer < 2 or t_inner < 2:
+        raise TileError("tile sizes must be >= 2")
+
+    ov, iv = outer.var, inner.var
+    ot, it = f"{ov}_t", f"{iv}_t"
+
+    intra_inner = For(
+        var=iv,
+        lower=Var(it),
+        upper=Call("min", (add(Var(it), const(t_inner * inner.step)), inner.upper)),
+        body=clone_stmt(inner.body),  # type: ignore[arg-type]
+        step=inner.step,
+        loop_id=inner.loop_id,
+    )
+    intra_outer = For(
+        var=ov,
+        lower=Var(ot),
+        upper=Call("min", (add(Var(ot), const(t_outer * outer.step)), outer.upper)),
+        body=Block([intra_inner]),
+        step=outer.step,
+        loop_id=outer.loop_id,
+    )
+    tile_inner = For(
+        var=it,
+        lower=inner.lower,
+        upper=inner.upper,
+        body=Block([intra_outer]),
+        step=t_inner * inner.step,
+        directives=inner.directives,
+    )
+    return For(
+        var=ot,
+        lower=outer.lower,
+        upper=outer.upper,
+        body=Block([tile_inner]),
+        step=t_outer * outer.step,
+        directives=outer.directives,
+    )
+
+
+def tile_in_kernel(
+    kernel: KernelFunction,
+    loop_id: int,
+    sizes: int | tuple[int, int],
+) -> KernelFunction:
+    """Return a copy of *kernel* with the identified loop (or nest) tiled.
+
+    ``sizes`` — an int strip-mines the single loop; a pair tiles the 2-deep
+    nest rooted at the loop.
+    """
+    out = clone_kernel(kernel)
+    target = out.find_loop(loop_id)
+    if isinstance(sizes, tuple):
+        tiled = tile_nest(target, sizes)
+    else:
+        tiled = tile_loop(target, sizes)
+
+    def replace(stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            for i, child in enumerate(stmt.stmts):
+                if isinstance(child, For) and child.loop_id == loop_id:
+                    stmt.stmts[i] = tiled
+                else:
+                    replace(child)
+        else:
+            for child in stmt.children_stmts():
+                replace(child)
+
+    replace(out.body)
+    return out
+
+
+def nest_is_tileable(loop: For) -> bool:
+    """True if ``tile_nest`` would accept this loop."""
+    return len(loop.body.stmts) == 1 and isinstance(loop.body.stmts[0], For)
+
+
+# ---------------------------------------------------------------------------
+# registered pass
+# ---------------------------------------------------------------------------
+
+from ..registry import PassNotApplicable, register_pass  # noqa: E402
+
+
+@register_pass(
+    "tile",
+    description="Strip-mine a loop into a (tile, intra-tile) pair; with a "
+    "size pair, tile a 2-deep perfect nest with interchange (Step 4; the "
+    "caller asserts interchange legality, as with OpenACC `tile`)",
+    tags=("generic",),
+    options=("loop_id", "sizes"),
+)
+def tile_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    """Tile ``options["loop_id"]`` (default: the first loop, strip-mined
+    by ``options["sizes"]`` = 4 — strip-mining preserves iteration order
+    exactly, so the default is bitwise semantics-preserving)."""
+    loop_id = ctx.option("loop_id")
+    if loop_id is None:
+        loops = kernel.loops()
+        if not loops:
+            raise PassNotApplicable("kernel has no loops")
+        loop_id = loops[0].loop_id
+    return tile_in_kernel(kernel, loop_id, ctx.option("sizes", 4))

@@ -1,0 +1,143 @@
+"""The pass registry.
+
+Every IR transformation — the generic source-level optimizations of the
+paper's method *and* the per-compiler lowering steps — is registered here
+as a :class:`Pass`: a kernel-to-kernel function plus the metadata pass
+pipelines need to order, gate, and verify it.
+
+Metadata vocabulary (names refer to :mod:`repro.ir.verify` checks):
+
+``requires``
+    Checks that must hold on the input kernel.  A pipeline refuses to run
+    a pass whose requirements a previous pass invalidated.
+``preserves``
+    Checks the pass guarantees to keep intact (documentation of intent;
+    the verifier re-checks them anyway).
+``invalidates``
+    Checks that may legitimately stop holding after the pass.  The
+    canonical example: plain unrolling of a non-innermost loop clones the
+    nested loops — their ``loop_id`` is deliberately preserved across
+    clones (that is how transformation records refer to loops), so the
+    ``unique-loop-ids`` invariant no longer holds.  The pipeline skips
+    invalidated checks for the rest of the run instead of failing.
+``semantics_preserving``
+    The pass claims executor-observable behavior is unchanged — this is
+    what enrolls it in the auto-generated conformance battery
+    (``tests/passes/``): bit-exact execution pre/post on the difftest
+    corpus, racecheck equivalence, and verifier cleanliness.  Passes that
+    only record scheduling decisions (e.g. ``caps-distribute``) or attach
+    directives trivially qualify.
+
+Registration is import-time: importing :mod:`repro.passes` pulls in
+:mod:`repro.passes.library`, which registers everything.  A new pass
+added under ``library/`` inherits the entire test battery by registration
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ir.stmt import KernelFunction
+    from .context import PassContext
+
+#: signature of every registered pass function
+PassFn = Callable[["KernelFunction", "PassContext"], "KernelFunction"]
+
+
+class PassNotApplicable(Exception):
+    """The pass has no applicable site in this kernel.
+
+    Raised by a pass (not an error): pipelines treat it as a no-op, and
+    the conformance battery skips the (pass, corpus case) combination.
+    """
+
+
+class PassRegistryError(ValueError):
+    """Unknown pass name, or a duplicate registration."""
+
+
+@dataclass(frozen=True)
+class Pass:
+    """A registered pass: the function plus pipeline metadata."""
+
+    name: str
+    fn: PassFn
+    description: str
+    preserves: frozenset[str] = frozenset()
+    requires: frozenset[str] = frozenset()
+    invalidates: frozenset[str] = frozenset()
+    semantics_preserving: bool = True
+    #: free-form grouping labels ("generic", "caps", "pgi", "opencl")
+    tags: frozenset[str] = frozenset()
+    #: documented ``PassContext.options`` keys the pass reads
+    options: tuple[str, ...] = ()
+    #: option values the conformance battery supplies when exercising the
+    #: pass, e.g. ``(("force", True),)`` for passes gated on compiler
+    #: flags that a bare :class:`PassContext` leaves unset
+    conformance_options: tuple[tuple[str, object], ...] = ()
+
+    def __call__(self, kernel: "KernelFunction", ctx: "PassContext"
+                 ) -> "KernelFunction":
+        return self.fn(kernel, ctx)
+
+
+_REGISTRY: dict[str, Pass] = {}
+
+
+def register_pass(
+    name: str,
+    *,
+    description: str,
+    preserves: tuple[str, ...] = (),
+    requires: tuple[str, ...] = (),
+    invalidates: tuple[str, ...] = (),
+    semantics_preserving: bool = True,
+    tags: tuple[str, ...] = (),
+    options: tuple[str, ...] = (),
+    conformance_options: tuple[tuple[str, object], ...] = (),
+) -> Callable[[PassFn], PassFn]:
+    """Decorator registering ``fn(kernel, ctx) -> kernel`` as a pass."""
+
+    def decorate(fn: PassFn) -> PassFn:
+        if name in _REGISTRY:
+            raise PassRegistryError(f"pass {name!r} registered twice")
+        _REGISTRY[name] = Pass(
+            name=name,
+            fn=fn,
+            description=description,
+            preserves=frozenset(preserves),
+            requires=frozenset(requires),
+            invalidates=frozenset(invalidates),
+            semantics_preserving=semantics_preserving,
+            tags=frozenset(tags),
+            options=options,
+            conformance_options=conformance_options,
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_library_loaded() -> None:
+    from . import library  # noqa: F401  (import-time registration)
+
+
+def get_pass(name: str) -> Pass:
+    """Look up a registered pass by name."""
+    _ensure_library_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PassRegistryError(
+            f"unknown pass {name!r} (registered: {known})"
+        ) from None
+
+
+def all_passes() -> dict[str, Pass]:
+    """Name -> :class:`Pass` for every registered pass, sorted by name."""
+    _ensure_library_loaded()
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}

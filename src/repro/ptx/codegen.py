@@ -630,3 +630,62 @@ def empty_ptx(name: str) -> PtxKernel:
     out = PtxKernel(name)
     out.instructions.append(PtxInst("ret", ""))
     return out
+
+
+def stage_shared_ptx(
+    ptx: PtxKernel, staged: tuple[str, ...], rewrite_uses: bool = False
+) -> PtxKernel:
+    """Rewrite staged arrays' global loads into the shared-memory staging
+    pattern of paper Fig. 1a: a local-memory copy loop (ld.global +
+    st.shared + bar.sync) up front, then ld.shared at the use sites.
+
+    Used both by the hand-written OpenCL path (explicit ``__local``
+    tiles) and by the CAPS CUDA backend when honoring ``acc cache``
+    directives.  With ``rewrite_uses`` (the cache-directive path), base
+    registers loaded from staged parameters are taint-tracked through
+    address arithmetic (``cvta``/``add``) so the use-site ``ld.global``
+    through a derived register becomes ``ld.shared``; without it only
+    symbolic ``[%name...]`` operands are rewritten, matching the
+    hand-written OpenCL model's fingerprinted behaviour.
+    """
+    if not staged:
+        return ptx
+    staged_set = set(staged)
+    tainted: set[str] = set()
+    if rewrite_uses:
+        for inst in ptx.instructions:
+            if (inst.opcode == "ld.param" and len(inst.operands) == 2
+                    and inst.operands[1].strip("[]") in staged_set):
+                tainted.add(inst.operands[0])
+            elif (inst.operands and inst.operands[0].startswith("%rd")
+                    and any(op in tainted for op in inst.operands[1:])):
+                tainted.add(inst.operands[0])
+
+    staged_markers = {f"%{name}" for name in staged}
+
+    def _staged_address(operand: str) -> bool:
+        if any(marker in operand for marker in staged_markers):
+            return True
+        return any(part in tainted
+                   for part in operand.strip("[]").split("+"))
+
+    prologue: list[PtxInst] = []
+    rewritten: list[PtxInst] = []
+    for inst in ptx.instructions:
+        if inst.opcode == "ld.global" and any(
+            _staged_address(operand) for operand in inst.operands
+        ):
+            rewritten.append(PtxInst("ld.shared", inst.suffix, inst.operands))
+        else:
+            rewritten.append(inst)
+    for name in staged:
+        prologue.extend(
+            [
+                PtxInst("ld.global", "f32", ("%f_stage", f"[%{name}+%tid.x*4]")),
+                PtxInst("st.shared", "f32", (f"[%s_{name}+%tid.x*4]", "%f_stage")),
+            ]
+        )
+    if prologue:
+        prologue.append(PtxInst("bar.sync", "", ("0",)))
+    ptx.instructions = prologue + rewritten
+    return ptx

@@ -1,0 +1,33 @@
+"""Deprecation machinery for the ``repro.transforms`` shims.
+
+The transform implementations moved into :mod:`repro.passes.library`,
+where each is also registered as a pass (and thereby enrolled in the
+conformance battery of ``tests/passes/``).  The ``repro.transforms``
+modules remain as thin shims: every public function is the *same*
+implementation wrapped to emit a :class:`DeprecationWarning`, and every
+error class is re-exported identically, so old call sites keep working
+byte-for-byte (``tests/passes/test_transform_shims.py`` checks the
+equivalence).
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+
+def deprecated_alias(fn, old: str):
+    """Wrap *fn* to warn that *old* is a deprecated import path."""
+    new = f"{fn.__module__}.{fn.__name__}"
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"{old} is deprecated; import {new} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return fn(*args, **kwargs)
+
+    wrapper.__wrapped_pass_fn__ = fn
+    return wrapper

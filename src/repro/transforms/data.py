@@ -1,80 +1,18 @@
-"""Data-region directives — the paper's named future work.
+"""Deprecated shim — the implementation moved to
+:mod:`repro.passes.library.data` (registered as passes there).
 
-"We will improve the systematic optimization method, such as inserting the
-data region directives for data-intensive kernels" (section VII).  This
-pass attaches ``#pragma acc data`` clauses to a kernel so the runtime can
-hoist host<->device transfers out of the host iteration loop — the very
-traffic that made the parallel CAPS BFS lose to sequential PGI
-(Table VII / Fig. 10).
+Importing from here keeps working: functions are the same objects behind
+a :class:`DeprecationWarning` wrapper, error classes are re-exported
+identically.  New code should import from ``repro.passes.library.data``
+or run the registered passes through a pipeline.
 """
 
-from __future__ import annotations
+from ..passes.library import data as _impl
+from ._shim import deprecated_alias as _alias
 
-from ..ir.directives import AccData
-from ..ir.stmt import KernelFunction, Module
-from ..ir.types import ArrayType
-from ..ir.visitors import clone_kernel, clone_module, writes_and_reads
+DataRegionError = _impl.DataRegionError
 
-
-class DataRegionError(ValueError):
-    """Raised when a clause names a parameter the kernel does not have."""
-
-
-def add_data_region(
-    kernel: KernelFunction,
-    copy: tuple[str, ...] = (),
-    copyin: tuple[str, ...] = (),
-    copyout: tuple[str, ...] = (),
-    create: tuple[str, ...] = (),
-) -> KernelFunction:
-    """Return a copy of *kernel* with an ``acc data`` directive attached."""
-    out = clone_kernel(kernel)
-    arrays = {p.name for p in out.array_params}
-    for clause_name, names in (
-        ("copy", copy), ("copyin", copyin), ("copyout", copyout),
-        ("create", create),
-    ):
-        unknown = set(names) - arrays
-        if unknown:
-            raise DataRegionError(
-                f"data clause {clause_name}({', '.join(sorted(unknown))}) "
-                f"names arrays kernel {kernel.name!r} does not take"
-            )
-    out.directives = out.directives.with_added(
-        AccData(copy=copy, copyin=copyin, copyout=copyout, create=create)
-    )
-    return out
-
-
-def infer_data_region(kernel: KernelFunction) -> KernelFunction:
-    """Attach an inferred data region: read-only arrays become ``copyin``,
-    write-only arrays ``copyout``, read-write arrays ``copy``.
-
-    This is the mechanical version of what the paper's authors would have
-    inserted by hand.
-    """
-    writes, reads = writes_and_reads(kernel.body)
-    written = {ref.name for ref in writes}
-    read = {ref.name for ref in reads}
-    arrays = [p.name for p in kernel.params if isinstance(p.type, ArrayType)]
-    copy = tuple(a for a in arrays if a in written and a in read)
-    copyin = tuple(a for a in arrays if a in read and a not in written)
-    copyout = tuple(a for a in arrays if a in written and a not in read)
-    untouched = tuple(
-        a for a in arrays if a not in written and a not in read
-    )
-    return add_data_region(
-        kernel, copy=copy, copyin=copyin + untouched, copyout=copyout
-    )
-
-
-def has_data_region(kernel: KernelFunction) -> bool:
-    """Whether the kernel carries an ``acc data`` directive."""
-    return kernel.directives.first(AccData) is not None
-
-
-def add_data_regions(module: Module) -> Module:
-    """Infer and attach data regions for every kernel of *module*."""
-    out = clone_module(module)
-    out.kernels = [infer_data_region(kernel) for kernel in out.kernels]
-    return out
+add_data_region = _alias(_impl.add_data_region, "repro.transforms.data.add_data_region")
+add_data_regions = _alias(_impl.add_data_regions, "repro.transforms.data.add_data_regions")
+has_data_region = _alias(_impl.has_data_region, "repro.transforms.data.has_data_region")
+infer_data_region = _alias(_impl.infer_data_region, "repro.transforms.data.infer_data_region")

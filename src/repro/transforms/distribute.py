@@ -1,88 +1,17 @@
-"""Step 2 of the systematic optimization method: thread distribution.
+"""Deprecated shim — the implementation moved to
+:mod:`repro.passes.library.distribute` (registered as passes there).
 
-Two distribution mechanisms, mirroring paper section III-B:
-
-* **Gang mode** — explicit ``gang(n)``/``worker(n)`` clauses on a loop
-  (works for both CAPS and PGI source-wise, though PGI ignores the sizes
-  once ``independent`` is present — that quirk lives in the PGI compiler
-  model, not here; this module only edits the source).
-* **Gridify mode** — the CAPS-specific ``#pragma hmppcg blocksize WxH``
-  (or the ``-Xhmppcg -grid-block-size,WxH`` flag), applicable only when the
-  loop is marked ``independent``.
+Importing from here keeps working: functions are the same objects behind
+a :class:`DeprecationWarning` wrapper, error classes are re-exported
+identically.  New code should import from ``repro.passes.library.distribute``
+or run the registered passes through a pipeline.
 """
 
-from __future__ import annotations
+from ..passes.library import distribute as _impl
+from ._shim import deprecated_alias as _alias
 
-import dataclasses
+DistributionError = _impl.DistributionError
 
-from ..ir.directives import AccLoop, HmppBlocksize
-from ..ir.stmt import KernelFunction
-from ..ir.visitors import clone_kernel
-from .independent import is_independent
-
-
-class DistributionError(ValueError):
-    """Raised when a distribution request is not applicable."""
-
-
-def set_gang_worker(
-    kernel: KernelFunction,
-    loop_id: int,
-    gang: int | None = None,
-    worker: int | None = None,
-    vector: int | None = None,
-) -> KernelFunction:
-    """Attach ``gang(n) worker(m) [vector(k)]`` clauses to one loop."""
-    if gang is not None and gang < 1:
-        raise DistributionError(f"gang must be >= 1, got {gang}")
-    if worker is not None and worker < 1:
-        raise DistributionError(f"worker must be >= 1, got {worker}")
-    out = clone_kernel(kernel)
-    loop = out.find_loop(loop_id)
-    existing = loop.directives.first(AccLoop) or AccLoop()
-    loop.directives = loop.directives.with_replaced(
-        AccLoop,
-        dataclasses.replace(
-            existing,  # type: ignore[arg-type]
-            gang=gang if gang is not None else existing.gang,  # type: ignore[union-attr]
-            worker=worker if worker is not None else existing.worker,  # type: ignore[union-attr]
-            vector=vector if vector is not None else existing.vector,  # type: ignore[union-attr]
-        ),
-    )
-    return out
-
-
-def set_gridify_blocksize(
-    kernel: KernelFunction, loop_id: int, x: int = 32, y: int = 4
-) -> KernelFunction:
-    """Attach the CAPS Gridify block size to an *independent* loop.
-
-    The paper (III-B): "Gridify ... can be only applied when the
-    independent directives are added."
-    """
-    out = clone_kernel(kernel)
-    loop = out.find_loop(loop_id)
-    if not is_independent(loop):
-        raise DistributionError(
-            "Gridify mode requires the loop to be marked independent "
-            f"(loop over {loop.var!r} is not)"
-        )
-    loop.directives = loop.directives.with_replaced(HmppBlocksize, HmppBlocksize(x, y))
-    return out
-
-
-def clear_distribution(kernel: KernelFunction, loop_id: int) -> KernelFunction:
-    """Remove any explicit gang/worker sizes from a loop (keep independence)."""
-    out = clone_kernel(kernel)
-    loop = out.find_loop(loop_id)
-    existing = loop.directives.first(AccLoop)
-    if existing is not None:
-        loop.directives = loop.directives.with_replaced(
-            AccLoop,
-            dataclasses.replace(
-                existing, gang=None, worker=None, vector=None,  # type: ignore[arg-type]
-                gang_auto=False, worker_auto=False,
-            ),
-        )
-    loop.directives = loop.directives.without(HmppBlocksize)
-    return out
+clear_distribution = _alias(_impl.clear_distribution, "repro.transforms.distribute.clear_distribution")
+set_gang_worker = _alias(_impl.set_gang_worker, "repro.transforms.distribute.set_gang_worker")
+set_gridify_blocksize = _alias(_impl.set_gridify_blocksize, "repro.transforms.distribute.set_gridify_blocksize")

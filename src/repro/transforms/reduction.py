@@ -1,57 +1,15 @@
-"""The reduction optimization used for Back Propagation (paper V-D2).
+"""Deprecated shim — the implementation moved to
+:mod:`repro.passes.library.reduction` (registered as passes there).
 
-``add_reduction`` attaches ``reduction(op:var)`` to an inner loop whose
-body the dependence analysis recognizes as a scalar reduction, mirroring
-"we insert the reduction directive #pragma acc parallel reduction to the
-inner loops".
+Importing from here keeps working: functions are the same objects behind
+a :class:`DeprecationWarning` wrapper, error classes are re-exported
+identically.  New code should import from ``repro.passes.library.reduction``
+or run the registered passes through a pipeline.
 """
 
-from __future__ import annotations
+from ..passes.library import reduction as _impl
+from ._shim import deprecated_alias as _alias
 
-import dataclasses
+ReductionError = _impl.ReductionError
 
-from ..analysis.dependence import analyze_loop
-from ..ir.directives import AccLoop, ReductionClause
-from ..ir.stmt import KernelFunction
-from ..ir.visitors import clone_kernel
-
-
-class ReductionError(ValueError):
-    """Raised when the target loop is not a recognizable reduction."""
-
-
-def add_reduction(
-    kernel: KernelFunction, loop_id: int, var: str | None = None
-) -> KernelFunction:
-    """Return a copy of *kernel* with a reduction clause on the given loop.
-
-    If *var* is omitted the (single) recognized reduction scalar is used;
-    it is an error if the loop has none or several.
-    """
-    out = clone_kernel(kernel)
-    loop = out.find_loop(loop_id)
-    report = analyze_loop(loop)
-    candidates = {r.var: r for r in report.reductions}
-    if var is None:
-        if len(candidates) != 1:
-            raise ReductionError(
-                f"loop over {loop.var!r} has {len(candidates)} reduction "
-                "candidates; specify var explicitly"
-            )
-        info = next(iter(candidates.values()))
-    else:
-        if var not in candidates:
-            raise ReductionError(
-                f"scalar {var!r} is not a recognized reduction in the loop "
-                f"over {loop.var!r} (candidates: {sorted(candidates) or 'none'})"
-            )
-        info = candidates[var]
-
-    existing = loop.directives.first(AccLoop) or AccLoop()
-    loop.directives = loop.directives.with_replaced(
-        AccLoop,
-        dataclasses.replace(
-            existing, reduction=ReductionClause(info.op, info.var)  # type: ignore[arg-type]
-        ),
-    )
-    return out
+add_reduction = _alias(_impl.add_reduction, "repro.transforms.reduction.add_reduction")

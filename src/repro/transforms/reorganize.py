@@ -1,147 +1,17 @@
-"""Loop reorganization — the auxiliary optimization used for GE and BFS.
+"""Deprecated shim — the implementation moved to
+:mod:`repro.passes.library.reorganize` (registered as passes there).
 
-The paper (section V-B1) reorganizes the Gaussian Elimination OpenACC
-version "which can turn three kernel loops into two", and (V-C2) regroups
-the BFS loops "to make the OpenACC versions have the same structure as the
-OpenCL version".  Mechanically these are *loop fusion* (merging adjacent
-compatible loops) and *kernel fusion* (merging adjacent kernels of a
-module).
+Importing from here keeps working: functions are the same objects behind
+a :class:`DeprecationWarning` wrapper, error classes are re-exported
+identically.  New code should import from ``repro.passes.library.reorganize``
+or run the registered passes through a pipeline.
 """
 
-from __future__ import annotations
+from ..passes.library import reorganize as _impl
+from ._shim import deprecated_alias as _alias
 
-from ..ir.stmt import Block, For, KernelFunction, Module, Param, Stmt
-from ..ir.visitors import clone_kernel, clone_stmt
+ReorganizeError = _impl.ReorganizeError
 
-
-class ReorganizeError(ValueError):
-    """Raised when a requested fusion is not structurally possible."""
-
-
-def _fusable(a: For, b: For) -> bool:
-    return (
-        a.var == b.var
-        and a.step == b.step
-        and a.lower == b.lower
-        and a.upper == b.upper
-    )
-
-
-def fuse_adjacent_loops(kernel: KernelFunction) -> KernelFunction:
-    """Fuse every run of adjacent top-level loops with identical headers.
-
-    The caller is responsible for legality (the paper's reorganizations are
-    hand-verified); directives of the *first* loop of each run are kept.
-    """
-    out = clone_kernel(kernel)
-    out.body = _fuse_block(out.body)
-    return out
-
-
-def _fuse_block(block: Block) -> Block:
-    """Fuse runs of top-level loops with identical headers.
-
-    Initializer-less declarations (loop-index ``int i;`` lines) are
-    transparent: they are hoisted (deduplicated by name) so they never
-    break a fusable run.
-    """
-    from ..ir.stmt import Decl
-
-    decls: list[Decl] = []
-    seen_decls: set[str] = set()
-    fused: list[Stmt] = []
-    for stmt in block.stmts:
-        if isinstance(stmt, Decl) and stmt.init is None:
-            if stmt.name not in seen_decls:
-                seen_decls.add(stmt.name)
-                decls.append(stmt)
-            continue
-        if (
-            isinstance(stmt, For)
-            and fused
-            and isinstance(fused[-1], For)
-            and _fusable(fused[-1], stmt)
-        ):
-            prev = fused[-1]
-            assert isinstance(prev, For)
-            prev.body.stmts.extend(clone_stmt(stmt.body).stmts)  # type: ignore[attr-defined]
-        else:
-            fused.append(stmt)
-    return Block([*decls, *fused])
-
-
-def fuse_kernels(
-    module: Module, names: list[str], fused_name: str | None = None
-) -> Module:
-    """Merge the named kernels of *module* into one kernel (in order).
-
-    Parameters are united by name; a parameter appearing in several kernels
-    must have a consistent type.  The fused kernel replaces the first named
-    kernel in the module order; the others are removed.
-    """
-    if len(names) < 2:
-        raise ReorganizeError("fusing requires at least two kernel names")
-    kernels = [module.kernel(name) for name in names]
-
-    params: list[Param] = []
-    seen: dict[str, Param] = {}
-    for kernel in kernels:
-        for param in kernel.params:
-            if param.name in seen:
-                if seen[param.name].type != param.type:
-                    raise ReorganizeError(
-                        f"parameter {param.name!r} has conflicting types across kernels"
-                    )
-            else:
-                new_param = Param(param.name, param.type, param.intent)
-                seen[param.name] = new_param
-                params.append(new_param)
-
-    body = Block()
-    for kernel in kernels:
-        body.stmts.extend(clone_stmt(kernel.body).stmts)  # type: ignore[attr-defined]
-
-    fused = KernelFunction(
-        fused_name or names[0],
-        params,
-        _fuse_block(body),
-        kernels[0].directives,
-    )
-
-    remaining: list[KernelFunction] = []
-    inserted = False
-    for kernel in module.kernels:
-        if kernel.name == names[0]:
-            remaining.append(fused)
-            inserted = True
-        elif kernel.name in names:
-            continue
-        else:
-            remaining.append(clone_kernel(kernel))
-    if not inserted:  # pragma: no cover - kernel() above already raised
-        raise ReorganizeError(f"kernel {names[0]!r} not found")
-    return Module(module.name, remaining)
-
-
-def split_loop(kernel: KernelFunction, loop_id: int) -> KernelFunction:
-    """Loop fission: split a top-level loop with a multi-statement body into
-    one loop per statement (the inverse of fusion, used in ablations)."""
-    out = clone_kernel(kernel)
-    new_stmts: list[Stmt] = []
-    for stmt in out.body.stmts:
-        if isinstance(stmt, For) and stmt.loop_id == loop_id and len(stmt.body) > 1:
-            for sub in stmt.body.stmts:
-                new_stmts.append(
-                    For(
-                        var=stmt.var,
-                        lower=stmt.lower,
-                        upper=stmt.upper,
-                        body=Block([clone_stmt(sub)]),
-                        step=stmt.step,
-                        directives=stmt.directives,
-                    )
-                )
-        else:
-            new_stmts.append(stmt)
-    out.body = Block(new_stmts)
-    return out
+fuse_adjacent_loops = _alias(_impl.fuse_adjacent_loops, "repro.transforms.reorganize.fuse_adjacent_loops")
+fuse_kernels = _alias(_impl.fuse_kernels, "repro.transforms.reorganize.fuse_kernels")
+split_loop = _alias(_impl.split_loop, "repro.transforms.reorganize.split_loop")

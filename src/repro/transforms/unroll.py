@@ -1,135 +1,16 @@
-"""Step 3 of the systematic optimization method: loop unrolling.
+"""Deprecated shim — the implementation moved to
+:mod:`repro.passes.library.unroll` (registered as passes there).
 
-``unroll_loop`` performs real IR-level unrolling (with tail guards for
-non-divisible trip counts) and optional *jam* — the CAPS
-``#pragma hmppcg unroll(n), jam`` semantics from paper section III-C.
-
-The transformed IR is what the PTX generator sees, so unrolling visibly
-multiplies static instruction counts (paper Fig. 6: "Unrolling loops
-increases the PTX instructions in different categories for CAPS as
-expected").
+Importing from here keeps working: functions are the same objects behind
+a :class:`DeprecationWarning` wrapper, error classes are re-exported
+identically.  New code should import from ``repro.passes.library.unroll``
+or run the registered passes through a pipeline.
 """
 
-from __future__ import annotations
+from ..passes.library import unroll as _impl
+from ._shim import deprecated_alias as _alias
 
-from ..ir.expr import BinOp, IntLit, Var, add, const
-from ..ir.stmt import Block, For, If, KernelFunction, Stmt
-from ..ir.visitors import clone_kernel, clone_stmt, substitute_in_stmt
+UnrollError = _impl.UnrollError
 
-
-class UnrollError(ValueError):
-    """Raised when a loop cannot be unrolled as requested."""
-
-
-def _shifted_body(loop: For, k: int) -> Block:
-    """The loop body with the induction variable shifted by ``k * step``."""
-    if k == 0:
-        return clone_stmt(loop.body)  # type: ignore[return-value]
-    shift = add(Var(loop.var), const(k * loop.step))
-    return substitute_in_stmt(loop.body, {loop.var: shift})  # type: ignore[return-value]
-
-
-def _guard(loop: For, k: int, body: Block) -> Stmt:
-    """Wrap *body* in ``if (var + k*step < upper)`` for tail correctness."""
-    cond = BinOp("<", add(Var(loop.var), const(k * loop.step)), loop.upper)
-    return If(cond, body)
-
-
-def _bounds_match(a: For, b: For) -> bool:
-    return (
-        a.var == b.var
-        and a.step == b.step
-        and a.lower == b.lower
-        and a.upper == b.upper
-    )
-
-
-def unroll_loop(loop: For, factor: int, jam: bool = False) -> For:
-    """Unroll *loop* by *factor*; with ``jam``, fuse the unrolled copies of
-    a singly-nested inner loop back into one inner loop.
-
-    Tail iterations are handled with guards, so the transformation is
-    semantics-preserving for every trip count (property-tested).
-    """
-    if factor < 2:
-        raise UnrollError(f"unroll factor must be >= 2, got {factor}")
-
-    copies = [_shifted_body(loop, k) for k in range(factor)]
-
-    body_is_single_inner_loop = (
-        len(loop.body.stmts) == 1 and isinstance(loop.body.stmts[0], For)
-    )
-
-    if jam and body_is_single_inner_loop:
-        inners = [copy.stmts[0] for copy in copies]
-        assert all(isinstance(inner, For) for inner in inners)
-        if all(_bounds_match(inners[0], inner) for inner in inners[1:]):  # type: ignore[arg-type]
-            # jam: one inner loop whose body holds all outer copies
-            jammed_body = Block()
-            for k, inner in enumerate(inners):
-                assert isinstance(inner, For)
-                if k == 0:
-                    jammed_body.stmts.extend(inner.body.stmts)
-                else:
-                    jammed_body.stmts.append(_guard(loop, k, inner.body))
-            template = inners[0]
-            assert isinstance(template, For)
-            new_inner = For(
-                var=template.var,
-                lower=template.lower,
-                upper=template.upper,
-                body=jammed_body,
-                step=template.step,
-                directives=template.directives,
-                loop_id=template.loop_id,
-            )
-            new_body = Block([new_inner])
-        else:
-            # bounds depend on the outer variable: jam is not legal, fall
-            # back to plain unrolling (what CAPS silently does)
-            new_body = _plain_unrolled_body(loop, copies)
-    else:
-        new_body = _plain_unrolled_body(loop, copies)
-
-    return For(
-        var=loop.var,
-        lower=loop.lower,
-        upper=loop.upper,
-        body=new_body,
-        step=loop.step * factor,
-        directives=loop.directives,
-        loop_id=loop.loop_id,
-    )
-
-
-def _plain_unrolled_body(loop: For, copies: list[Block]) -> Block:
-    body = Block()
-    for k, copy in enumerate(copies):
-        if k == 0:
-            body.stmts.extend(copy.stmts)
-        else:
-            body.stmts.append(_guard(loop, k, copy))
-    return body
-
-
-def unroll_in_kernel(
-    kernel: KernelFunction, loop_id: int, factor: int, jam: bool = False
-) -> KernelFunction:
-    """Return a copy of *kernel* with the identified loop unrolled."""
-    out = clone_kernel(kernel)
-    target = out.find_loop(loop_id)  # raises KeyError if absent
-    unrolled = unroll_loop(target, factor, jam)
-
-    def replace(stmt: Stmt) -> None:
-        if isinstance(stmt, Block):
-            for i, child in enumerate(stmt.stmts):
-                if isinstance(child, For) and child.loop_id == loop_id:
-                    stmt.stmts[i] = unrolled
-                else:
-                    replace(child)
-        else:
-            for child in stmt.children_stmts():
-                replace(child)
-
-    replace(out.body)
-    return out
+unroll_in_kernel = _alias(_impl.unroll_in_kernel, "repro.transforms.unroll.unroll_in_kernel")
+unroll_loop = _alias(_impl.unroll_loop, "repro.transforms.unroll.unroll_loop")

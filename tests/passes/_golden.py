@@ -1,0 +1,90 @@
+"""Golden artifact fingerprints of the compiler models.
+
+The pass-manager refactor (ISSUE 7) must keep every compiled artifact
+byte-identical for the existing transform set.  This module collects the
+canonical :func:`repro.server.artifact_signature` of
+
+* the full Fig. 4 LUD thread-distribution grid (72 points, CAPS/CUDA),
+* every benchmark stage through every (compiler, target) pair of the
+  paper's matrix — CAPS/CUDA, CAPS/OpenCL, PGI/CUDA — with documented
+  refusals recorded as structured error strings, and
+* every hand-written OpenCL program on GPU and MIC,
+
+hashed to SHA-256 per artifact.  ``golden_fingerprints.json`` was
+generated from the pre-refactor tree (``python tests/passes/_golden.py``)
+and is compared against the pipeline-compiled artifacts by
+``test_golden_fingerprints.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_fingerprints.json"
+
+#: the paper's OpenACC compiler/target matrix (PGI's missing OpenCL
+#: backend is itself a documented behaviour, captured as an error entry)
+ACC_PAIRS = (("caps", "cuda"), ("caps", "opencl"), ("pgi", "cuda"))
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def collect_signatures() -> dict[str, str]:
+    """Every golden artifact key -> sha256(artifact signature)."""
+    from repro.compilers.framework import CompilationError
+    from repro.compilers.opencl import compile_opencl
+    from repro.core.method import compile_stage
+    from repro.kernels import BENCHMARKS, get_benchmark
+    from repro.server import artifact_signature, fig4_requests
+    from repro.service import CompileService, JobError
+
+    out: dict[str, str] = {}
+
+    # -- the Fig. 4 grid, swept through the service ------------------------
+    service = CompileService()
+    requests = fig4_requests()
+    for request, slot in zip(requests, service.sweep(requests)):
+        assert not isinstance(slot, JobError), slot
+        out[f"fig4/{request.label}"] = _sha(artifact_signature(slot))
+
+    # -- every benchmark stage x compiler/target ---------------------------
+    for name in sorted(BENCHMARKS):
+        benchmark = get_benchmark(name)
+        for stage, module in benchmark.stages().items():
+            for compiler, target in ACC_PAIRS:
+                key = f"{name}/{stage}/{compiler}-{target}"
+                try:
+                    result = compile_stage(module, compiler, target)
+                except CompilationError as exc:
+                    out[key] = _sha(f"compile-error|{exc}")
+                    continue
+                out[key] = _sha(artifact_signature(result))
+        program = benchmark.opencl_program()
+        if program is not None:
+            for device in ("gpu", "mic"):
+                result = compile_opencl(program, device)
+                out[f"{name}/opencl/{device}"] = _sha(
+                    artifact_signature(result)
+                )
+    return out
+
+
+def load_golden() -> dict[str, str]:
+    with GOLDEN_PATH.open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main() -> None:
+    signatures = collect_signatures()
+    with GOLDEN_PATH.open("w", encoding="utf-8") as fh:
+        json.dump(signatures, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(signatures)} golden fingerprints to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

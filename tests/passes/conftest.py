@@ -1,0 +1,26 @@
+"""Shared fixtures for the pass-conformance battery.
+
+The battery is *generic*: it iterates over every pass in the registry
+(``repro.passes.all_passes()``), so a new pass registered under
+``repro.passes.library`` inherits every check here with zero new test
+code.  The corpus is the difftest fuzzer's 50-seed corpus — the same
+seeds the cross-compiler differential suite uses.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.difftest.generator import GeneratedCase, generate_case
+
+#: the standing difftest corpus (see tests/test_property_based.py)
+CORPUS_SEEDS = tuple(range(50))
+#: tier-1 subset; the rest runs under the slow marker
+FAST_SEEDS = CORPUS_SEEDS[:12]
+SLOW_SEEDS = CORPUS_SEEDS[len(FAST_SEEDS):]
+
+
+@lru_cache(maxsize=None)
+def corpus_case(seed: int) -> GeneratedCase:
+    """The (deterministic) corpus entry for *seed*, cached per session."""
+    return generate_case(seed)

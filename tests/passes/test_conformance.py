@@ -1,0 +1,213 @@
+"""The generic pass-conformance battery.
+
+For EVERY registered pass and every corpus case, running the pass through
+a single-pass :class:`~repro.passes.Pipeline` (verifier enabled) must:
+
+1. **verify clean** — introduce no IR violations (the pipeline raises a
+   pass-attributed :class:`~repro.ir.verify.VerifyError` otherwise);
+2. **not mutate its input** — the input kernel's fingerprint is unchanged;
+3. **racecheck clean** — introduce no new static race warnings
+   (differential: warnings already present on the adversarial fuzzer
+   input are baselined away);
+4. **bit-exact execution** — for passes registered
+   ``semantics_preserving=True`` that actually transformed the kernel,
+   executing the original and the transformed kernel on identical
+   deterministic inputs yields byte-identical arrays.  Execution uses
+   the ``check`` backend, which itself cross-checks the scalar and
+   vectorizing executors bit-for-bit — so one run covers both backends.
+
+A pass raising :class:`~repro.passes.PassNotApplicable` on a case is a
+no-op there (still checked for 1-3).  Passes gated on compiler flags
+declare ``conformance_options`` (e.g. ``pgi-munroll``'s ``force=True``)
+so the battery exercises them anyway.
+
+New passes inherit all of this by registration alone — there is nothing
+pass-specific in this file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.difftest.generator import make_inputs
+from repro.difftest.racecheck import lint_kernel
+from repro.passes import PassContext, Pipeline, all_passes, get_pass
+from repro.runtime.executor import execute_kernel
+from repro.service.fingerprint import fingerprint_kernel
+
+from tests.passes.conftest import (
+    CORPUS_SEEDS,
+    FAST_SEEDS,
+    SLOW_SEEDS,
+    corpus_case,
+)
+
+PASS_NAMES = tuple(sorted(all_passes()))
+
+
+def _warning_keys(kernel):
+    # keyed by (kind, kernel), not loop id/var: transforms legitimately
+    # rename or clone loops (tile's `i` -> `i_t`), which would make a
+    # pre-existing adversarial warning look "introduced"
+    return {(w.kind, w.kernel) for w in lint_kernel(kernel)}
+
+
+def _excused_kinds(kernel):
+    """Warning kinds the *input* already had the ingredients for.
+
+    The fuzzer adversarially mis-labels loops (`independent` on a
+    reduction loop, fake reduction clauses); a transform that moves such
+    a directive onto a restructured loop merely *surfaces* the
+    pre-existing lie where the linter's vocabulary notices it.  Only a
+    warning whose triggering directive kind did not exist on the input
+    is blamed on the pass.
+    """
+    from repro.ir.directives import AccLoop
+
+    excused = set()
+    for loop in kernel.loops():
+        acc = loop.directives.first(AccLoop)
+        if acc is None:
+            continue
+        if acc.independent:
+            excused.add("independent-dependence")
+        if acc.reduction is not None:
+            excused.add("reduction-mismatch")
+    return excused
+
+
+def run_battery(pass_name: str, seed: int) -> int:
+    """Run the full battery for one (pass, corpus case); return the number
+    of kernels the pass actually transformed."""
+    info = get_pass(pass_name)
+    case = corpus_case(seed)
+    pipeline = Pipeline(f"conformance/{pass_name}", (pass_name,))
+    transformed = 0
+    for kernel in case.module.kernels:
+        before = fingerprint_kernel(kernel)
+        baseline_warnings = _warning_keys(kernel)
+
+        ctx = PassContext(options=dict(info.conformance_options))
+        out = pipeline.run(kernel, ctx)  # (1) differential verify inside
+
+        # (2) the input kernel object is never mutated
+        assert fingerprint_kernel(kernel) == before, (
+            f"{pass_name} mutated its input kernel on seed {seed}"
+        )
+
+        # (3) no new static race warnings — only semantics-preserving
+        # passes promise this; split-loop & co. legitimately change
+        # parallel semantics (that is why they are registered unsafe)
+        if info.semantics_preserving:
+            excused = _excused_kinds(kernel)
+            introduced = {
+                key for key in _warning_keys(out) - baseline_warnings
+                if key[0] not in excused
+            }
+            assert not introduced, (
+                f"{pass_name} introduced race warnings on seed {seed}: "
+                f"{sorted(introduced)}"
+            )
+
+        if fingerprint_kernel(out) == before:
+            continue  # no-op on this kernel; nothing to execute
+        transformed += 1
+
+        # (4) bit-exact execution, scalar AND vector via the check backend
+        if not info.semantics_preserving:
+            continue
+        extents = case.extents[kernel.name]
+        ref_args = make_inputs(kernel, extents, case.tag)
+        new_args = make_inputs(kernel, extents, case.tag)
+        execute_kernel(kernel, ref_args, backend="check")
+        execute_kernel(out, new_args, backend="check")
+        for name, ref in ref_args.items():
+            if isinstance(ref, np.ndarray):
+                assert ref.tobytes() == new_args[name].tobytes(), (
+                    f"{pass_name} changed the value of {name!r} "
+                    f"on seed {seed}"
+                )
+    return transformed
+
+
+@pytest.mark.parametrize("pass_name", PASS_NAMES)
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_pass_conformance_fast(pass_name, seed):
+    run_battery(pass_name, seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("pass_name", PASS_NAMES)
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_pass_conformance_full_corpus(pass_name, seed):
+    run_battery(pass_name, seed)
+
+
+@pytest.mark.parametrize("pass_name", ("shared-tile", "fuse-reuse"))
+def test_new_passes_apply_on_corpus(pass_name):
+    """The acceptance battery is not vacuous: each of the two new passes
+    actually transforms at least one corpus kernel.  ``fuse-reuse``
+    applies all over the fast subset; a provably permutable perfect nest
+    is rare in fuzzed code, so ``shared-tile`` scans the whole corpus."""
+    seeds = FAST_SEEDS if pass_name == "fuse-reuse" else CORPUS_SEEDS
+    applied = 0
+    for seed in seeds:
+        applied += run_battery(pass_name, seed)
+        if applied:
+            break
+    assert applied > 0, f"{pass_name} never applied on {len(seeds)} seeds"
+
+
+#: paper Fig. 1 shape: an element-wise 2-deep perfect nest whose inner
+#: iterations reuse the read-only arrays `a` and `b`
+_FIG1_NEST = """
+void saxpy2d(float *c, const float *a, const float *b, int n, int m) {
+    int i; int j;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < m; j++)
+            c[i * m + j] = a[i * m + j] * 2.0f + b[i * m + j];
+}
+"""
+
+
+def test_shared_tile_stages_readonly_arrays():
+    """On a Fig.-1-style nest, shared-tile tiles with interchange AND
+    attaches `acc cache(a, b)`; execution stays bit-exact and the CAPS
+    backend lowers the directive to shared-memory PTX staging."""
+    from repro.core.method import compile_stage
+    from repro.frontend import parse_kernel
+    from repro.ir.directives import AccCache
+    from repro.ir.stmt import Module
+
+    kernel = parse_kernel(_FIG1_NEST)
+    out = Pipeline("t", ("shared-tile",)).run(kernel, PassContext())
+
+    cached = [loop.directives.first(AccCache) for loop in out.loops()]
+    cached = [d for d in cached if d is not None]
+    assert [d.arrays for d in cached] == [("a", "b")]
+
+    extents = {"c": 96, "a": 96, "b": 96}
+    ref_args = make_inputs(kernel, extents, "fig1")
+    new_args = make_inputs(kernel, extents, "fig1")
+    ref_args["n"] = new_args["n"] = 8
+    ref_args["m"] = new_args["m"] = 12
+    execute_kernel(kernel, ref_args, backend="check")
+    execute_kernel(out, new_args, backend="check")
+    assert ref_args["c"].tobytes() == new_args["c"].tobytes()
+
+    result = compile_stage(Module("fig1", [out]), "caps", "cuda")
+    compiled = result.kernels[0]
+    assert compiled.shared_staged == ("a", "b")
+    assert compiled.traffic_reuse == 0.5
+    assert any("Cache directive honored: a, b staged in shared memory"
+               in msg for msg in compiled.messages)
+    ptx_text = "\n".join(str(line) for line in compiled.ptx.instructions)
+    assert "ld.shared" in ptx_text and "bar.sync" in ptx_text
+
+
+def test_every_pass_has_metadata():
+    """Registration hygiene: every pass carries a description and a tag."""
+    for name, info in all_passes().items():
+        assert info.description, f"pass {name} has no description"
+        assert info.tags, f"pass {name} has no tags"

@@ -1,0 +1,35 @@
+"""The pass-manager refactor keeps every compiled artifact byte-identical.
+
+``golden_fingerprints.json`` holds sha256 fingerprints of every artifact
+the pre-refactor compilers produced: the full Fig. 4 LUD grid (72
+points through the compile service), every benchmark stage through every
+(compiler, target) pair of the paper's matrix, and the hand-written
+OpenCL programs on GPU and MIC — 137 artifacts in total, documented
+refusals included.  The declarative pass pipelines must reproduce all of
+them exactly (ISSUE 7 acceptance).
+
+Regenerate (only after an *intentional* artifact change) with::
+
+    PYTHONPATH=src python tests/passes/_golden.py
+"""
+
+from __future__ import annotations
+
+from tests.passes._golden import collect_signatures, load_golden
+
+
+def test_artifacts_match_pre_refactor_goldens():
+    golden = load_golden()
+    current = collect_signatures()
+
+    missing = sorted(set(golden) - set(current))
+    extra = sorted(set(current) - set(golden))
+    assert not missing, f"artifacts no longer produced: {missing[:10]}"
+    assert not extra, f"unexpected new artifacts: {extra[:10]}"
+
+    changed = sorted(k for k in golden if current[k] != golden[k])
+    assert not changed, (
+        f"{len(changed)}/{len(golden)} artifacts changed vs the "
+        f"pre-refactor tree, e.g. {changed[:10]}"
+    )
+    assert len(golden) == 137  # the grid is complete, not silently shrunk

@@ -1,0 +1,49 @@
+"""Printer/parser round-trip property (ISSUE 7, satellite 2).
+
+For every module the repo can produce — the 50-seed difftest corpus and
+every benchmark stage module under ``src/repro/kernels/`` — printing to
+C-with-pragmas and re-parsing must reproduce every kernel exactly
+(fingerprint-identical, directives included).  The printed form is the
+debugging/exchange format for pass pipelines, so information silently
+dropped or mangled there would falsify any triage done on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import parse_module
+from repro.ir import print_module
+from repro.kernels import BENCHMARKS, get_benchmark
+from repro.service.fingerprint import fingerprint_kernel
+
+from tests.passes.conftest import CORPUS_SEEDS, corpus_case
+
+
+def _assert_roundtrip(module):
+    printed = print_module(module)
+    back = parse_module(printed, module.name)
+    assert [k.name for k in back.kernels] == [k.name for k in module.kernels]
+    for original, reparsed in zip(module.kernels, back.kernels):
+        assert fingerprint_kernel(reparsed) == fingerprint_kernel(original), (
+            f"kernel {original.name!r} does not survive print->parse"
+        )
+    # printing is a pure function of the IR: a second trip is identical
+    assert print_module(back) == printed
+
+
+@pytest.mark.parametrize("seed", CORPUS_SEEDS)
+def test_corpus_roundtrip(seed):
+    _assert_roundtrip(corpus_case(seed).module)
+
+
+@pytest.mark.parametrize(
+    "name,stage",
+    [
+        (name, stage)
+        for name in sorted(BENCHMARKS)
+        for stage in sorted(get_benchmark(name).stages())
+    ],
+)
+def test_benchmark_stage_roundtrip(name, stage):
+    _assert_roundtrip(get_benchmark(name).stages()[stage])

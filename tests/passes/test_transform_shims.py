@@ -1,0 +1,103 @@
+"""The ``repro.transforms`` deprecation shims (ISSUE 7, satellite 6).
+
+Every public function of the legacy ``repro.transforms.*`` modules is
+now a thin wrapper over the SAME implementation living in
+``repro.passes.library.*``: it must emit a :class:`DeprecationWarning`
+naming the new import path, behave identically, and re-export error
+classes as the *same* objects (so existing ``except`` clauses keep
+matching).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.passes.library.data as new_data
+import repro.passes.library.distribute as new_distribute
+import repro.passes.library.independent as new_independent
+import repro.passes.library.reduction as new_reduction
+import repro.passes.library.reorganize as new_reorganize
+import repro.passes.library.tile as new_tile
+import repro.passes.library.unroll as new_unroll
+import repro.transforms.data as old_data
+import repro.transforms.distribute as old_distribute
+import repro.transforms.independent as old_independent
+import repro.transforms.reduction as old_reduction
+import repro.transforms.reorganize as old_reorganize
+import repro.transforms.tile as old_tile
+import repro.transforms.unroll as old_unroll
+from repro.frontend import parse_kernel
+from repro.service.fingerprint import fingerprint_kernel
+
+SHIMS = {
+    "unroll": (old_unroll, new_unroll,
+               ("unroll_in_kernel", "unroll_loop"), ("UnrollError",)),
+    "tile": (old_tile, new_tile,
+             ("nest_is_tileable", "tile_in_kernel", "tile_loop",
+              "tile_nest"), ("TileError",)),
+    "independent": (old_independent, new_independent,
+                    ("add_independent", "is_independent"), ()),
+    "distribute": (old_distribute, new_distribute,
+                   ("clear_distribution", "set_gang_worker",
+                    "set_gridify_blocksize"), ("DistributionError",)),
+    "reduction": (old_reduction, new_reduction,
+                  ("add_reduction",), ("ReductionError",)),
+    "data": (old_data, new_data,
+             ("add_data_region", "add_data_regions", "has_data_region",
+              "infer_data_region"), ("DataRegionError",)),
+    "reorganize": (old_reorganize, new_reorganize,
+                   ("fuse_adjacent_loops", "fuse_kernels", "split_loop"),
+                   ("ReorganizeError",)),
+}
+
+SRC = """
+void k(float *a, const float *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = b[i] * 2.0f;
+    }
+}
+"""
+
+
+@pytest.mark.parametrize("module", sorted(SHIMS))
+def test_shim_wraps_same_implementation(module):
+    old_mod, new_mod, functions, errors = SHIMS[module]
+    for name in functions:
+        wrapper = getattr(old_mod, name)
+        impl = getattr(new_mod, name)
+        assert wrapper is not impl, f"{module}.{name} is not wrapped"
+        assert wrapper.__wrapped_pass_fn__ is impl, (
+            f"{module}.{name} does not wrap repro.passes.library"
+        )
+    for name in errors:
+        assert getattr(old_mod, name) is getattr(new_mod, name), (
+            f"{module}.{name} must be the SAME class object"
+        )
+
+
+@pytest.mark.parametrize("module", sorted(SHIMS))
+def test_shim_emits_deprecation_warning(module):
+    old_mod, _, functions, _ = SHIMS[module]
+    name = functions[0]
+    with pytest.warns(DeprecationWarning, match="repro.passes.library"):
+        try:
+            getattr(old_mod, name)(parse_kernel(SRC))
+        except Exception:
+            pass  # only the warning is under test here
+
+
+def test_shim_output_equivalence():
+    """Same input -> fingerprint-identical output through either path."""
+    k_old, k_new = parse_kernel(SRC), parse_kernel(SRC)
+    via_old = old_unroll.unroll_in_kernel(
+        k_old, next(iter(k_old.loops())).loop_id, 2
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        via_new = new_unroll.unroll_in_kernel(
+            k_new, next(iter(k_new.loops())).loop_id, 2
+        )
+    assert fingerprint_kernel(via_old) == fingerprint_kernel(via_new)
