@@ -18,6 +18,14 @@ Commands:
   cache/scheduler, batching + admission control (docs/SERVER.md).
 * ``client``         — talk to a running daemon: ``compile``, ``sweep``,
   ``status``, ``stats`` (or ``--spawn`` an ephemeral in-process one).
+* ``jit-bench``      — the jit seed-template benchmark: cold/warm cache
+  trajectory + server-coalesced remote compiles (docs/JIT.md).
+* ``jit-stats``      — specialize a ``$hole`` template for given shapes;
+  print shape classes, plans, and the cache trajectory (docs/JIT.md).
+
+``heatmap`` and ``autotune`` accept ``--ladder RUNGS`` to climb the
+registered optimization rungs (``fuse-reuse``, ``shared-tile``; see
+:mod:`repro.core.ladder`) on every explored configuration.
 
 ``experiment``, ``heatmap``, and ``autotune`` accept ``--jobs N`` and
 ``--cache-dir PATH`` to route compilations through the
@@ -206,14 +214,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_heatmap(args: argparse.Namespace) -> int:
+    from .core.ladder import normalize_ladder
     from .core.search import lud_heatmap
     from .devices import device_by_name
     from .kernels import get_benchmark
 
     device = device_by_name(args.device)
+    ladder = normalize_ladder(args.ladder)
     service = _service_from_args(args)
     heatmap = lud_heatmap(get_benchmark("lud"), device, args.compiler,
-                          n=args.size, service=service, jobs=args.jobs)
+                          n=args.size, service=service, jobs=args.jobs,
+                          ladder=ladder)
     print(heatmap.render())
     _print_service_stats(service)
     _maybe_publish(service)
@@ -228,12 +239,14 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
         portable_tune,
         prewarm_lud_grid,
     )
+    from .core.ladder import normalize_ladder
     from .devices import K40, PHI_5110P
     from .kernels import get_benchmark
     from .service import CompileService
     from .service.cache import ArtifactCache
 
     bench = get_benchmark("lud")
+    ladder = normalize_ladder(args.ladder)
     # tuners always share one service: the exhaustive sweep, the hill
     # climber, and the portable tuner revisit the same configurations
     service = CompileService(
@@ -243,10 +256,12 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     if args.jobs > 1:
         # fan the whole candidate grid over the worker pool up front;
         # the (serial) tuning loops below then run compile-free
-        prewarm_lud_grid(bench, K40, service)
-        prewarm_lud_grid(bench, PHI_5110P, service)
-    ev_gpu = make_lud_evaluator(bench, K40, n=args.size, service=service)
-    ev_mic = make_lud_evaluator(bench, PHI_5110P, n=args.size, service=service)
+        prewarm_lud_grid(bench, K40, service, ladder=ladder)
+        prewarm_lud_grid(bench, PHI_5110P, service, ladder=ladder)
+    ev_gpu = make_lud_evaluator(bench, K40, n=args.size, service=service,
+                                ladder=ladder)
+    ev_mic = make_lud_evaluator(bench, PHI_5110P, n=args.size, service=service,
+                                ladder=ladder)
     print("exhaustive (K40):  ", exhaustive_tune(ev_gpu,
                                                  device_name="K40").describe())
     print("hill climb (K40):  ", hill_climb_tune(ev_gpu,
@@ -407,6 +422,78 @@ def _cmd_client(args: argparse.Namespace) -> int:
         return 1 if failures else 0
 
 
+def _parse_shape(spec: str) -> dict[str, int]:
+    """``"n=128"`` or ``"rows=64,cols=128"`` -> hole bindings."""
+    shape: dict[str, int] = {}
+    for part in spec.split(","):
+        name, _, value = part.partition("=")
+        if not name or not value:
+            raise ValueError(f"bad --shape entry {part!r} (want name=value)")
+        shape[name.strip()] = int(value)
+    return shape
+
+
+def _cmd_jit_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .jit.bench import report_lines, run_bench
+
+    payload = run_bench(
+        compiler=args.compiler, target=args.target,
+        warm_rounds=args.warm_rounds, clients=args.clients,
+        remote=not args.no_remote,
+    )
+    print("\n".join(report_lines(payload)))
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+    ok = payload["trajectory"]["warm_speedup"] >= 1.0
+    remote = payload.get("remote")
+    if remote is not None:
+        ok = ok and remote["identical"]
+    return 0 if ok else 1
+
+
+def _cmd_jit_stats(args: argparse.Namespace) -> int:
+    from .jit import KernelTemplate, specialize
+    from .jit.cache import SpecializationCache
+    from .telemetry import get_registry
+
+    try:
+        shapes = [_parse_shape(spec) for spec in args.shape]
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    template = KernelTemplate.from_source(Path(args.file).read_text())
+    holes = ", ".join(f"${name}:{dtype}"
+                      for name, dtype in sorted(template.holes.items()))
+    print(f"template {template.name} ({template.template_id[:12]}) "
+          f"holes: {holes or 'none'}")
+    cache = SpecializationCache()
+    for shape in shapes:
+        spec = specialize(template, shape, args.compiler, args.target,
+                          cache=cache)
+        binding = " ".join(f"{k}={v}" for k, v in sorted(shape.items()))
+        print(f"  {binding}: class [{spec.shape_class.describe()}] "
+              f"plan {spec.plan.describe()} "
+              f"fingerprint {spec.fingerprint[:16]}")
+        kernel = spec.kernel()
+        print(f"    schedule: {kernel.distribution.strategy.value}")
+    print("cache: "
+          + " ".join(f"{k}={v}" for k, v in sorted(cache.stats().items())))
+    counters = {
+        name: value
+        for name, value in get_registry().snapshot()["counters"].items()
+        if name.startswith("jit.")
+    }
+    if counters:
+        print("counters: "
+              + " ".join(f"{k}={v}" for k, v in sorted(counters.items())))
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     from .telemetry import load_trace, text_report
 
@@ -520,6 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="gpu")
     p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
     p.add_argument("--size", type=int, default=2048)
+    p.add_argument("--ladder", default=None, metavar="RUNGS",
+                   help="climb optimization rungs on every grid point: "
+                        "comma-separated rung names (fuse-reuse,shared-tile), "
+                        "'full', or 'none' (default none)")
     add_service_flags(p)
     add_resilience_flags(p)
     add_exec_flags(p)
@@ -528,11 +619,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("autotune", help="auto-tune LUD thread distribution")
     p.add_argument("--size", type=int, default=1024)
+    p.add_argument("--ladder", default=None, metavar="RUNGS",
+                   help="climb optimization rungs on every configuration: "
+                        "comma-separated rung names (fuse-reuse,shared-tile), "
+                        "'full', or 'none' (default none)")
     add_service_flags(p)
     add_resilience_flags(p)
     add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_autotune)
+
+    p = sub.add_parser(
+        "jit-bench",
+        help="the jit seed-template benchmark: cold/warm cache trajectory "
+             "plus server-coalesced remote compiles (docs/JIT.md)",
+    )
+    p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
+    p.add_argument("--target", choices=("cuda", "opencl"), default="cuda")
+    p.add_argument("--warm-rounds", type=int, default=2, metavar="N",
+                   help="warm replay rounds over the seed shapes (default 2)")
+    p.add_argument("--clients", type=int, default=4, metavar="N",
+                   help="concurrent clients for the remote-coalescing phase "
+                        "(default 4)")
+    p.add_argument("--no-remote", action="store_true",
+                   help="skip the spawned-server coalescing phase")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the BENCH_jit.json payload to FILE")
+    add_trace_flags(p)
+    p.set_defaults(func=_cmd_jit_bench)
+
+    p = sub.add_parser(
+        "jit-stats",
+        help="specialize a kernel template for given shapes and print the "
+             "shape classes, plans, and cache trajectory (docs/JIT.md)",
+    )
+    p.add_argument("file", help="a mini-C template with $name holes")
+    p.add_argument("--shape", action="append", required=True, metavar="BINDS",
+                   help="one shape's hole bindings, e.g. 'n=128' or "
+                        "'rows=64,cols=128' (repeatable; repeats show "
+                        "exact-cache hits)")
+    p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
+    p.add_argument("--target", choices=("cuda", "opencl"), default="cuda")
+    add_trace_flags(p)
+    p.set_defaults(func=_cmd_jit_stats)
 
     p = sub.add_parser(
         "difftest",
@@ -644,7 +773,9 @@ def _cli_errors(func):
     traceback."""
     import functools
 
+    from .core.ladder import LadderError
     from .faults import FaultSpecError
+    from .jit import TemplateError
     from .service import CacheDirError, JobError
 
     @functools.wraps(func)
@@ -656,6 +787,12 @@ def _cli_errors(func):
             return 2
         except CacheDirError as exc:
             print(f"repro: bad --cache-dir: {exc}", file=sys.stderr)
+            return 2
+        except LadderError as exc:
+            print(f"repro: bad --ladder spec: {exc}", file=sys.stderr)
+            return 2
+        except TemplateError as exc:
+            print(f"repro: bad template/bindings: {exc}", file=sys.stderr)
             return 2
         except JobError as exc:
             print(f"repro: sweep failed after retries: {exc}",

@@ -9,6 +9,15 @@ from .autotune import (
     portable_tune,
     prewarm_lud_grid,
 )
+from .ladder import (
+    AVAILABLE_RUNGS,
+    LadderError,
+    apply_ladder,
+    ladder_label,
+    ladder_pipeline,
+    ladder_stages,
+    normalize_ladder,
+)
 from .method import (
     MethodEvaluation,
     StageResult,
@@ -28,21 +37,28 @@ from .search import (
 )
 
 __all__ = [
+    "AVAILABLE_RUNGS",
     "DEFAULT_GANGS",
     "DEFAULT_WORKERS",
     "HeatMap",
+    "LadderError",
     "MethodEvaluation",
     "PprEntry",
     "StageResult",
     "TuneResult",
+    "apply_ladder",
     "compile_stage",
     "distribution_requests",
     "exhaustive_tune",
     "format_ppr_table",
     "format_rows",
     "hill_climb_tune",
+    "ladder_label",
+    "ladder_pipeline",
+    "ladder_stages",
     "make_lud_evaluator",
     "lud_heatmap",
+    "normalize_ladder",
     "portable_tune",
     "ppr",
     "prewarm_lud_grid",

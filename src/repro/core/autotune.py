@@ -31,6 +31,7 @@ from ..runtime.launcher import Accelerator
 from ..service.scheduler import CompileService
 from ..telemetry.spans import traced
 from ..passes.library.distribute import set_gang_worker
+from .ladder import apply_ladder
 from .method import compile_stage
 from .search import distribution_requests
 
@@ -63,6 +64,7 @@ def make_lud_evaluator(
     n: int = 1024,
     samples: int = 8,
     service: CompileService | None = None,
+    ladder: tuple[str, ...] = (),
 ) -> Callable[[int, int], float]:
     """An ``f(gang, worker) -> seconds`` objective for the LUD benchmark,
     sampling the host pivot loop like the Fig. 4 heat-map search.
@@ -71,6 +73,10 @@ def make_lud_evaluator(
     per process — the exhaustive sweep, the hill climber, and the
     portable tuner all revisit the same (gang, worker) points, and the
     content-addressed cache makes every revisit compile-free.
+
+    ``ladder`` climbs the named optimization rungs
+    (:mod:`repro.core.ladder`) on every evaluated configuration, so the
+    tuners explore the (schedule x rung) product.
     """
     base = benchmark.module()
     target = "cuda" if device.kind.value == "gpu" else "opencl"
@@ -82,6 +88,8 @@ def make_lud_evaluator(
             j_loop = kernel.loop_by_var("j")
             module.kernels.append(set_gang_worker(kernel, j_loop.loop_id,
                                                   gang, worker))
+        if ladder:
+            module = apply_ladder(module, ladder, compiler, target)
         compiled = compile_stage(module, compiler, target, service=service)
         accelerator = Accelerator(device)
         if service is not None:
@@ -104,13 +112,15 @@ def prewarm_lud_grid(
     compiler: str = "caps",
     gangs: Iterable[int] = GANG_CANDIDATES,
     workers: Iterable[int] = WORKER_CANDIDATES,
+    ladder: tuple[str, ...] = (),
 ) -> int:
     """Fan the whole candidate grid's compiles out over the service's
     worker pool before tuning starts; returns the number of grid points
     that compiled cleanly.  Tuner evaluations then hit the cache only."""
     target = "cuda" if device.kind.value == "gpu" else "opencl"
     requests = distribution_requests(
-        benchmark, compiler, target, tuple(gangs), tuple(workers)
+        benchmark, compiler, target, tuple(gangs), tuple(workers),
+        ladder=ladder,
     )
     results = service.sweep(requests)
     return sum(1 for result in results if not isinstance(result, Exception))

@@ -1,0 +1,94 @@
+"""Optimization ladders: registered-pass rungs the searches can climb.
+
+PR 7 added two semantics-checked passes the paper's 4-step method does
+not cover — ``fuse-reuse`` (loop fusion + liveness-minimized data
+regions) and ``shared-tile`` (permutable-nest tiling with ``acc cache``
+staging).  A **ladder** is an ordered selection of those rungs applied
+on top of a benchmark module *before* the thread-distribution machinery
+runs, so the Fig. 4 heat-map search and the auto-tuners explore the
+(schedule x rung) product instead of schedules alone.
+
+Rungs run as a verified :class:`~repro.passes.Pipeline`: a rung with no
+applicable site (``PassNotApplicable``) is a no-op for that kernel, so
+one ladder spec is safe across every benchmark.  Artifacts produced
+under a ladder are pinned in ``tests/passes/golden_fingerprints.json``
+next to the stage artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..ir.stmt import Module
+from ..passes import PassContext, Pipeline
+
+#: the rungs the searches may request, in canonical climb order
+AVAILABLE_RUNGS: tuple[str, ...] = ("fuse-reuse", "shared-tile")
+
+
+class LadderError(ValueError):
+    """An unknown rung name in a ladder spec."""
+
+
+def normalize_ladder(spec: "str | Iterable[str] | None") -> tuple[str, ...]:
+    """Canonicalize a ladder spec (CLI string or iterable of rung names).
+
+    Accepts ``"fuse-reuse,shared-tile"``, ``"full"`` (every rung), or any
+    iterable of rung names; preserves canonical climb order and rejects
+    unknown rungs.
+    """
+    if spec is None:
+        return ()
+    if isinstance(spec, str):
+        text = spec.strip()
+        if not text or text == "none":
+            return ()
+        if text == "full":
+            return AVAILABLE_RUNGS
+        names = [part.strip() for part in text.split(",") if part.strip()]
+    else:
+        names = list(spec)
+    unknown = sorted(set(names) - set(AVAILABLE_RUNGS))
+    if unknown:
+        raise LadderError(
+            f"unknown ladder rung(s) {', '.join(unknown)} "
+            f"(available: {', '.join(AVAILABLE_RUNGS)}, or 'full')"
+        )
+    return tuple(rung for rung in AVAILABLE_RUNGS if rung in names)
+
+
+def ladder_pipeline(rungs: tuple[str, ...]) -> Pipeline:
+    """A verified pipeline over the selected rungs."""
+    return Pipeline("ladder:" + "+".join(rungs), tuple(rungs))
+
+
+def apply_ladder(
+    module: Module,
+    rungs: tuple[str, ...],
+    compiler: str = "",
+    target: str = "",
+) -> Module:
+    """Run the selected rungs over every kernel of *module*."""
+    if not rungs:
+        return module
+    ctx = PassContext(compiler=compiler, target=target)
+    return ladder_pipeline(rungs).run_module(module, ctx)
+
+
+def ladder_label(rungs: tuple[str, ...]) -> str:
+    """The label suffix search requests carry (empty for the bare ladder)."""
+    return "".join(f"+{rung}" for rung in rungs)
+
+
+def ladder_stages(module: Module, compiler: str = "", target: str = ""
+                  ) -> dict[str, Module]:
+    """Each single rung plus the full ladder, applied to *module*.
+
+    The golden-fingerprint battery pins these next to the method stages
+    so a rung's lowering can never drift silently.
+    """
+    out: dict[str, Module] = {}
+    for rung in AVAILABLE_RUNGS:
+        out[f"ladder:{rung}"] = apply_ladder(module, (rung,), compiler, target)
+    out["ladder:full"] = apply_ladder(module, AVAILABLE_RUNGS, compiler, target)
+    return out

@@ -20,6 +20,7 @@ from ..service.fingerprint import CompileRequest
 from ..service.scheduler import CompileService, JobError
 from ..telemetry.spans import get_tracer
 from ..passes.library.distribute import set_gang_worker
+from .ladder import apply_ladder, ladder_label
 
 DEFAULT_GANGS = (1, 16, 64, 128, 192, 256, 512, 1024)
 DEFAULT_WORKERS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -89,6 +90,7 @@ def distribution_requests(
     target: str,
     gangs: tuple[int, ...],
     workers: tuple[int, ...],
+    ladder: tuple[str, ...] = (),
 ) -> list[CompileRequest]:
     """Materialize the (gang, worker) grid as compile requests, in
     row-major sweep order.
@@ -96,9 +98,14 @@ def distribution_requests(
     Built serially by the caller thread so IR loop ids (allocated by the
     clone-free transforms) are identical no matter how many workers later
     compile the requests — the determinism contract of the scheduler.
+
+    ``ladder`` names optimization rungs (:mod:`repro.core.ladder`) to
+    climb on every grid point after the distribution is set; rungs with
+    no applicable site in a kernel are no-ops.
     """
     base = benchmark.module()
     requests: list[CompileRequest] = []
+    suffix = ladder_label(ladder)
     for gang in gangs:
         for worker in workers:
             module = base.__class__(base.name, [])
@@ -107,10 +114,12 @@ def distribution_requests(
                 module.kernels.append(
                     set_gang_worker(kernel, j_loop.loop_id, gang, worker)
                 )
+            if ladder:
+                module = apply_ladder(module, ladder, compiler, target)
             requests.append(
                 CompileRequest(
                     module, compiler, target,
-                    label=f"{benchmark.meta.short} g{gang} w{worker}",
+                    label=f"{benchmark.meta.short} g{gang} w{worker}{suffix}",
                 )
             )
     return requests
@@ -126,6 +135,7 @@ def lud_heatmap(
     samples: int = 8,
     service: CompileService | None = None,
     jobs: int = 1,
+    ladder: tuple[str, ...] = (),
 ) -> HeatMap:
     """Figure 4: LUD elapsed time across thread distributions.
 
@@ -146,7 +156,7 @@ def lud_heatmap(
                      label=f"{benchmark.meta.short} {compiler}",
                      device=device.name, points=len(gangs) * len(workers)):
         requests = distribution_requests(benchmark, compiler, target, gangs,
-                                         workers)
+                                         workers, ladder=ladder)
         # sweep (not compile_many) so the grid checkpoints through the
         # service's journal and survives injected faults point-by-point;
         # the heat map itself is still strict — a point that stayed
@@ -177,7 +187,7 @@ def lud_heatmap(
                     row.append(total * (n / samples))
                 times.append(row)
     return HeatMap(
-        label=f"LUD {compiler.upper()}",
+        label=f"LUD {compiler.upper()}{ladder_label(ladder)}",
         device=device.name,
         gangs=gangs,
         workers=workers,

@@ -1,0 +1,179 @@
+"""Constant folding and scalar-parameter substitution.
+
+This is the IR half of the ``repro.jit`` specializer: once call-time
+bindings turn scalar parameters into literals, :func:`fold_kernel`
+collapses the resulting literal arithmetic so loop bounds and index
+strides become plain :class:`~repro.ir.expr.IntLit` nodes that the
+directive selector and the compiler models can reason about.
+
+Folding is deliberately conservative:
+
+* only **integer** literal arithmetic folds (C truncating semantics);
+  floating-point expressions are left untouched so specialized kernels
+  stay bit-identical to their unspecialized ground truth,
+* results that would overflow the literal's dtype are left unfolded,
+* comparisons and logical operators never fold — the executor's
+  semantics checks want to see them as written.
+"""
+
+from __future__ import annotations
+
+from .expr import BinOp, Cast, Expr, FloatLit, IntLit, Ternary, UnaryOp
+from .stmt import KernelFunction, Module, Param
+from .types import DType, ScalarType
+from .visitors import map_expr, rewrite_exprs, substitute_in_stmt
+
+#: value ranges of the integer literal dtypes (two's complement)
+_INT_RANGES = {
+    DType.INT32: (-(2**31), 2**31 - 1),
+    DType.INT64: (-(2**63), 2**63 - 1),
+    DType.BOOL: (0, 1),
+}
+
+
+def _fits(value: int, dtype: DType) -> bool:
+    bounds = _INT_RANGES.get(dtype)
+    if bounds is None:
+        return False
+    return bounds[0] <= value <= bounds[1]
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C integer division: truncate toward zero."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _result_dtype(lhs: IntLit, rhs: IntLit) -> DType:
+    if DType.INT64 in (lhs.dtype, rhs.dtype):
+        return DType.INT64
+    return DType.INT32
+
+
+def _fold_binop(expr: BinOp) -> Expr:
+    lhs, rhs = expr.lhs, expr.rhs
+    if not (isinstance(lhs, IntLit) and isinstance(rhs, IntLit)):
+        return expr
+    a, b = lhs.value, rhs.value
+    op = expr.op
+    if op == "+":
+        value = a + b
+    elif op == "-":
+        value = a - b
+    elif op == "*":
+        value = a * b
+    elif op == "/" and b != 0:
+        value = _trunc_div(a, b)
+    elif op == "%" and b != 0:
+        value = a - _trunc_div(a, b) * b
+    elif op == "<<" and 0 <= b < 64 and a >= 0:
+        value = a << b
+    elif op == ">>" and 0 <= b < 64 and a >= 0:
+        value = a >> b
+    elif op == "&" and a >= 0 and b >= 0:
+        value = a & b
+    elif op == "|" and a >= 0 and b >= 0:
+        value = a | b
+    elif op == "^" and a >= 0 and b >= 0:
+        value = a ^ b
+    else:
+        return expr
+    dtype = _result_dtype(lhs, rhs)
+    if not _fits(value, dtype):
+        return expr
+    return IntLit(value, dtype)
+
+
+def _fold_node(expr: Expr) -> Expr:
+    """One bottom-up folding step (children are already folded)."""
+    if isinstance(expr, BinOp):
+        return _fold_binop(expr)
+    if isinstance(expr, UnaryOp) and isinstance(expr.operand, IntLit):
+        operand = expr.operand
+        if expr.op == "+":
+            return operand
+        if expr.op == "-" and _fits(-operand.value, operand.dtype):
+            return IntLit(-operand.value, operand.dtype)
+        if expr.op == "~" and _fits(~operand.value, operand.dtype):
+            return IntLit(~operand.value, operand.dtype)
+        return expr
+    if isinstance(expr, Ternary) and isinstance(expr.cond, IntLit):
+        return expr.then if expr.cond.value else expr.otherwise
+    if isinstance(expr, Cast) and isinstance(expr.operand, IntLit):
+        if expr.dtype in _INT_RANGES and _fits(expr.operand.value, expr.dtype):
+            return IntLit(expr.operand.value, expr.dtype)
+        return expr
+    return expr
+
+
+def fold_expr(expr: Expr) -> Expr:
+    """Fold integer literal arithmetic in *expr*, bottom-up."""
+    return map_expr(expr, _fold_node)
+
+
+def fold_kernel(kernel: KernelFunction) -> KernelFunction:
+    """Return a clone of *kernel* with all foldable expressions folded."""
+    return KernelFunction(
+        name=kernel.name,
+        params=[Param(p.name, p.type, p.intent) for p in kernel.params],
+        body=rewrite_exprs(kernel.body, _fold_node),  # type: ignore[arg-type]
+        directives=kernel.directives,
+    )
+
+
+def fold_module(module: Module) -> Module:
+    return Module(module.name, [fold_kernel(k) for k in module.kernels])
+
+
+def substitute_scalars(
+    kernel: KernelFunction,
+    bindings: dict[str, int | float],
+    drop_params: bool = True,
+) -> KernelFunction:
+    """Clone *kernel* with scalar parameters replaced by literals.
+
+    Each bound name must be a scalar parameter; its literal takes the
+    parameter's declared dtype (``n: int`` binds to an ``IntLit`` even if
+    the Python value is ``5.0``-free).  With ``drop_params`` (default) the
+    bound parameters disappear from the signature, so the specialized
+    kernel is called without them.
+    """
+    mapping: dict[str, Expr] = {}
+    for name, value in bindings.items():
+        param = kernel.param(name)  # raises KeyError for unknown names
+        if param.is_array:
+            raise ValueError(
+                f"cannot bind array parameter {name!r} of kernel {kernel.name!r}"
+            )
+        assert isinstance(param.type, ScalarType)
+        dtype = param.type.dtype
+        if dtype in _INT_RANGES:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError(
+                    f"parameter {name!r} is {dtype.c_name}; got {value!r}"
+                )
+            if not _fits(value, dtype):
+                raise ValueError(
+                    f"value {value!r} does not fit parameter {name!r} ({dtype.c_name})"
+                )
+            mapping[name] = IntLit(value, dtype)
+        else:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(
+                    f"parameter {name!r} is {dtype.c_name}; got {value!r}"
+                )
+            mapping[name] = FloatLit(float(value), dtype)
+    params = [
+        Param(p.name, p.type, p.intent)
+        for p in kernel.params
+        if not (drop_params and p.name in mapping)
+    ]
+    return KernelFunction(
+        name=kernel.name,
+        params=params,
+        body=substitute_in_stmt(kernel.body, mapping),  # type: ignore[arg-type]
+        directives=kernel.directives,
+    )
+
+
+__all__ = ["fold_expr", "fold_kernel", "fold_module", "substitute_scalars"]

@@ -14,8 +14,10 @@ Two check levels:
   operator), data-region clauses must be liveness-consistent (``create``
   only for arrays that are dead on entry, ``copyin`` only for arrays the
   kernel does not write, ``copyout`` only for arrays it writes), cache
-  directives may stage only arrays the loop reads, and ``intent="in"``
-  parameters must not be written.
+  directives may stage only arrays the loop reads, ``collapse(n)`` must
+  sit on a rectangular perfect nest at least *n* deep, gang/worker/vector
+  clauses must nest coarse-to-fine (no gang inside worker, no worker
+  inside vector), and ``intent="in"`` parameters must not be written.
 
 The structure level is what pass pipelines run between passes (see
 :mod:`repro.passes.pipeline`): it holds for every module the fuzzer
@@ -469,6 +471,126 @@ def _check_directive_cache(kernel: KernelFunction) -> list[VerifyFailure]:
     return out
 
 
+def _check_collapse_legality(kernel: KernelFunction) -> list[VerifyFailure]:
+    from .stmt import loop_nest_depth, perfect_nest
+
+    out = []
+    for loop in kernel.loops():
+        acc = loop.directives.first(AccLoop)
+        if acc is None or acc.collapse is None:  # type: ignore[union-attr]
+            continue
+        n = acc.collapse  # type: ignore[union-attr]
+        if n < 2:
+            out.append(
+                VerifyFailure(
+                    "collapse-legality",
+                    kernel.name,
+                    f"collapse({n}) is meaningless: the clause needs at "
+                    "least two loops to merge",
+                    loop_id=loop.loop_id,
+                )
+            )
+            continue
+        depth = loop_nest_depth(loop)
+        if depth < n:
+            out.append(
+                VerifyFailure(
+                    "collapse-legality",
+                    kernel.name,
+                    f"collapse({n}) on loop over {loop.var!r} but the "
+                    f"perfect nest is only {depth} deep",
+                    loop_id=loop.loop_id,
+                )
+            )
+            continue
+        # the collapsed iteration space must be rectangular: an inner
+        # bound that reads an outer induction variable (triangular nests,
+        # e.g. LUD's elimination loops) cannot be linearized
+        nest = perfect_nest(loop)[:n]
+        outer_vars: set[str] = set()
+        for inner in nest:
+            bound_vars = free_vars(inner.lower) | free_vars(inner.upper)
+            tainted = bound_vars & outer_vars
+            if tainted:
+                out.append(
+                    VerifyFailure(
+                        "collapse-legality",
+                        kernel.name,
+                        f"collapse({n}) spans a non-rectangular nest: "
+                        f"bounds of the loop over {inner.var!r} read outer "
+                        f"induction variable(s) {sorted(tainted)}",
+                        loop_id=loop.loop_id,
+                    )
+                )
+                break
+            outer_vars.add(inner.var)
+    return out
+
+
+#: parallelism level of each ``acc loop`` clause, coarse to fine — a
+#: descendant loop may only use levels strictly finer than every level
+#: its ancestor already occupies (OpenACC 2.0 sec. 2.9: gang may not
+#: appear inside worker, worker may not appear inside vector)
+_CLAUSE_LEVELS = (("gang", 3), ("worker", 2), ("vector", 1))
+
+
+def _parallelism_levels(loop: For) -> set[int]:
+    acc = loop.directives.first(AccLoop)
+    if acc is None:
+        return set()
+    levels = set()
+    for clause, level in _CLAUSE_LEVELS:
+        if getattr(acc, clause) is not None or getattr(acc, f"{clause}_auto",
+                                                      False):
+            levels.add(level)
+    return levels
+
+
+def _outermost_loops(stmt: Stmt) -> list[For]:
+    """The For loops under *stmt* that have no For between them and it."""
+    found: list[For] = []
+
+    def scan(node: Stmt) -> None:
+        if isinstance(node, For):
+            found.append(node)
+            return
+        for child in node.children_stmts():
+            scan(child)
+
+    for child in stmt.children_stmts():
+        scan(child)
+    return found
+
+
+def _check_gang_worker_nesting(kernel: KernelFunction) -> list[VerifyFailure]:
+    out = []
+
+    def visit(loop: For, floor: int, ancestor: For | None) -> None:
+        levels = _parallelism_levels(loop)
+        coarse = {lvl for lvl in levels if lvl >= floor}
+        if coarse and ancestor is not None:
+            names = sorted(c for c, lvl in _CLAUSE_LEVELS if lvl in coarse)
+            out.append(
+                VerifyFailure(
+                    "gang-worker-nesting",
+                    kernel.name,
+                    f"loop over {loop.var!r} schedules {'/'.join(names)} "
+                    f"inside the loop over {ancestor.var!r}, which already "
+                    "occupies that parallelism level or finer",
+                    loop_id=loop.loop_id,
+                )
+            )
+        inner_floor = min(floor, *levels) if levels else floor
+        inner_ancestor = loop if levels else ancestor
+        for inner in _outermost_loops(loop.body):
+            visit(inner, inner_floor, inner_ancestor)
+
+    # floor 4 is coarser than gang(3): an outermost loop may use any level
+    for top in _outermost_loops(kernel.body):
+        visit(top, 4, None)
+    return out
+
+
 def _check_param_intent(kernel: KernelFunction) -> list[VerifyFailure]:
     from .visitors import writes_and_reads
 
@@ -505,6 +627,8 @@ _KERNEL_CHECKS = {
     "directive-reduction": _check_directive_reduction,
     "directive-data": _check_directive_data,
     "directive-cache": _check_directive_cache,
+    "collapse-legality": _check_collapse_legality,
+    "gang-worker-nesting": _check_gang_worker_nesting,
     "param-intent": _check_param_intent,
 }
 
@@ -520,6 +644,8 @@ STRICT_CHECKS: tuple[str, ...] = STRUCTURE_CHECKS + (
     "directive-reduction",
     "directive-data",
     "directive-cache",
+    "collapse-legality",
+    "gang-worker-nesting",
     "param-intent",
 )
 

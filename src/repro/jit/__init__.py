@@ -1,0 +1,73 @@
+"""repro.jit — shape-specializing kernel frontend.
+
+The serving-shaped face of the tool-chain: millions of call sites with
+varying shapes, not five fixed benchmarks.  A mini-C **template** with
+typed holes (``$n``, ``$eps:float``) is bound to concrete shapes and
+scalars at call time, **specialized** — trip counts const-folded into
+the IR, ``independent`` proven, unroll/tile attached per shape class,
+gated on divisibility — and compiled through the existing
+:class:`~repro.service.CompileService` pipelines.  Specializations are
+memoized in a two-level **shape-class cache** over the content-addressed
+artifact store, so hot shapes are fully compile-free and a cold shape in
+a known class skips planning.
+
+Two APIs:
+
+* :func:`jit` — decorator; the function's docstring is the template,
+  calls execute the specialized artifact in place on NumPy arrays::
+
+      @jit
+      def saxpy(**kw):
+          '''void saxpy(float* y, const float* x, float a, int n) {
+               #pragma acc loop independent
+               for (i = 0; i < $n; i++) { y[i] = a * x[i] + y[i]; }
+             }'''
+
+      saxpy(y=y, x=x, a=2.0, n=4096)   # cold: specialize + compile
+      saxpy(y=y, x=x, a=2.0, n=4096)   # warm: zero parse/pass work
+
+* :func:`specialize` — functional; returns the cached
+  :class:`Specialization` (compiled artifact + plan + fingerprint).
+
+``jit(remote=client)`` routes cold compiles through a PR 6
+:class:`~repro.server.ReproServer`, where identical in-flight shapes
+from N clients coalesce into one compile.  See docs/JIT.md.
+"""
+
+from .cache import (
+    Specialization,
+    SpecializationCache,
+    get_default_cache,
+    reset_default_cache,
+)
+from .decorator import jit
+from .shapes import (
+    ALIGNMENT,
+    SMALL_LIMIT,
+    STRATA,
+    ShapeClass,
+    SpecializationPlan,
+    classify_extent,
+    plan_for,
+)
+from .specializer import specialize
+from .template import KernelTemplate, TemplateError, as_template
+
+__all__ = [
+    "ALIGNMENT",
+    "KernelTemplate",
+    "SMALL_LIMIT",
+    "STRATA",
+    "ShapeClass",
+    "Specialization",
+    "SpecializationCache",
+    "SpecializationPlan",
+    "TemplateError",
+    "as_template",
+    "classify_extent",
+    "get_default_cache",
+    "jit",
+    "plan_for",
+    "reset_default_cache",
+    "specialize",
+]

@@ -1,0 +1,266 @@
+"""The jit seed-template benchmark (CLI ``repro jit-bench``; CI gate).
+
+Measures the cache trajectory the acceptance criteria pin down:
+
+* **cold** — first specialization of each (template, shape): parse +
+  passes + compile;
+* **warm** — the same shapes again: L1 exact hits, compile-free;
+* **class** — new shapes inside an already-planned shape class: L2 plan
+  reuse over the content-addressed artifact store;
+* **remote** — N concurrent clients specializing the same cold shape
+  against a spawned :class:`~repro.server.ReproServer`: the daemon
+  coalesces the identical in-flight compiles and every client receives
+  a byte-identical artifact.
+
+``run_bench`` returns the ``BENCH_jit.json`` payload
+(``benchmarks/bench_jit_seed.py`` writes it; CI smokes it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from ..service import CompileService
+from .cache import SpecializationCache
+from .specializer import specialize
+from .template import KernelTemplate
+
+#: the seed templates — one per paper-ish workload shape
+SEED_TEMPLATES: dict[str, str] = {
+    "saxpy": """
+void saxpy(float* y, const float* x, float a, int n) {
+  #pragma acc parallel
+  #pragma acc loop independent
+  for (i = 0; i < $n; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+""",
+    "scale2d": """
+void scale2d(float* a, const float* b, int rows, int cols) {
+  #pragma acc parallel
+  #pragma acc loop independent
+  for (i = 0; i < $rows; i++) {
+    #pragma acc loop independent
+    for (j = 0; j < $cols; j++) {
+      a[i * cols + j] = b[i * cols + j] * 2.0f;
+    }
+  }
+}
+""",
+    "triad": """
+void triad(double* out, const double* p, const double* q, double beta, int n) {
+  #pragma acc parallel
+  #pragma acc loop independent
+  for (i = 0; i < $n; i++) {
+    out[i] = p[i] + beta * q[i];
+  }
+}
+""",
+}
+
+#: per-template shape sweeps: first visit is cold; later shapes reuse the
+#: class plan; the whole list replays for the warm phase
+SEED_SHAPES: dict[str, list[dict[str, int]]] = {
+    "saxpy": [{"n": 32}, {"n": 128}, {"n": 256}, {"n": 1000}],
+    "scale2d": [
+        {"rows": 16, "cols": 16},
+        {"rows": 64, "cols": 128},
+        {"rows": 96, "cols": 160},
+        {"rows": 100, "cols": 37},
+    ],
+    "triad": [{"n": 64}, {"n": 512}, {"n": 4096}, {"n": 999}],
+}
+
+
+def seed_templates() -> dict[str, KernelTemplate]:
+    return {
+        name: KernelTemplate.from_source(source)
+        for name, source in SEED_TEMPLATES.items()
+    }
+
+
+def _timed(fn) -> tuple[float, Any]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def bench_trajectory(
+    compiler: str = "caps",
+    target: str = "cuda",
+    warm_rounds: int = 2,
+    service: CompileService | None = None,
+) -> dict[str, Any]:
+    """The cold/class/warm trajectory over the seed set."""
+    service = service or CompileService()
+    cache = SpecializationCache()
+    templates = seed_templates()
+    events: list[dict[str, Any]] = []
+    cold_s = warm_s = 0.0
+    cold_n = warm_n = 0
+
+    before = cache.stats()
+    for name, template in templates.items():
+        for shape in SEED_SHAPES[name]:
+            stats0 = cache.stats()
+            seconds, spec = _timed(
+                lambda: specialize(template, shape, compiler, target,
+                                   service=service, cache=cache)
+            )
+            stats1 = cache.stats()
+            phase = "cold"
+            if stats1["exact_hits"] > stats0["exact_hits"]:
+                phase = "warm"
+            events.append({
+                "template": name,
+                "shape": dict(shape),
+                "phase": phase,
+                "class_hit": stats1["class_hits"] > stats0["class_hits"],
+                "shape_class": spec.shape_class.describe(),
+                "plan": spec.plan.describe(),
+                "seconds": seconds,
+            })
+            cold_s += seconds
+            cold_n += 1
+
+    for _ in range(warm_rounds):
+        for name, template in templates.items():
+            for shape in SEED_SHAPES[name]:
+                seconds, spec = _timed(
+                    lambda: specialize(template, shape, compiler, target,
+                                       service=service, cache=cache)
+                )
+                events.append({
+                    "template": name,
+                    "shape": dict(shape),
+                    "phase": "warm",
+                    "class_hit": False,
+                    "shape_class": spec.shape_class.describe(),
+                    "plan": spec.plan.describe(),
+                    "seconds": seconds,
+                })
+                warm_s += seconds
+                warm_n += 1
+
+    after = cache.stats()
+    cold_avg = cold_s / max(cold_n, 1)
+    warm_avg = warm_s / max(warm_n, 1)
+    return {
+        "compiler": compiler,
+        "target": target,
+        "points": cold_n,
+        "warm_rounds": warm_rounds,
+        "cold_seconds_total": cold_s,
+        "warm_seconds_total": warm_s,
+        "cold_seconds_avg": cold_avg,
+        "warm_seconds_avg": warm_avg,
+        "warm_speedup": (cold_avg / warm_avg) if warm_avg > 0 else float("inf"),
+        "cache": {k: after[k] - before[k] for k in after},
+        "events": events,
+    }
+
+
+def bench_remote_coalescing(
+    clients: int = 4,
+    compiler: str = "caps",
+    target: str = "cuda",
+    template_name: str = "scale2d",
+    shape: dict[str, int] | None = None,
+) -> dict[str, Any]:
+    """N clients race the same cold shape at a spawned daemon.
+
+    Each thread owns a private L1 cache (so nothing is warm locally) and
+    its own connection; the daemon's batcher must coalesce the identical
+    in-flight fingerprints, and every client must get a byte-identical
+    artifact.
+    """
+    from ..server import ServerClient, artifact_signature, spawn_local
+
+    template = seed_templates()[template_name]
+    shape = shape or SEED_SHAPES[template_name][1]
+    signatures: list[str | None] = [None] * clients
+    errors: list[str] = []
+    barrier = threading.Barrier(clients)
+
+    with spawn_local() as (server, _bootstrap):
+        host, port = server.address
+
+        def worker(slot: int) -> None:
+            try:
+                with ServerClient(host, port, client_id=f"jit-{slot}") as client:
+                    barrier.wait()
+                    spec = specialize(
+                        template, shape, compiler, target,
+                        client=client, cache=SpecializationCache(),
+                    )
+                    signatures[slot] = artifact_signature(spec.result)
+            except Exception as exc:  # pragma: no cover - surfaced in payload
+                errors.append(f"client {slot}: {exc}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"jit-client-{i}")
+            for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        status = server.status()
+
+    distinct = {s for s in signatures if s is not None}
+    return {
+        "clients": clients,
+        "template": template_name,
+        "shape": dict(shape),
+        "identical": len(distinct) == 1 and not errors,
+        "coalesced": int(status["batcher"]["coalesced"]),
+        "errors": errors,
+    }
+
+
+def run_bench(
+    compiler: str = "caps",
+    target: str = "cuda",
+    warm_rounds: int = 2,
+    clients: int = 4,
+    remote: bool = True,
+) -> dict[str, Any]:
+    """The full ``BENCH_jit.json`` payload."""
+    payload: dict[str, Any] = {
+        "bench": "jit-seed",
+        "templates": sorted(SEED_TEMPLATES),
+        "trajectory": bench_trajectory(compiler, target, warm_rounds),
+    }
+    if remote:
+        payload["remote"] = bench_remote_coalescing(
+            clients=clients, compiler=compiler, target=target
+        )
+    return payload
+
+
+def report_lines(payload: dict[str, Any]) -> list[str]:
+    """Human rendering for the CLI."""
+    t = payload["trajectory"]
+    lines = [
+        f"jit-bench: {t['points']} seed shapes x {len(payload['templates'])} "
+        f"templates [{t['compiler']}->{t['target']}]",
+        f"  cold: total {t['cold_seconds_total']*1e3:8.2f} ms  "
+        f"avg {t['cold_seconds_avg']*1e3:7.3f} ms",
+        f"  warm: total {t['warm_seconds_total']*1e3:8.2f} ms  "
+        f"avg {t['warm_seconds_avg']*1e3:7.3f} ms  "
+        f"({t['warm_rounds']} round(s))",
+        f"  warm-over-cold speedup: {t['warm_speedup']:.1f}x",
+        "  cache: "
+        + " ".join(f"{k}={v}" for k, v in sorted(t["cache"].items())),
+    ]
+    remote = payload.get("remote")
+    if remote:
+        ok = "ok" if remote["identical"] else "MISMATCH"
+        lines.append(
+            f"  remote: {remote['clients']} clients, "
+            f"coalesced={remote['coalesced']}, artifacts {ok}"
+        )
+    return lines

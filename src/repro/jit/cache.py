@@ -1,0 +1,180 @@
+"""The two-level shape-class specialization cache.
+
+Layered *above* the content-addressed artifact store of
+:mod:`repro.service`:
+
+* **L1 — exact**: ``(template_id, compiler, target, canonical bindings)``
+  → a finished :class:`Specialization`.  A hit is fully compile-free:
+  no parse, no passes, no fingerprinting — the warm path of a
+  ``@repro.jit`` call is one dict lookup under a lock.
+* **L2 — shape class**: ``(template_id, compiler, target, ShapeClass)``
+  → the :class:`~repro.jit.shapes.SpecializationPlan` shared by the
+  class.  A cold *shape* in a warm *class* skips planning and goes
+  straight to parse/specialize/compile — where the fingerprint store
+  (L3) usually already holds the artifact.
+
+Hits/misses are published to the telemetry registry
+(``jit.cache.exact_hits`` / ``class_hits`` / ``misses`` and per-stratum
+``jit.shape.<stratum>`` counters) so sweeps can report their cache
+trajectory.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from ..telemetry import get_registry
+from .shapes import ShapeClass, SpecializationPlan
+from .template import CanonicalBindings, KernelTemplate
+
+#: L1 key: (template_id, compiler, target, canonical bindings)
+ExactKey = tuple[str, str, str, CanonicalBindings]
+
+
+@dataclass(frozen=True)
+class Specialization:
+    """One finished specialization: everything a call site needs."""
+
+    template_id: str
+    module_name: str
+    compiler: str
+    target: str
+    bindings: CanonicalBindings
+    shape_class: ShapeClass
+    plan: SpecializationPlan
+    fingerprint: str  # content address of the CompileRequest
+    result: Any  # CompilationResult
+
+    def kernel(self, name: str | None = None):
+        """The compiled kernel (first, or by name)."""
+        if name is None:
+            return self.result.kernels[0]
+        return self.result.kernel(name)
+
+
+def _exact_key(
+    template: KernelTemplate,
+    compiler: str,
+    target: str,
+    canonical: CanonicalBindings,
+) -> ExactKey:
+    return (template.template_id, compiler.lower(), target.lower(), canonical)
+
+
+class SpecializationCache:
+    """Thread-safe two-level (exact → shape-class) cache."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._exact: dict[ExactKey, Specialization] = {}
+        self._plans: dict[tuple[str, str, str, ShapeClass], SpecializationPlan] = {}
+        registry = get_registry()
+        self._exact_hits = registry.counter("jit.cache.exact_hits")
+        self._class_hits = registry.counter("jit.cache.class_hits")
+        self._misses = registry.counter("jit.cache.misses")
+        # per-instance tallies: stats() must describe THIS cache, not the
+        # process-wide registry trajectory (which other caches share)
+        self._own = {"exact_hits": 0, "class_hits": 0, "misses": 0}
+
+    # -- L1: exact ---------------------------------------------------------
+
+    def lookup(
+        self,
+        template: KernelTemplate,
+        compiler: str,
+        target: str,
+        canonical: CanonicalBindings,
+        count: bool = True,
+    ) -> Specialization | None:
+        """The finished specialization for an exact binding set, if any.
+
+        ``count=False`` peeks without touching the hit counters (the
+        decorator uses it to label its span before delegating).
+        """
+        key = _exact_key(template, compiler, target, canonical)
+        with self._lock:
+            spec = self._exact.get(key)
+        if spec is not None and count:
+            self._exact_hits.inc()
+            with self._lock:
+                self._own["exact_hits"] += 1
+        return spec
+
+    def store(self, spec: Specialization, template: KernelTemplate) -> None:
+        key = _exact_key(template, spec.compiler, spec.target, spec.bindings)
+        with self._lock:
+            self._exact[key] = spec
+
+    # -- L2: shape class ---------------------------------------------------
+
+    def plan(
+        self,
+        template: KernelTemplate,
+        compiler: str,
+        target: str,
+        shape_class: ShapeClass,
+    ) -> SpecializationPlan | None:
+        """The memoized plan for a shape class (counts a class hit)."""
+        key = (template.template_id, compiler.lower(), target.lower(), shape_class)
+        with self._lock:
+            plan = self._plans.get(key)
+        if plan is not None:
+            self._class_hits.inc()
+            with self._lock:
+                self._own["class_hits"] += 1
+        return plan
+
+    def store_plan(
+        self,
+        template: KernelTemplate,
+        compiler: str,
+        target: str,
+        shape_class: ShapeClass,
+        plan: SpecializationPlan,
+    ) -> None:
+        self._misses.inc()
+        with self._lock:
+            self._own["misses"] += 1
+        get_registry().counter(
+            f"jit.shape.{'_'.join(sorted(shape_class.stratum_set())) or 'scalar'}"
+        ).inc()
+        key = (template.template_id, compiler.lower(), target.lower(), shape_class)
+        with self._lock:
+            self._plans[key] = plan
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._exact.clear()
+            self._plans.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "specializations": len(self._exact),
+                "shape_classes": len(self._plans),
+                **self._own,
+            }
+
+
+_default_cache: SpecializationCache | None = None
+_default_lock = threading.Lock()
+
+
+def get_default_cache() -> SpecializationCache:
+    """The process-wide specialization cache (decorator default)."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = SpecializationCache()
+        return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Drop the process-wide cache (tests; after ``reset_registry``)."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = None

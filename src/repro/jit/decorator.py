@@ -1,0 +1,119 @@
+"""``@repro.jit`` — the decorator face of the specializer.
+
+The decorated function's **docstring is the kernel template** (mini-C
+with typed holes); the Python body is never executed.  Calls are
+keyword-only: NumPy arrays bind array parameters, numbers bind template
+holes and scalar parameters (a name can be both — ``$n`` in a bound and
+``int n`` in the signature).  Execution is in-place on the arrays, via
+the executor semantics of the *specialized* compiled kernel, so a jit
+call behaves exactly like launching the artifact on the modeled device.
+
+Every call opens a ``jit.call`` span tagged ``phase="warm"`` or
+``"cold"``; warm spans must contain no ``frontend.parse`` or pass-
+category children (CI asserts this on a traced run).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from ..runtime.executor import execute_kernel
+from ..telemetry import get_tracer
+from .cache import SpecializationCache, get_default_cache
+from .specializer import specialize
+from .template import KernelTemplate, TemplateError
+
+
+def jit(
+    fn: Callable | None = None,
+    *,
+    compiler: str = "caps",
+    target: str = "cuda",
+    service: Any = None,
+    remote: Any = None,
+    cache: SpecializationCache | None = None,
+    backend: str | None = None,
+    device_kind: str = "gpu",
+    kernel: str | None = None,
+):
+    """Decorate a function whose docstring is a mini-C kernel template.
+
+    ``remote`` is a :class:`~repro.server.ServerClient` (or a zero-arg
+    callable returning one): cold specializations then compile through
+    the daemon, where identical in-flight shapes from N clients coalesce
+    into one compile.  ``kernel`` selects a kernel by name when the
+    template defines several.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        source = func.__doc__
+        if not source or not source.strip():
+            raise TemplateError(
+                f"@repro.jit function {func.__name__!r} needs its kernel "
+                "template as the docstring"
+            )
+        template = KernelTemplate.from_source(source)
+        spec_cache = cache or get_default_cache()
+
+        @functools.wraps(func)
+        def wrapper(**args: Any):
+            bindings = {
+                name: args[name] for name in template.holes if name in args
+            }
+            canonical = template.canonical_bindings(bindings)
+            tracer = get_tracer()
+            phase = (
+                "warm"
+                if spec_cache.lookup(
+                    template, compiler, target, canonical, count=False
+                ) is not None
+                else "cold"
+            )
+            with tracer.span(
+                "jit.call", category="jit", template=template.name,
+                phase=phase,
+            ):
+                client = remote() if callable(remote) else remote
+                spec = specialize(
+                    template,
+                    bindings,
+                    compiler=compiler,
+                    target=target,
+                    service=service,
+                    client=client,
+                    cache=spec_cache,
+                )
+                compiled = spec.kernel(kernel)
+                exec_args = {
+                    p.name: args[p.name] for p in compiled.ir.params
+                    if p.name in args
+                }
+                missing = [
+                    p.name for p in compiled.ir.params
+                    if p.name not in exec_args
+                ]
+                if missing:
+                    raise TypeError(
+                        f"jit call to {template.name!r} is missing "
+                        f"argument(s): {', '.join(missing)}"
+                    )
+                execute_kernel(
+                    compiled.ir,
+                    exec_args,
+                    semantics=compiled.executor_semantics(device_kind),
+                    backend=backend,
+                )
+                return spec
+
+        wrapper.template = template  # type: ignore[attr-defined]
+        wrapper.cache = spec_cache  # type: ignore[attr-defined]
+        wrapper.specialize = functools.partial(  # type: ignore[attr-defined]
+            specialize, template, compiler=compiler, target=target,
+            service=service, cache=spec_cache,
+        )
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate

@@ -1,0 +1,109 @@
+"""Shape classes: the bucketing level of the specialization cache.
+
+Exact binding sets are an unbounded key space (millions of call sites),
+but the *decisions* the specializer makes — which unroll factor, which
+tile, whether a shape is worth scheduling at all — depend only on coarse
+properties of each extent.  Those properties define a **shape class**:
+
+* ``small``   — extent ≤ 64: scheduling overhead dominates; no unroll/tile;
+* ``aligned`` — extent divisible by 32 (a warp): unroll + tile candidates;
+* ``large``   — everything else: modest unroll only (odd remainders make
+  tile/unroll factors fail their divisibility gates anyway).
+
+Two binding sets in the same class share one
+:class:`SpecializationPlan`, so the per-class planning work is done once
+and every later shape in the class goes straight to parse + compile with
+a ready plan (and usually straight to the content-addressed artifact
+store below that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: class thresholds — module constants so tests can reference them
+SMALL_LIMIT = 64
+ALIGNMENT = 32
+
+#: the stratum names, in report order
+STRATA = ("small", "aligned", "large")
+
+
+def classify_extent(extent: int) -> str:
+    """The stratum of one integer extent."""
+    if extent <= SMALL_LIMIT:
+        return "small"
+    if extent % ALIGNMENT == 0:
+        return "aligned"
+    return "large"
+
+
+@dataclass(frozen=True)
+class ShapeClass:
+    """The class key of one binding set: each int hole's stratum."""
+
+    strata: tuple[tuple[str, str], ...]  # ((hole, stratum), ...) sorted
+
+    @classmethod
+    def of(cls, extents: dict[str, int]) -> "ShapeClass":
+        return cls(
+            tuple((name, classify_extent(extents[name]))
+                  for name in sorted(extents))
+        )
+
+    def stratum_set(self) -> frozenset[str]:
+        return frozenset(s for _, s in self.strata)
+
+    def describe(self) -> str:
+        if not self.strata:
+            return "scalar"
+        return ",".join(f"{n}={s}" for n, s in self.strata)
+
+
+@dataclass(frozen=True)
+class SpecializationPlan:
+    """The schedule decisions shared by every shape in one class.
+
+    These become ``jit-specialize`` pass options; the pass re-gates each
+    on the *exact* trip counts (divisibility), so a plan is a ceiling,
+    never a promise.
+    """
+
+    unroll: int | None = None
+    tile: tuple[int, int] | None = None
+    mark_independent: bool = True
+
+    def pass_options(self) -> dict[str, object]:
+        return {
+            "unroll": self.unroll,
+            "tile": self.tile,
+            "mark_independent": self.mark_independent,
+        }
+
+    def describe(self) -> str:
+        parts = []
+        if self.unroll is not None:
+            parts.append(f"unroll({self.unroll})")
+        if self.tile is not None:
+            parts.append(f"tile{self.tile}")
+        if self.mark_independent:
+            parts.append("independent")
+        return "+".join(parts) or "plain"
+
+
+def plan_for(shape_class: ShapeClass) -> SpecializationPlan:
+    """Derive the plan for one shape class.
+
+    Purely a function of the class key, so any two processes derive the
+    same plan — a requirement for byte-identical client/server artifacts.
+    """
+    strata = shape_class.stratum_set()
+    if not strata or strata == {"small"}:
+        # scalar-only templates and tiny shapes: scheduling overhead
+        # would dominate — just fold and prove independence
+        return SpecializationPlan()
+    if "aligned" in strata and len(shape_class.strata) >= 2:
+        return SpecializationPlan(unroll=4, tile=(ALIGNMENT, 4))
+    if "aligned" in strata:
+        return SpecializationPlan(unroll=4)
+    return SpecializationPlan(unroll=2)

@@ -1,0 +1,120 @@
+"""``specialize()`` — the functional core of the jit frontend.
+
+The cold path, under a ``jit.specialize`` telemetry span:
+
+1. classify the bindings into a shape class and fetch (or derive) the
+   class's :class:`~repro.jit.shapes.SpecializationPlan` (cache L2);
+2. parse the template with the bindings substituted at the token level
+   (typed holes become literals — the only parse this shape class will
+   ever need);
+3. run the ``jit-specialize`` pass pipeline with the plan's options
+   (const-fold trip counts, prove ``independent``, attach
+   divisibility-gated unroll/tile);
+4. compile through the local :class:`~repro.service.CompileService`
+   (or a :class:`~repro.server.ServerClient` for the remote path, where
+   concurrent identical cold shapes coalesce server-side);
+5. memoize the finished :class:`~repro.jit.cache.Specialization` (L1).
+
+The warm path is step 0: an exact-key hit returns before any of the
+above runs — the ``jit.cache`` span it records has no parse or pass
+children, which is how the CI smoke test proves warm calls are
+compile-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..frontend import parse_module
+from ..passes import PassContext, Pipeline
+from ..service import CompileRequest, get_default_service
+from ..telemetry import get_tracer
+from .cache import Specialization, SpecializationCache, get_default_cache
+from .shapes import ShapeClass, SpecializationPlan, plan_for
+from .template import KernelTemplate, as_template
+
+#: the specialization pipeline: one registered pass, verified like any other
+JIT_PIPELINE = Pipeline("jit", ("jit-specialize",))
+
+
+def specialize(
+    template: KernelTemplate | str,
+    bindings: dict[str, int | float],
+    compiler: str = "caps",
+    target: str = "cuda",
+    service: Any = None,
+    client: Any = None,
+    cache: SpecializationCache | None = None,
+    plan: SpecializationPlan | None = None,
+) -> Specialization:
+    """Bind *bindings* into *template* and return the compiled artifact.
+
+    ``client`` (a :class:`~repro.server.ServerClient`) routes the compile
+    through a remote daemon; otherwise ``service`` (default: the
+    process-wide :class:`~repro.service.CompileService`) compiles
+    locally.  ``plan`` overrides the shape-class plan (autotuners use
+    this to pin an explored schedule).
+    """
+    template = as_template(template)
+    cache = cache or get_default_cache()
+    canonical = template.canonical_bindings(bindings)
+    tracer = get_tracer()
+
+    hit = cache.lookup(template, compiler, target, canonical)
+    if hit is not None:
+        if tracer.enabled:
+            tracer.record_span(
+                "jit.cache", 0.0, category="jit", hit="exact",
+                template=template.name, shape=hit.shape_class.describe(),
+            )
+        return hit
+
+    with tracer.span(
+        "jit.specialize", category="jit", template=template.name,
+        compiler=compiler, target=target,
+    ):
+        shape_class = ShapeClass.of(template.int_extents(canonical))
+        if plan is None:
+            plan = cache.plan(template, compiler, target, shape_class)
+            if plan is not None and tracer.enabled:
+                tracer.record_span(
+                    "jit.cache", 0.0, category="jit", hit="class",
+                    template=template.name, shape=shape_class.describe(),
+                )
+            if plan is None:
+                plan = plan_for(shape_class)
+                cache.store_plan(template, compiler, target, shape_class, plan)
+
+        module_name = template.module_name(canonical)
+        module = parse_module(
+            template.source, name=module_name, bindings=dict(bindings)
+        )
+        ctx = PassContext(
+            compiler=compiler, target=target, options=plan.pass_options()
+        )
+        specialized = JIT_PIPELINE.run_module(module, ctx)
+
+        request = CompileRequest(
+            module=specialized,
+            compiler=compiler,
+            target=target,
+            label=f"jit:{template.name}[{shape_class.describe()}]",
+        )
+        if client is not None:
+            result = client.compile_request(request)
+        else:
+            result = (service or get_default_service()).compile_request(request)
+
+        spec = Specialization(
+            template_id=template.template_id,
+            module_name=module_name,
+            compiler=compiler.lower(),
+            target=target.lower(),
+            bindings=canonical,
+            shape_class=shape_class,
+            plan=plan,
+            fingerprint=request.fingerprint,
+            result=result,
+        )
+        cache.store(spec, template)
+        return spec

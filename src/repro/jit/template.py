@@ -1,0 +1,119 @@
+"""Kernel templates: mini-C sources with typed holes.
+
+A :class:`KernelTemplate` is the unit the jit frontend specializes: a
+mini-C kernel whose shape- and scalar-dependent spots are spelled as
+``$name`` / ``$name:type`` holes (see :mod:`repro.frontend.lexer`).
+Templates are immutable and content-addressed — ``template_id`` is a
+SHA-256 of the source, so two processes (or a client and the compile
+server) that hold the same template text agree on every cache key and
+on the specialized module name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+
+from ..frontend import template_holes
+
+#: canonical binding tuple: ((hole, declared-type, value), ...) sorted by hole
+CanonicalBindings = tuple[tuple[str, str, "int | float"], ...]
+
+_KERNEL_NAME_RE = re.compile(r"\bvoid\s+([A-Za-z_][A-Za-z_0-9]*)\s*\(")
+
+
+class TemplateError(ValueError):
+    """A malformed template or an inconsistent binding set."""
+
+
+@dataclass(frozen=True)
+class KernelTemplate:
+    """One mini-C kernel template plus its hole signature."""
+
+    source: str
+    name: str
+    holes: dict[str, str] = field(hash=False)
+    template_id: str
+
+    @classmethod
+    def from_source(cls, source: str, name: str | None = None) -> "KernelTemplate":
+        """Build a template from mini-C text.
+
+        ``name`` defaults to the first kernel's name in the source; the
+        hole signature comes from a lex-only scan (no parse span, no
+        bindings needed).
+        """
+        if name is None:
+            match = _KERNEL_NAME_RE.search(source)
+            if match is None:
+                raise TemplateError("template defines no `void kernel(...)`")
+            name = match.group(1)
+        holes = template_holes(source)
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        return cls(source=source, name=name, holes=holes, template_id=digest)
+
+    # -- bindings ----------------------------------------------------------
+
+    def canonical_bindings(
+        self, bindings: dict[str, int | float]
+    ) -> CanonicalBindings:
+        """Validate and canonicalize a call-time binding set.
+
+        Every hole must be bound with a value matching its declared type;
+        unknown names are rejected so a typo cannot silently produce an
+        unspecialized (and uncacheable) variant.
+        """
+        unknown = sorted(set(bindings) - set(self.holes))
+        if unknown:
+            raise TemplateError(
+                f"template {self.name!r} has no hole(s) {', '.join(unknown)} "
+                f"(holes: {sorted(self.holes) or 'none'})"
+            )
+        missing = sorted(set(self.holes) - set(bindings))
+        if missing:
+            raise TemplateError(
+                f"template {self.name!r}: unbound hole(s) {', '.join(missing)}"
+            )
+        out = []
+        for hole in sorted(self.holes):
+            declared = self.holes[hole]
+            value = bindings[hole]
+            if declared in ("int", "long"):
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise TemplateError(
+                        f"hole ${hole}:{declared} needs an int, got {value!r}"
+                    )
+                out.append((hole, declared, int(value)))
+            else:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise TemplateError(
+                        f"hole ${hole}:{declared} needs a number, got {value!r}"
+                    )
+                out.append((hole, declared, float(value)))
+        return tuple(out)
+
+    def binding_digest(self, canonical: CanonicalBindings) -> str:
+        """A short stable digest of one canonical binding set."""
+        text = "\x1f".join(f"{h}:{t}={v!r}" for h, t, v in canonical)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def module_name(self, canonical: CanonicalBindings) -> str:
+        """The deterministic name of the specialized module.
+
+        Carrying the binding digest in the module name keeps distinct
+        specializations distinct in the content-addressed artifact store
+        even if their folded bodies happen to coincide.
+        """
+        return f"{self.name}__{self.binding_digest(canonical)[:12]}"
+
+    def int_extents(self, canonical: CanonicalBindings) -> dict[str, int]:
+        """The integer-typed bindings — the shape axes of this call."""
+        return {h: v for h, t, v in canonical if t in ("int", "long")}
+
+
+def as_template(template: "KernelTemplate | str") -> KernelTemplate:
+    """Coerce raw mini-C text (or pass through a template)."""
+    if isinstance(template, KernelTemplate):
+        return template
+    return KernelTemplate.from_source(template)

@@ -1,0 +1,148 @@
+"""``jit-specialize``: shape-driven specialization of a bound template.
+
+The ``repro.jit`` frontend parses a kernel template with its call-time
+bindings already substituted, so loop bounds arrive as literal
+arithmetic.  This pass finishes the job in the IR:
+
+1. **const-fold** the literal arithmetic (``repro.ir.fold``) so trip
+   counts become plain ``IntLit`` bounds the compiler models can read;
+2. **mark ``independent``** on every loop the dependence analysis proves
+   has a disjoint index map (same analysis as ``add-independent``);
+3. optionally attach shape-gated schedule directives chosen by the
+   specializer's shape-class plan:
+
+   * ``unroll=f`` puts ``#pragma hmppcg unroll(f)`` on each innermost
+     loop whose (now constant) trip count divides evenly by ``f`` —
+     the CAPS pipeline then performs the unroll for real;
+   * ``tile=(tx, ty)`` puts ``acc loop tile(tx, ty)`` on 2-deep perfect
+     nests whose constant extents divide evenly.
+
+Steps 1–2 run with no options and are unconditionally semantics
+preserving, which is what the conformance battery exercises; the
+directive attachments are divisibility-gated so a mismatched shape
+class degrades to a no-op rather than an illegal schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...ir.directives import AccLoop, HmppUnroll
+from ...ir.expr import IntLit
+from ...ir.fold import fold_kernel
+from ...ir.stmt import For, KernelFunction, perfect_nest
+from .independent import add_independent
+from .tile import nest_is_tileable
+
+
+def constant_trip_count(loop: For) -> int | None:
+    """The loop's trip count when both bounds are integer literals."""
+    if not (isinstance(loop.lower, IntLit) and isinstance(loop.upper, IntLit)):
+        return None
+    lo, hi = loop.lower.value, loop.upper.value
+    if hi <= lo:
+        return 0
+    return (hi - lo + loop.step - 1) // loop.step
+
+
+def _is_innermost(loop: For) -> bool:
+    return not any(isinstance(s, For) for s in loop.body.walk())
+
+
+def _attach_unroll(kernel: KernelFunction, factor: int) -> list[int]:
+    """Attach ``hmppcg unroll(factor)`` where the trip count divides."""
+    attached: list[int] = []
+    for loop in kernel.loops():
+        if not _is_innermost(loop):
+            continue
+        if loop.directives.first(HmppUnroll) is not None:
+            continue
+        trip = constant_trip_count(loop)
+        if trip is None or trip < factor or trip % factor != 0:
+            continue
+        loop.directives = loop.directives.with_added(HmppUnroll(factor=factor))
+        attached.append(loop.loop_id)
+    return attached
+
+
+def _attach_tile(kernel: KernelFunction, sizes: tuple[int, int]) -> list[int]:
+    """Attach ``acc loop tile(sizes)`` on evenly-divisible 2-deep nests."""
+    attached: list[int] = []
+    inner_ids = set()
+    for loop in kernel.loops():
+        if loop.loop_id in inner_ids or not nest_is_tileable(loop):
+            continue
+        nest = perfect_nest(loop)[:2]
+        if len(nest) < 2:
+            continue
+        trips = [constant_trip_count(l) for l in nest]
+        ok = all(
+            trip is not None and trip >= size and trip % size == 0
+            for trip, size in zip(trips, sizes)
+        )
+        if not ok:
+            continue
+        acc = loop.directives.first(AccLoop)
+        if acc is None:
+            loop.directives = loop.directives.with_added(AccLoop(tile=tuple(sizes)))
+        elif acc.tile is None:  # type: ignore[union-attr]
+            loop.directives = loop.directives.with_replaced(
+                AccLoop, dataclasses.replace(acc, tile=tuple(sizes))
+            )
+        else:
+            continue
+        attached.append(loop.loop_id)
+        inner_ids.update(l.loop_id for l in nest[1:])
+    return attached
+
+
+def specialize_kernel(
+    kernel: KernelFunction,
+    unroll: int | None = None,
+    tile: tuple[int, int] | None = None,
+    mark_independent: bool = True,
+) -> KernelFunction:
+    """Fold constants, prove independence, attach shape-gated directives."""
+    work = fold_kernel(kernel)
+    if mark_independent:
+        work = add_independent(work).kernel
+    if unroll is not None and unroll >= 2:
+        _attach_unroll(work, unroll)
+    if tile is not None and len(tile) == 2 and min(tile) >= 2:
+        _attach_tile(work, (int(tile[0]), int(tile[1])))
+    return work
+
+
+# ---------------------------------------------------------------------------
+# registered pass
+# ---------------------------------------------------------------------------
+
+from ..registry import register_pass  # noqa: E402
+
+
+@register_pass(
+    "jit-specialize",
+    description="Const-fold bound trip counts, mark provably independent "
+    "loops, and attach divisibility-gated unroll/tile directives per the "
+    "jit shape-class plan",
+    tags=("generic", "jit"),
+    options=("unroll", "tile", "mark_independent"),
+)
+def jit_specialize_pass(kernel: KernelFunction, ctx) -> KernelFunction:
+    out = specialize_kernel(
+        kernel,
+        unroll=ctx.option("unroll"),
+        tile=ctx.option("tile"),
+        mark_independent=ctx.option("mark_independent", True),
+    )
+    attached = sum(
+        1
+        for loop in out.loops()
+        if loop.directives.first(HmppUnroll) is not None
+        or (
+            loop.directives.first(AccLoop) is not None
+            and loop.directives.first(AccLoop).tile is not None  # type: ignore[union-attr]
+        )
+    )
+    ctx.say(f"jit-specialize: {attached} schedule directive(s) attached")
+    return out

@@ -425,13 +425,17 @@ class PtxGenerator:
                 self.gen_stmt(child)
             return
         if isinstance(stmt, Decl):
+            # An init-less declaration emits nothing: registers are
+            # allocated at the first definition, so `int i; for (i...)`
+            # and the decl-less spelling compile byte-identically (the
+            # canonical print round-trips through the server protocol).
             self._dtypes[stmt.name] = stmt.type.dtype
-            reg = self._reg(stmt.type.dtype)
-            self._var_regs[stmt.name] = reg
             if stmt.init is not None:
+                reg = self._reg(stmt.type.dtype)
+                self._var_regs[stmt.name] = reg
                 value = self._operand(stmt.init)
                 self._emit("mov", _SUFFIX[stmt.type.dtype], reg, value)
-            self._stmt_overhead()
+                self._stmt_overhead()
             return
         if isinstance(stmt, Assign):
             self._gen_assign(stmt)

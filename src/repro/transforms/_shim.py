@@ -8,25 +8,47 @@ implementation wrapped to emit a :class:`DeprecationWarning`, and every
 error class is re-exported identically, so old call sites keep working
 byte-for-byte (``tests/passes/test_transform_shims.py`` checks the
 equivalence).
+
+Each deprecated alias warns **once per process**: the first call
+through a given alias names the new import path; later calls (a sweep
+visiting a legacy helper thousands of times) stay silent instead of
+flooding stderr.  :func:`reset_deprecation_warnings` re-arms them
+(tests).
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 import warnings
+
+#: aliases that already warned this process, keyed by old import path
+_warned: set[str] = set()
+_warned_lock = threading.Lock()
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm every deprecated alias to warn again (test isolation)."""
+    with _warned_lock:
+        _warned.clear()
 
 
 def deprecated_alias(fn, old: str):
-    """Wrap *fn* to warn that *old* is a deprecated import path."""
+    """Wrap *fn* to warn — once per process — that *old* is a deprecated
+    import path."""
     new = f"{fn.__module__}.{fn.__name__}"
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
-        warnings.warn(
-            f"{old} is deprecated; import {new} instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        with _warned_lock:
+            first = old not in _warned
+            _warned.add(old)
+        if first:
+            warnings.warn(
+                f"{old} is deprecated; import {new} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return fn(*args, **kwargs)
 
     wrapper.__wrapped_pass_fn__ = fn

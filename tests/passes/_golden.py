@@ -52,9 +52,15 @@ def collect_signatures() -> dict[str, str]:
         out[f"fig4/{request.label}"] = _sha(artifact_signature(slot))
 
     # -- every benchmark stage x compiler/target ---------------------------
+    from repro.core.ladder import ladder_stages
+
     for name in sorted(BENCHMARKS):
         benchmark = get_benchmark(name)
-        for stage, module in benchmark.stages().items():
+        stages = dict(benchmark.stages())
+        # the core optimization ladder rungs (fuse-reuse / shared-tile),
+        # applied to the baseline module, pinned like any other stage
+        stages.update(ladder_stages(benchmark.module()))
+        for stage, module in stages.items():
             for compiler, target in ACC_PAIRS:
                 key = f"{name}/{stage}/{compiler}-{target}"
                 try:

@@ -4,9 +4,11 @@
 the pre-refactor compilers produced: the full Fig. 4 LUD grid (72
 points through the compile service), every benchmark stage through every
 (compiler, target) pair of the paper's matrix, and the hand-written
-OpenCL programs on GPU and MIC — 137 artifacts in total, documented
-refusals included.  The declarative pass pipelines must reproduce all of
-them exactly (ISSUE 7 acceptance).
+OpenCL programs on GPU and MIC — 137 artifacts, documented refusals
+included.  The declarative pass pipelines must reproduce all of them
+exactly (ISSUE 7 acceptance).  ISSUE 8 added the 45 optimization-ladder
+artifacts (fuse-reuse / shared-tile / full ladder per benchmark, per
+compiler/target pair), pinned from the tree that registered the rungs.
 
 Regenerate (only after an *intentional* artifact change) with::
 
@@ -32,4 +34,8 @@ def test_artifacts_match_pre_refactor_goldens():
         f"{len(changed)}/{len(golden)} artifacts changed vs the "
         f"pre-refactor tree, e.g. {changed[:10]}"
     )
-    assert len(golden) == 137  # the grid is complete, not silently shrunk
+    # the grid is complete, not silently shrunk: 137 pre-refactor artifacts
+    # + 45 optimization-ladder artifacts (5 benchmarks x 3 ladder stages x
+    # 3 compiler/target pairs), pinned deliberately when the fuse-reuse /
+    # shared-tile rungs joined the core ladders (ISSUE 8)
+    assert len(golden) == 137 + 45

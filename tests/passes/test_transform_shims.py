@@ -30,6 +30,7 @@ import repro.transforms.tile as old_tile
 import repro.transforms.unroll as old_unroll
 from repro.frontend import parse_kernel
 from repro.service.fingerprint import fingerprint_kernel
+from repro.transforms._shim import reset_deprecation_warnings
 
 SHIMS = {
     "unroll": (old_unroll, new_unroll,
@@ -82,11 +83,51 @@ def test_shim_wraps_same_implementation(module):
 def test_shim_emits_deprecation_warning(module):
     old_mod, _, functions, _ = SHIMS[module]
     name = functions[0]
+    reset_deprecation_warnings()  # aliases warn once per process
     with pytest.warns(DeprecationWarning, match="repro.passes.library"):
         try:
             getattr(old_mod, name)(parse_kernel(SRC))
         except Exception:
             pass  # only the warning is under test here
+
+
+def test_shim_warns_once_per_process():
+    """A sweep hammering a legacy alias must not flood stderr: only the
+    first call through each alias warns (ISSUE 8, satellite 6)."""
+    reset_deprecation_warnings()
+
+    def call():
+        k = parse_kernel(SRC)
+        return old_unroll.unroll_in_kernel(
+            k, next(iter(k.loops())).loop_id, 2
+        )
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        call()
+        call()
+        call()
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"expected exactly one warning over three calls, got "
+        f"{len(deprecations)}"
+    )
+    assert "repro.passes.library" in str(deprecations[0].message)
+
+    # a different alias still gets its own first warning
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        k = parse_kernel(SRC)
+        old_independent.add_independent(k)
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+    # re-arming brings the first alias back
+    reset_deprecation_warnings()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        call()
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
 
 def test_shim_output_equivalence():

@@ -17,7 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.frontend import parse_kernel
-from repro.ir.directives import AccCache, AccData
+from repro.ir.directives import AccCache, AccData, AccLoop
 from repro.ir.expr import ArrayRef, IntLit, Var
 from repro.ir.stmt import Assign, If, Module, Stmt
 from repro.ir.types import DType
@@ -158,6 +158,22 @@ def _write_const_param(k):
     )
 
 
+def _collapse_on_flat_loop(k):
+    # collapse(2) needs a 2-deep perfect nest; CLEAN's loops are flat
+    loop = _loops(k)[0]
+    loop.directives = loop.directives.with_added(AccLoop(collapse=2))
+
+
+def _gang_inside_gang(k):
+    # nest the second loop under the first and schedule gang on both:
+    # the inner gang would re-launch the coarsest parallelism level
+    a, b = _loops(k)
+    a.directives = a.directives.with_added(AccLoop(gang=128))
+    b.directives = b.directives.with_added(AccLoop(gang=128))
+    k.body.stmts.remove(b)
+    a.body.stmts.append(b)
+
+
 CATALOG = {
     "duplicate-loop-id": (_dup_loop_id, "unique-loop-ids"),
     "aliased-statement": (_aliased_stmt, "stmt-integrity"),
@@ -177,6 +193,8 @@ CATALOG = {
     "cache-on-written": (_cache_on_written, "directive-cache"),
     "cache-never-read": (_cache_never_read, "directive-cache"),
     "write-const-param": (_write_const_param, "param-intent"),
+    "collapse-on-flat-loop": (_collapse_on_flat_loop, "collapse-legality"),
+    "gang-inside-gang": (_gang_inside_gang, "gang-worker-nesting"),
 }
 
 #: corruptions expressed at the source level (directive legality against
@@ -224,6 +242,68 @@ SOURCE_CATALOG = {
         """,
         "directive-reduction",
     ),
+    "collapse-non-rectangular": (
+        """
+        void kc(float *a, int n) {
+            int i;
+            int j;
+        #pragma acc loop collapse(2)
+            for (i = 0; i < n; i++) {
+                for (j = 0; j < i; j++) {
+                    a[i * n + j] = a[i * n + j] + 1.0f;
+                }
+            }
+        }
+        """,
+        "collapse-legality",
+    ),
+    "collapse-too-deep": (
+        """
+        void kt(float *a, int n) {
+            int i;
+            int j;
+        #pragma acc loop collapse(3)
+            for (i = 0; i < n; i++) {
+                for (j = 0; j < n; j++) {
+                    a[i * n + j] = a[i * n + j] * 2.0f;
+                }
+            }
+        }
+        """,
+        "collapse-legality",
+    ),
+    "gang-inside-worker": (
+        """
+        void kg(float *a, int n) {
+            int i;
+            int j;
+        #pragma acc loop worker(32)
+            for (i = 0; i < n; i++) {
+        #pragma acc loop gang(128)
+                for (j = 0; j < n; j++) {
+                    a[i * n + j] = a[i * n + j] + 1.0f;
+                }
+            }
+        }
+        """,
+        "gang-worker-nesting",
+    ),
+    "worker-inside-vector": (
+        """
+        void kv(float *a, int n) {
+            int i;
+            int j;
+        #pragma acc loop vector(4)
+            for (i = 0; i < n; i++) {
+        #pragma acc loop worker(8)
+                for (j = 0; j < n; j++) {
+                    a[i * n + j] = a[i * n + j] + 1.0f;
+                }
+            }
+        }
+        """,
+        "gang-worker-nesting",
+    ),
 }
 
 
@@ -261,11 +341,13 @@ def test_duplicate_kernels_in_module():
 
 def test_catalog_is_large_enough():
     """ISSUE 7 acceptance: at least 10 distinct corruptions, spanning
-    both verifier levels."""
-    assert len(CATALOG) + len(SOURCE_CATALOG) >= 10
+    both verifier levels.  ISSUE 8 grew the strict level with
+    collapse-legality and gang/worker-nesting, each backed by catalog
+    corruptions — the floor rises with it."""
+    assert len(CATALOG) + len(SOURCE_CATALOG) >= 24
     checks = {c for _, c in CATALOG.values()}
     checks |= {c for _, c in SOURCE_CATALOG.values()}
-    assert len(checks) >= 8  # distinct verifier checks exercised
+    assert len(checks) >= 10  # distinct verifier checks exercised
 
 
 @pytest.mark.parametrize("seed", CORPUS_SEEDS)

@@ -1,0 +1,101 @@
+"""Constant folding (``repro.ir.fold``): C integer semantics, float
+preservation, and scalar substitution — the jit frontend's step 1."""
+
+import pytest
+
+from repro.frontend import parse_kernel
+from repro.ir import fold_expr, fold_kernel, substitute_scalars
+from repro.ir.expr import BinOp, FloatLit, IntLit, Ternary, UnaryOp, Var
+from repro.ir.printer import print_kernel
+from repro.ir.types import DType
+
+
+def i32(v):
+    return IntLit(v, DType.INT32)
+
+
+class TestFoldExpr:
+    def test_arithmetic(self):
+        assert fold_expr(BinOp("+", i32(2), i32(3))) == i32(5)
+        assert fold_expr(BinOp("*", i32(6), i32(7))) == i32(42)
+
+    def test_c_truncating_division(self):
+        # C truncates toward zero; Python floors — they differ on negatives
+        assert fold_expr(BinOp("/", i32(-7), i32(2))) == i32(-3)
+        assert fold_expr(BinOp("%", i32(-7), i32(2))) == i32(-1)
+
+    def test_division_by_zero_not_folded(self):
+        expr = BinOp("/", i32(1), i32(0))
+        assert fold_expr(expr) == expr
+
+    def test_overflow_not_folded(self):
+        expr = BinOp("*", i32(2**30), i32(4))
+        assert fold_expr(expr) == expr
+
+    def test_int64_widening(self):
+        folded = fold_expr(
+            BinOp("*", IntLit(2**30, DType.INT64), i32(4))
+        )
+        assert folded == IntLit(2**32, DType.INT64)
+
+    def test_floats_never_folded(self):
+        # bit-exactness: float expressions reach the executor untouched
+        expr = BinOp("+", FloatLit(0.1, DType.FLOAT32),
+                     FloatLit(0.2, DType.FLOAT32))
+        assert fold_expr(expr) == expr
+
+    def test_unary_and_ternary(self):
+        assert fold_expr(UnaryOp("-", i32(5))) == i32(-5)
+        picked = fold_expr(Ternary(i32(1), i32(10), i32(20)))
+        assert picked == i32(10)
+
+    def test_nested_fold(self):
+        # (2 + 3) * (10 - 6) folds bottom-up to 20
+        expr = BinOp("*", BinOp("+", i32(2), i32(3)),
+                     BinOp("-", i32(10), i32(6)))
+        assert fold_expr(expr) == i32(20)
+
+    def test_free_variables_block_folding(self):
+        expr = BinOp("+", Var("n"), i32(1))
+        assert fold_expr(expr) == expr
+
+
+SRC = """
+void k(float *a, int n, float eps) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = a[i] + eps;
+    }
+}
+"""
+
+
+class TestSubstituteScalars:
+    def test_binds_and_drops_params(self):
+        kernel = parse_kernel(SRC)
+        bound = substitute_scalars(kernel, {"n": 128, "eps": 0.5})
+        names = [p.name for p in bound.params]
+        assert "n" not in names and "eps" not in names
+        text = print_kernel(bound)
+        assert "i < 128" in text and "0.5f" in text
+
+    def test_keep_params(self):
+        kernel = parse_kernel(SRC)
+        bound = substitute_scalars(kernel, {"n": 64}, drop_params=False)
+        assert "n" in [p.name for p in bound.params]
+
+    def test_unknown_binding_rejected(self):
+        kernel = parse_kernel(SRC)
+        with pytest.raises(KeyError, match="ghost"):
+            substitute_scalars(kernel, {"ghost": 1})
+
+    def test_array_binding_rejected(self):
+        kernel = parse_kernel(SRC)
+        with pytest.raises(ValueError, match="a"):
+            substitute_scalars(kernel, {"a": 1})
+
+    def test_fold_kernel_after_substitution(self):
+        kernel = parse_kernel(SRC)
+        folded = fold_kernel(substitute_scalars(kernel, {"n": 128}))
+        loop = next(iter(folded.loops()))
+        assert loop.upper == i32(128)

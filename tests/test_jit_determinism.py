@@ -1,0 +1,124 @@
+"""Determinism guard for the jit frontend (ISSUE 8 satellite).
+
+Same template + same shapes must produce **byte-identical** artifacts —
+across worker-pool sizes, cold vs warm caches, in-process vs
+server-coalesced compiles, and under an injected fault plan with
+retries.  The jit layers (template digest, shape-class plan, pipeline,
+content-addressed store) are invisible optimizations, never semantic
+inputs."""
+
+import threading
+
+import pytest
+
+from repro.faults import parse_fault_spec
+from repro.jit import SpecializationCache, specialize
+from repro.jit.bench import SEED_SHAPES, SEED_TEMPLATES, seed_templates
+from repro.server import ServerClient, artifact_signature, spawn_local
+from repro.service import CompileService, RetryPolicy, SimClock
+
+#: every seed template x every seed shape: the full determinism surface
+CASES = [
+    (name, shape)
+    for name in sorted(SEED_TEMPLATES)
+    for shape in SEED_SHAPES[name]
+]
+
+
+def signatures(service: CompileService) -> list[str]:
+    """Specialize every case through *service* with a fresh cache."""
+    cache = SpecializationCache()
+    templates = seed_templates()
+    return [
+        artifact_signature(
+            specialize(templates[name], shape, service=service,
+                       cache=cache).result
+        )
+        for name, shape in CASES
+    ]
+
+
+def test_jobs1_vs_jobs4_byte_identical():
+    assert signatures(CompileService(jobs=1)) == \
+        signatures(CompileService(jobs=4))
+
+
+def test_cold_vs_warm_byte_identical():
+    service = CompileService()
+    cold = signatures(service)
+    compiles = service.metrics.compiles
+    warm = signatures(service)  # fresh L1, warm artifact store
+    assert warm == cold
+    assert service.metrics.compiles == compiles  # zero recompilations
+
+
+def test_fresh_process_state_byte_identical():
+    # two completely independent service+cache universes agree
+    assert signatures(CompileService()) == signatures(CompileService())
+
+
+def test_faulted_with_retries_byte_identical():
+    clean = signatures(CompileService())
+    faulted_service = CompileService(
+        fault_plan=parse_fault_spec("transient:p=0.3,seed=11"),
+        retry=RetryPolicy(max_retries=5),
+        clock=SimClock(),
+    )
+    faulted = signatures(faulted_service)
+    assert faulted == clean
+    assert faulted_service.metrics.faults_injected > 0, (
+        "p=0.3 over the seed sweep must actually inject faults"
+    )
+    assert faulted_service.metrics.retries > 0
+
+
+def test_in_process_vs_server_coalesced_byte_identical():
+    local = signatures(CompileService())
+
+    templates = seed_templates()
+    with spawn_local() as (server, client):
+        remote = [
+            artifact_signature(
+                specialize(templates[name], shape, client=client,
+                           cache=SpecializationCache()).result
+            )
+            for name, shape in CASES
+        ]
+    assert remote == local
+
+
+def test_concurrent_clients_coalesce_to_identical_artifacts():
+    """N clients race the same cold shape: the daemon coalesces the
+    in-flight duplicates and every client gets the same bytes."""
+    clients = 4
+    template = seed_templates()["scale2d"]
+    shape = SEED_SHAPES["scale2d"][1]
+    results: list[str | None] = [None] * clients
+    errors: list[Exception] = []
+    barrier = threading.Barrier(clients)
+
+    with spawn_local() as (server, _bootstrap):
+        host, port = server.address
+
+        def worker(slot: int) -> None:
+            try:
+                with ServerClient(host, port,
+                                  client_id=f"det-{slot}") as client:
+                    barrier.wait()
+                    spec = specialize(template, shape, client=client,
+                                      cache=SpecializationCache())
+                    results[slot] = artifact_signature(spec.result)
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        coalesced = int(server.status()["batcher"]["coalesced"])
+
+    assert not errors
+    assert len(set(results)) == 1 and results[0] is not None
+    assert coalesced >= 1, "identical in-flight compiles must coalesce"

@@ -1,0 +1,195 @@
+"""The ``jit-specialize`` pass, ``specialize()``, and the ``@repro.jit``
+decorator — including the telemetry contract CI smokes: a warm call has
+no parse or pass spans (ISSUE 8 tentpole)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse_kernel
+from repro.ir.directives import AccLoop, HmppUnroll
+from repro.jit import SpecializationCache, SpecializationPlan, jit, specialize
+from repro.passes.library.jit_specialize import (
+    constant_trip_count,
+    specialize_kernel,
+)
+from repro.service import CompileService
+from repro.telemetry import configure_tracer, get_tracer, reset_tracer
+
+SAXPY = """
+void saxpy(float* y, const float* x, float a, int n) {
+  #pragma acc parallel
+  #pragma acc loop independent
+  for (i = 0; i < $n; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+"""
+
+
+def bound_kernel(n=128):
+    return parse_kernel(SAXPY, bindings={"n": n})
+
+
+NEST = """
+void scale2d(float* a, const float* b, int rows, int cols) {
+  for (i = 0; i < $rows; i++) {
+    for (j = 0; j < $cols; j++) {
+      a[i * cols + j] = b[i * cols + j] * 2.0f;
+    }
+  }
+}
+"""
+
+
+class TestSpecializeKernel:
+    def test_trip_count(self):
+        loop = next(iter(bound_kernel(100).loops()))
+        assert constant_trip_count(loop) == 100
+
+    def test_trip_count_unknown_bounds(self):
+        src = "void k(float* a, int n) { for (i = 0; i < n; i++) { a[i] = 0.0f; } }"
+        loop = next(iter(parse_kernel(src).loops()))
+        assert constant_trip_count(loop) is None
+
+    def test_unroll_attached_when_divisible(self):
+        out = specialize_kernel(bound_kernel(128), unroll=4)
+        loop = next(iter(out.loops()))
+        directive = loop.directives.first(HmppUnroll)
+        assert directive is not None and directive.factor == 4
+
+    def test_unroll_gated_on_divisibility(self):
+        out = specialize_kernel(bound_kernel(102), unroll=4)  # 102 % 4 != 0
+        loop = next(iter(out.loops()))
+        assert loop.directives.first(HmppUnroll) is None
+
+    def test_unroll_skips_tiny_trips(self):
+        out = specialize_kernel(bound_kernel(2), unroll=4)
+        loop = next(iter(out.loops()))
+        assert loop.directives.first(HmppUnroll) is None
+
+    def test_tile_attached_on_divisible_nest(self):
+        kernel = parse_kernel(NEST, bindings={"rows": 64, "cols": 128})
+        out = specialize_kernel(kernel, tile=(32, 4))
+        outer = next(iter(out.loops()))
+        acc = outer.directives.first(AccLoop)
+        assert acc is not None and acc.tile == (32, 4)
+
+    def test_tile_gated_on_divisibility(self):
+        kernel = parse_kernel(NEST, bindings={"rows": 100, "cols": 37})
+        out = specialize_kernel(kernel, tile=(32, 4))
+        outer = next(iter(out.loops()))
+        acc = outer.directives.first(AccLoop)
+        assert acc is None or acc.tile is None
+
+    def test_independent_marked(self):
+        src = "void k(float* a, int n) { for (i = 0; i < $n; i++) { a[i] = 1.0f; } }"
+        out = specialize_kernel(parse_kernel(src, bindings={"n": 16}))
+        loop = next(iter(out.loops()))
+        acc = loop.directives.first(AccLoop)
+        assert acc is not None and acc.independent
+
+
+class TestSpecializeFunction:
+    def test_caps_performs_the_unroll(self):
+        spec = specialize(SAXPY, {"n": 128}, cache=SpecializationCache(),
+                          service=CompileService())
+        assert spec.plan.unroll == 4  # aligned class
+        kernel = spec.kernel()
+        # CAPS consumed the hmppcg unroll: the loop body now holds the
+        # four replicated statements
+        from repro.ir.printer import print_kernel
+
+        text = print_kernel(kernel.ir)
+        assert text.count("y[") >= 4
+        assert kernel.distribution.strategy.value == "gridify 1D"
+
+    def test_plan_override(self):
+        spec = specialize(
+            SAXPY, {"n": 128}, cache=SpecializationCache(),
+            service=CompileService(),
+            plan=SpecializationPlan(unroll=None, mark_independent=True),
+        )
+        assert spec.plan.unroll is None
+
+    def test_label_names_template_and_class(self):
+        spec = specialize(SAXPY, {"n": 128}, cache=SpecializationCache(),
+                          service=CompileService())
+        assert spec.module_name.startswith("saxpy__")
+        assert spec.shape_class.describe() == "n=aligned"
+
+
+class TestDecorator:
+    def _make(self, **kwargs):
+        @jit(cache=SpecializationCache(), service=CompileService(), **kwargs)
+        def saxpy(**args):
+            """
+            void saxpy(float* y, const float* x, float a, int n) {
+              #pragma acc parallel
+              #pragma acc loop independent
+              for (i = 0; i < $n; i++) {
+                y[i] = a * x[i] + y[i];
+              }
+            }
+            """
+
+        return saxpy
+
+    def test_executes_in_place(self):
+        saxpy = self._make()
+        y = np.ones(128, dtype=np.float32)
+        x = np.arange(128, dtype=np.float32)
+        saxpy(y=y, x=x, a=np.float32(2.0), n=128)
+        np.testing.assert_allclose(y, 1.0 + 2.0 * np.arange(128))
+
+    def test_warm_call_is_cache_hit(self):
+        saxpy = self._make()
+        y = np.zeros(64, dtype=np.float32)
+        x = np.zeros(64, dtype=np.float32)
+        first = saxpy(y=y, x=x, a=np.float32(1.0), n=64)
+        second = saxpy(y=y, x=x, a=np.float32(1.0), n=64)
+        assert second is first
+        assert saxpy.cache.stats()["exact_hits"] >= 1
+
+    def test_missing_argument_named(self):
+        saxpy = self._make()
+        with pytest.raises(TypeError, match="missing"):
+            saxpy(y=np.zeros(8, dtype=np.float32), n=8)
+
+    def test_docstring_required(self):
+        from repro.jit import TemplateError
+
+        with pytest.raises(TemplateError, match="docstring"):
+
+            @jit
+            def nodoc(**args):
+                pass
+
+
+class TestWarmSpanContract:
+    """The CI ``jit-smoke`` invariant: a warm call records no
+    ``frontend.parse`` and no pass spans — it is provably compile-free."""
+
+    def teardown_method(self):
+        reset_tracer()
+
+    def test_cold_then_warm_span_sets(self):
+        saxpy = TestDecorator()._make()
+        y = np.zeros(96, dtype=np.float32)
+        x = np.zeros(96, dtype=np.float32)
+
+        configure_tracer(enabled=True)
+        tracer = get_tracer()
+        saxpy(y=y, x=x, a=np.float32(1.0), n=96)
+        cold_names = {s.name for s in tracer.spans()}
+        assert "jit.call" in cold_names
+        assert "jit.specialize" in cold_names
+        assert "frontend.parse" in cold_names
+
+        tracer.clear()
+        saxpy(y=y, x=x, a=np.float32(1.0), n=96)
+        warm = tracer.spans()
+        warm_names = {s.name for s in warm}
+        assert warm_names == {"jit.cache", "jit.call"}
+        call = next(s for s in warm if s.name == "jit.call")
+        assert call.attributes["phase"] == "warm"
+        assert not any(s.category == "pass" for s in warm)

@@ -1,0 +1,187 @@
+"""``repro.jit`` frontend units: typed template holes, shape classes,
+specialization plans, and the two-level cache (ISSUE 8 tentpole)."""
+
+import pytest
+
+from repro.frontend import parse_kernel, parse_module, template_holes
+from repro.ir.printer import print_kernel
+from repro.jit import (
+    ALIGNMENT,
+    SMALL_LIMIT,
+    KernelTemplate,
+    ShapeClass,
+    SpecializationCache,
+    SpecializationPlan,
+    TemplateError,
+    classify_extent,
+    plan_for,
+)
+
+SAXPY = """
+void saxpy(float* y, const float* x, float a, int n) {
+  #pragma acc loop independent
+  for (i = 0; i < $n; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+"""
+
+RELAX = """
+void relax(float* a, int n) {
+  for (i = 0; i < $n; i++) {
+    a[i] = a[i] * $omega:float + $bias:double;
+  }
+}
+"""
+
+
+class TestTemplateHoles:
+    def test_lex_only_scan(self):
+        holes = template_holes(SAXPY)
+        assert holes == {"n": "int"}
+
+    def test_typed_holes(self):
+        holes = template_holes(RELAX)
+        assert holes == {"n": "int", "omega": "float", "bias": "double"}
+
+    def test_conflicting_redeclaration_rejected(self):
+        src = "void k(float* a) { a[0] = $w:float + $w:double; }"
+        with pytest.raises(Exception, match="w"):
+            template_holes(src)
+
+    def test_parse_with_bindings_substitutes_literals(self):
+        kernel = parse_kernel(SAXPY, bindings={"n": 256})
+        text = print_kernel(kernel)
+        assert "i < 256" in text and "$" not in text
+
+    def test_parse_without_bindings_rejects_holes(self):
+        with pytest.raises(Exception, match="n"):
+            parse_kernel(SAXPY)
+
+    def test_float_hole_binds_float_literal(self):
+        kernel = parse_kernel(RELAX, bindings={"n": 8, "omega": 1.5,
+                                               "bias": 0.25})
+        text = print_kernel(kernel)
+        assert "1.5f" in text
+
+    def test_module_parse_with_bindings(self):
+        module = parse_module(SAXPY, "m", bindings={"n": 64})
+        assert module.kernels[0].name == "saxpy"
+
+
+class TestKernelTemplate:
+    def test_from_source_infers_name_and_holes(self):
+        t = KernelTemplate.from_source(SAXPY)
+        assert t.name == "saxpy"
+        assert t.holes == {"n": "int"}
+        assert len(t.template_id) == 64
+
+    def test_template_id_is_content_addressed(self):
+        assert (KernelTemplate.from_source(SAXPY).template_id
+                == KernelTemplate.from_source(SAXPY).template_id)
+        assert (KernelTemplate.from_source(SAXPY).template_id
+                != KernelTemplate.from_source(RELAX).template_id)
+
+    def test_canonical_bindings_sorted_and_typed(self):
+        t = KernelTemplate.from_source(RELAX)
+        canonical = t.canonical_bindings(
+            {"omega": 2, "n": 32, "bias": 1.0}
+        )
+        assert canonical == (
+            ("bias", "double", 1.0),
+            ("n", "int", 32),
+            ("omega", "float", 2.0),
+        )
+        assert t.int_extents(canonical) == {"n": 32}
+
+    def test_unknown_hole_rejected(self):
+        t = KernelTemplate.from_source(SAXPY)
+        with pytest.raises(TemplateError, match="ghost"):
+            t.canonical_bindings({"n": 1, "ghost": 2})
+
+    def test_missing_hole_rejected(self):
+        t = KernelTemplate.from_source(SAXPY)
+        with pytest.raises(TemplateError, match="unbound"):
+            t.canonical_bindings({})
+
+    def test_int_hole_rejects_float(self):
+        t = KernelTemplate.from_source(SAXPY)
+        with pytest.raises(TemplateError, match="int"):
+            t.canonical_bindings({"n": 1.5})
+
+    def test_module_name_distinguishes_bindings(self):
+        t = KernelTemplate.from_source(SAXPY)
+        a = t.module_name(t.canonical_bindings({"n": 128}))
+        b = t.module_name(t.canonical_bindings({"n": 256}))
+        assert a != b and a.startswith("saxpy__")
+
+    def test_no_kernel_in_source(self):
+        with pytest.raises(TemplateError, match="void"):
+            KernelTemplate.from_source("int x;")
+
+
+class TestShapeClasses:
+    def test_strata_boundaries(self):
+        assert classify_extent(SMALL_LIMIT) == "small"
+        assert classify_extent(SMALL_LIMIT + 1) == "large"
+        assert classify_extent(ALIGNMENT * 4) == "aligned"
+        assert classify_extent(1000) == "large"
+
+    def test_class_of_bindings(self):
+        sc = ShapeClass.of({"rows": 128, "cols": 100})
+        assert sc.describe() == "cols=large,rows=aligned"
+        assert sc.stratum_set() == frozenset({"aligned", "large"})
+
+    def test_scalar_class(self):
+        assert ShapeClass.of({}).describe() == "scalar"
+
+    def test_plans_are_pure_functions_of_class(self):
+        sc = ShapeClass.of({"n": 128})
+        assert plan_for(sc) == plan_for(ShapeClass.of({"n": 4096}))
+        assert plan_for(sc).unroll == 4
+
+    def test_small_shapes_stay_plain(self):
+        plan = plan_for(ShapeClass.of({"n": 16}))
+        assert plan == SpecializationPlan()
+        assert plan.describe() == "independent"
+
+    def test_two_aligned_axes_get_tile(self):
+        plan = plan_for(ShapeClass.of({"rows": 64 * 2, "cols": 32 * 5}))
+        assert plan.tile == (ALIGNMENT, 4)
+
+    def test_large_gets_conservative_unroll(self):
+        assert plan_for(ShapeClass.of({"n": 1000})).unroll == 2
+
+
+class TestSpecializationCache:
+    def test_levels_and_stats(self):
+        from repro.jit.specializer import specialize
+
+        cache = SpecializationCache()
+        t = KernelTemplate.from_source(SAXPY)
+
+        cold = specialize(t, {"n": 128}, cache=cache)
+        s = cache.stats()
+        assert s["specializations"] == 1 and s["misses"] == 1
+
+        warm = specialize(t, {"n": 128}, cache=cache)
+        assert warm is cold  # L1: the very same object, compile-free
+        assert cache.stats()["exact_hits"] == 1
+
+        # a new shape in the same class reuses the plan (L2)
+        sibling = specialize(t, {"n": 256}, cache=cache)
+        s = cache.stats()
+        assert s["class_hits"] == 1 and s["shape_classes"] == 1
+        assert sibling.plan == cold.plan
+        assert sibling.fingerprint != cold.fingerprint
+
+    def test_clear(self):
+        cache = SpecializationCache()
+        t = KernelTemplate.from_source(SAXPY)
+        canonical = t.canonical_bindings({"n": 128})
+        from repro.jit.specializer import specialize
+
+        specialize(t, {"n": 128}, cache=cache)
+        cache.clear()
+        assert cache.lookup(t, "caps", "cuda", canonical) is None
+        assert cache.stats()["specializations"] == 0
