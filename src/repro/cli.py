@@ -22,6 +22,10 @@ Commands:
   trajectory + server-coalesced remote compiles (docs/JIT.md).
 * ``jit-stats``      — specialize a ``$hole`` template for given shapes;
   print shape classes, plans, and the cache trajectory (docs/JIT.md).
+* ``exec-sweep``     — run the execution-heavy GE/LUD/Hydro kernel sweep
+  through the process-pool executor (docs/EXECUTOR.md); ``--exec-jobs N``
+  forks N workers over shared-memory buffers, ``--cache-dir`` persists
+  compiled kernel plans so warm runs skip codegen entirely.
 
 ``heatmap`` and ``autotune`` accept ``--ladder RUNGS`` to climb the
 registered optimization rungs (``fuse-reuse``, ``shared-tile``; see
@@ -491,6 +495,58 @@ def _cmd_jit_stats(args: argparse.Namespace) -> int:
     if counters:
         print("counters: "
               + " ".join(f"{k}={v}" for k, v in sorted(counters.items())))
+    fallbacks = _fallback_histogram()
+    if fallbacks:
+        print("executor fallbacks: "
+              + " ".join(f"{k}={v}" for k, v in sorted(fallbacks.items())))
+    return 0
+
+
+def _fallback_histogram() -> dict[str, int]:
+    """The per-reason ``executor.fallback.<reason>`` counters, keyed by
+    reason (docs/EXECUTOR.md) — why the vectorizer rejected loops."""
+    from .telemetry import get_registry
+
+    prefix = "executor.fallback."
+    return {
+        name[len(prefix):]: value
+        for name, value in get_registry().snapshot()["counters"].items()
+        if name.startswith(prefix)
+    }
+
+
+def _cmd_exec_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .runtime.parallel import run_exec_sweep
+    from .telemetry import get_registry
+
+    service = _service_from_args(args)
+    sizes = None
+    if args.size is not None:
+        sizes = {"ge": args.size, "lud": args.size, "hydro": args.size}
+    result = run_exec_sweep(
+        service=service, jobs=args.exec_jobs,
+        backend=args.exec_backend or "vector",
+        sizes=sizes, repeats=args.repeats,
+    )
+    counters = {
+        name: value
+        for name, value in get_registry().snapshot()["counters"].items()
+        if name.startswith("executor.")
+    }
+    payload = {
+        "backend": result["backend"],
+        "counters": counters,
+        "digest": result["digest"],
+        "jobs": result["jobs"],
+        "sizes": result["sizes"],
+        "tasks": result["tasks"],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"sweep: {len(result['tasks'])} tasks in "
+          f"{result['seconds']:.3f}s", file=sys.stderr)
+    _maybe_publish(service)
     return 0
 
 
@@ -555,6 +611,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="kernel executor backend: scalar interpreter, vectorizing "
                  "NumPy backend, or check (run both, assert bit-identical; "
                  "docs/EXECUTOR.md); default scalar",
+        )
+        p.add_argument(
+            "--exec-jobs", type=int, default=1, metavar="N",
+            help="execute kernels across N forked worker processes over "
+                 "shared-memory buffers; results are byte-identical to "
+                 "--exec-jobs 1 (docs/EXECUTOR.md)",
         )
 
     def add_trace_flags(p: argparse.ArgumentParser) -> None:
@@ -662,6 +724,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", choices=("cuda", "opencl"), default="cuda")
     add_trace_flags(p)
     p.set_defaults(func=_cmd_jit_stats)
+
+    p = sub.add_parser(
+        "exec-sweep",
+        help="run the execution-heavy GE/LUD/Hydro kernel sweep through "
+             "the process-pool executor (docs/EXECUTOR.md)",
+    )
+    p.add_argument("--size", type=int, default=None, metavar="N",
+                   help="problem size for every benchmark in the sweep "
+                        "(default: ge=96 lud=128 hydro=96)")
+    p.add_argument("--repeats", type=int, default=1, metavar="N",
+                   help="run each kernel task N times (default 1)")
+    add_service_flags(p)
+    add_resilience_flags(p)
+    add_exec_flags(p)
+    add_trace_flags(p)
+    p.set_defaults(func=_cmd_exec_sweep)
 
     p = sub.add_parser(
         "difftest",
@@ -811,9 +889,20 @@ def main(argv: list[str] | None = None) -> int:
         from .runtime.executor import set_default_backend
 
         set_default_backend(backend)
+
+    def dispatch(a: argparse.Namespace) -> int:
+        cache_dir = getattr(a, "cache_dir", None)
+        if cache_dir is not None:
+            # the persistent kernel-plan tier lives under the same
+            # content-addressed cache directory as compiled artifacts
+            from .runtime.executor import configure_plan_cache
+
+            configure_plan_cache(Path(cache_dir) / "plans")
+        return a.func(a)
+
     trace_path = getattr(args, "trace", None)
     if trace_path is None:
-        return _cli_errors(args.func)(args)
+        return _cli_errors(dispatch)(args)
 
     from .telemetry import (
         configure_tracer,
@@ -827,7 +916,7 @@ def main(argv: list[str] | None = None) -> int:
     configure_tracer(enabled=True)
     reset_registry()
     try:
-        return _cli_errors(args.func)(args)
+        return _cli_errors(dispatch)(args)
     finally:
         count = write_trace(trace_path, args.trace_format, get_tracer(),
                             get_registry())

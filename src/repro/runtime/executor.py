@@ -38,10 +38,15 @@ paying source generation + ``exec``; ``executor.cache_hit``,
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 import keyword
 import math
+import os
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -453,16 +458,167 @@ def _make_codegen(kernel: KernelFunction,
 # canonical mini-C print), and semantics loop_ids are mapped to pre-order
 # loop *positions*, so a re-parsed identical kernel with fresh loop_ids
 # still hits.
+#
+# Two tiers.  The in-memory tier is an LRU OrderedDict holding compiled
+# functions.  The optional *persistent* tier (configure_plan_cache)
+# stores the generated Python source on disk under the content-addressed
+# cache directory; a warm process re-enters plans by exec()ing the
+# persisted source, skipping _make_codegen — and therefore the
+# execute.vectorize span — entirely.  Every persisted plan carries the
+# PLAN_SCHEMA codegen version stamp; a stamp mismatch makes the plan
+# unloadable (treated as a miss and dropped), so stale plans from an
+# older lowering can never execute.
+
+#: codegen version stamp for persisted plans.  Bump whenever the scalar
+#: or vector lowering changes in any observable way: stale plans become
+#: unloadable rather than silently wrong.
+PLAN_SCHEMA = "exec-plan-v1"
 
 _CACHE_CAP = 512
-_fn_cache: dict[tuple, tuple] = {}
+_fn_cache: OrderedDict[tuple, tuple] = OrderedDict()
 _fn_cache_lock = threading.Lock()
 
 
-def clear_kernel_cache() -> None:
-    """Drop every cached compiled kernel function (tests, benchmarks)."""
+class _InflightCompile:
+    """Per-key latch: the first thread to miss compiles, racers wait."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: tuple | None = None
+        self.error: BaseException | None = None
+
+
+_fn_inflight: dict[tuple, _InflightCompile] = {}
+
+_plan_dir: Path | None = None
+
+
+def configure_plan_cache(path: str | os.PathLike[str] | None) -> Path | None:
+    """Enable the persistent plan tier at *path* (``None`` disables it).
+
+    The directory is created and probe-written eagerly
+    (:func:`repro.service.cache.ensure_writable_dir`), so a bad path is
+    one clear error at configuration time, not a failure mid-sweep.
+    Returns the resolved directory (or ``None``).
+    """
+    global _plan_dir
+    if path is None:
+        _plan_dir = None
+        return None
+    from ..service.cache import ensure_writable_dir
+
+    _plan_dir = ensure_writable_dir(path)
+    return _plan_dir
+
+
+def plan_cache_dir() -> Path | None:
+    """The configured persistent plan directory, if any."""
+    return _plan_dir
+
+
+def clear_kernel_cache(memory_only: bool = False) -> None:
+    """Drop every cached compiled kernel function (tests, benchmarks).
+
+    Also invalidates the persistent plan tier, when one is configured —
+    a "clear" that leaves disk plans behind would resurrect them on the
+    next compile.  ``memory_only=True`` keeps the disk tier (used to
+    prove warm loads skip codegen).
+    """
     with _fn_cache_lock:
         _fn_cache.clear()
+        _fn_inflight.clear()
+    if memory_only or _plan_dir is None:
+        return
+    for path in _plan_dir.glob("*.json"):
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing cleanup is fine
+            pass
+
+
+def _plan_path(key: tuple) -> Path:
+    """Content-addressed file for *key* in the persistent tier.
+
+    The codegen version stamp is deliberately *not* part of the file
+    name: a version bump must find the stale file and reject it on load
+    (the satellite contract), not silently shadow it.
+    """
+    assert _plan_dir is not None
+    fingerprint, semantics_key, backend = key
+    digest = hashlib.sha256(
+        "\x00".join([fingerprint, repr(semantics_key), backend]).encode()
+    ).hexdigest()
+    return _plan_dir / f"{digest}.json"
+
+
+def _plan_namespace(backend: str) -> dict[str, object]:
+    namespace: dict[str, object] = dict(_HELPERS)
+    if backend == "vector":
+        from .vectorize import _VHELPERS
+
+        namespace.update(_VHELPERS)
+    return namespace
+
+
+def _exec_plan_source(source: str, backend: str, kernel_name: str):
+    namespace = _plan_namespace(backend)
+    try:
+        exec(compile(source, f"<kernel {kernel_name}>", "exec"), namespace)
+    except SyntaxError as exc:  # pragma: no cover - codegen bug guard
+        raise ExecutionError(
+            f"generated code failed to compile:\n{source}"
+        ) from exc
+    return namespace["_kernel"]
+
+
+def _plan_load(key: tuple, kernel_name: str) -> tuple | None:
+    """Load a persisted plan for *key*; ``None`` on miss or stale stamp."""
+    if _plan_dir is None:
+        return None
+    path = _plan_path(key)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    source = payload.get("source") if isinstance(payload, dict) else None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != PLAN_SCHEMA
+        or not isinstance(source, str)
+    ):
+        # a plan persisted by a different codegen version (or corrupt):
+        # unloadable by design — drop it and recompile
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing cleanup is fine
+            pass
+        return None
+    return (_exec_plan_source(source, key[2], kernel_name), source)
+
+
+def _plan_store(key: tuple, source: str) -> None:
+    """Persist *source* for *key* (atomic publish, rename-based)."""
+    if _plan_dir is None:
+        return
+    path = _plan_path(key)
+    payload = {
+        "schema": PLAN_SCHEMA,
+        "fingerprint": key[0],
+        "semantics": [list(item) for item in key[1]],
+        "backend": key[2],
+        "source": source,
+    }
+    tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+    try:
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - disk-full etc: cache is optional
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
 
 
 def _semantics_key(kernel: KernelFunction,
@@ -480,21 +636,20 @@ def _semantics_key(kernel: KernelFunction,
     return tuple(sorted(items))
 
 
-def compile_kernel_fn(
+def _compile_uncached(
     kernel: KernelFunction,
-    semantics: dict[int, LoopSemantics] | None = None,
-    backend: str = "scalar",
-):
-    """Compile *kernel* into a callable ``f(**args)`` (memoized)."""
-    from ..service.fingerprint import fingerprint_kernel
-
-    key = (fingerprint_kernel(kernel), _semantics_key(kernel, semantics),
-           backend)
-    with _fn_cache_lock:
-        cached = _fn_cache.get(key)
-    if cached is not None:
-        get_registry().counter("executor.cache_hit").inc()
-        return cached
+    semantics: dict[int, LoopSemantics] | None,
+    backend: str,
+    key: tuple,
+) -> tuple:
+    """Compile on a genuine memo miss: disk tier first, then codegen."""
+    loaded = _plan_load(key, kernel.name)
+    if loaded is not None:
+        # warm persistent hit: no codegen ran, so no execute.vectorize
+        # span and no vectorized/fallback counter bumps — those count
+        # codegen events, and this was a plan re-entry
+        get_registry().counter("executor.plan_disk_hit").inc()
+        return loaded
 
     if backend == "vector":
         with get_tracer().span("execute.vectorize", category="executor",
@@ -504,21 +659,78 @@ def compile_kernel_fn(
         registry = get_registry()
         registry.counter("executor.vectorized").inc(gen.vectorized_loops)
         registry.counter("executor.fallback").inc(gen.fallback_loops)
+        for reason, count in sorted(
+            getattr(gen, "fallback_reasons", {}).items()
+        ):
+            registry.counter(f"executor.fallback.{reason}").inc(count)
     else:
         gen = _make_codegen(kernel, semantics, backend)
         source = gen.source()
-    namespace: dict[str, object] = dict(_HELPERS)
-    namespace.update(getattr(gen, "runtime_helpers", {}))
-    try:
-        exec(compile(source, f"<kernel {kernel.name}>", "exec"), namespace)
-    except SyntaxError as exc:  # pragma: no cover - codegen bug guard
-        raise ExecutionError(f"generated code failed to compile:\n{source}") from exc
-    compiled = (namespace["_kernel"], source)
+    compiled = (_exec_plan_source(source, backend, kernel.name), source)
+    _plan_store(key, source)
+    if _plan_dir is not None:
+        get_registry().counter("executor.plan_disk_store").inc()
+    return compiled
 
+
+def compile_kernel_fn(
+    kernel: KernelFunction,
+    semantics: dict[int, LoopSemantics] | None = None,
+    backend: str = "scalar",
+):
+    """Compile *kernel* into a callable ``f(**args)`` (memoized).
+
+    Thread-safe with single-flight semantics: N threads racing on a cold
+    key run exactly one compile — the first thread takes a per-key latch
+    and the rest wait on it, then count a cache hit.  The memo tier is
+    LRU: a hit moves the key to the back, eviction at ``_CACHE_CAP``
+    drops the least-recently-used entry.
+    """
+    from ..service.fingerprint import fingerprint_kernel
+
+    key = (fingerprint_kernel(kernel), _semantics_key(kernel, semantics),
+           backend)
+    while True:
+        with _fn_cache_lock:
+            cached = _fn_cache.get(key)
+            if cached is not None:
+                _fn_cache.move_to_end(key)
+                latch = None
+            else:
+                latch = _fn_inflight.get(key)
+                if latch is None:
+                    latch = _InflightCompile()
+                    _fn_inflight[key] = latch
+                    break  # this thread is the compile leader
+        if cached is not None:
+            get_registry().counter("executor.cache_hit").inc()
+            return cached
+        latch.event.wait()
+        if latch.error is not None:
+            raise latch.error
+        if latch.result is not None:
+            get_registry().counter("executor.cache_hit").inc()
+            return latch.result
+        # the leader was cancelled (clear_kernel_cache mid-compile):
+        # retry from the top
+
+    try:
+        compiled = _compile_uncached(kernel, semantics, backend, key)
+    except BaseException as exc:
+        latch.error = exc
+        with _fn_cache_lock:
+            if _fn_inflight.get(key) is latch:
+                del _fn_inflight[key]
+        latch.event.set()
+        raise
+    latch.result = compiled
     with _fn_cache_lock:
-        if len(_fn_cache) >= _CACHE_CAP:
-            _fn_cache.pop(next(iter(_fn_cache)))  # FIFO eviction
+        while len(_fn_cache) >= _CACHE_CAP:
+            _fn_cache.popitem(last=False)  # LRU eviction
         _fn_cache[key] = compiled
+        if _fn_inflight.get(key) is latch:
+            del _fn_inflight[key]
+    latch.event.set()
     return compiled
 
 

@@ -8,8 +8,20 @@ for statement on the parts that are not vectorized.
 
 Legality (see ``docs/EXECUTOR.md`` for the full rules):
 
-* innermost loops only — the body may contain nothing but assignments and
-  ``if``s (no declarations, nested loops, ``while``, barriers);
+* innermost loops only — the body may contain nothing but assignments,
+  ``if``s, and *top-level* scalar declarations (no nested loops,
+  ``while``, barriers, or declarations inside an ``if``);
+* a top-level declaration is privatized per iteration: its name becomes a
+  lane vector (or a loop-invariant scalar), guarded updates under a
+  vector mask lower to ``np.where(mask, new, old)``, and the final
+  lane's value is re-leaked as a Python scalar after the loop exactly as
+  the scalar backend's block-scope-free ``for`` would leak it; masked
+  updates must preserve the value's promotion kind, reads before the
+  declaration are loop-carried and reject the loop;
+* array references of any rank lower to NumPy fancy indexing — each
+  subscript dimension is lowered independently and vector dimensions
+  broadcast to the lane axis, so ``a[i][j]``-style affine gathers and
+  scatters vectorize without linearization;
 * ``SEQUENTIAL`` loops need an ``INDEPENDENT`` or ``REDUCTION`` verdict
   from :func:`repro.analysis.dependence.analyze_loop`; statement-at-a-time
   execution of an independent loop is observationally identical to
@@ -73,7 +85,7 @@ from ..ir.expr import (
     UnaryOp,
     Var,
 )
-from ..ir.stmt import Assign, Block, For, If, Stmt
+from ..ir.stmt import Assign, Barrier, Block, Decl, For, If, Stmt, While
 from ..ir.types import ArrayType, DType
 from ..ir.visitors import writes_and_reads
 from .executor import (
@@ -87,7 +99,16 @@ from .executor import (
 
 
 class _NotVectorizable(Exception):
-    """Internal control flow: this loop must use the scalar fallback."""
+    """Internal control flow: this loop must use the scalar fallback.
+
+    ``reason`` is the fallback-histogram bucket the rejection lands in
+    (``executor.fallback.<reason>``); the default covers the many
+    promotion/representation rejections.
+    """
+
+    def __init__(self, message: str, reason: str = "dtype") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 # -- the kind lattice --------------------------------------------------------
@@ -193,10 +214,19 @@ def _vstore(arr, idx, val, mask, n):
 
     NumPy fancy assignment applies duplicate indices in order, so the
     last (= highest iteration) value wins — exactly what the sequential
-    snapshot-semantics loop produces.
+    snapshot-semantics loop produces.  A tuple *idx* is a rank > 1
+    subscript: each dimension broadcasts to the lane axis and the store
+    goes through multi-dimensional fancy indexing.
     """
-    idx = np.broadcast_to(np.asarray(idx), (n,))
     val = np.broadcast_to(np.asarray(val), (n,))
+    if isinstance(idx, tuple):
+        dims = [np.broadcast_to(np.asarray(i), (n,)) for i in idx]
+        if mask is not None:
+            dims = [d[mask] for d in dims]
+            val = val[mask]
+        arr[tuple(dims)] = val
+        return
+    idx = np.broadcast_to(np.asarray(idx), (n,))
     if mask is not None:
         idx = idx[mask]
         val = val[mask]
@@ -213,20 +243,28 @@ def _vstore_multi(arr, writes, n):
     statement-major order instead.  Interleaving all writes as an
     (n, statements) grid and raveling row-major restores the scalar
     order, and fancy assignment's in-order duplicate handling does the
-    rest.
+    rest.  Tuple indices (rank > 1 targets) interleave one grid per
+    dimension.
     """
     if not writes:
         return
     cols = len(writes)
-    idx = np.empty((n, cols), dtype=np.int64)
+    first = writes[0][0]
+    rank = len(first) if isinstance(first, tuple) else 1
+    idxs = [np.empty((n, cols), dtype=np.int64) for _ in range(rank)]
     val = np.empty((n, cols), dtype=arr.dtype)
     keep = np.empty((n, cols), dtype=bool)
     for col, (i, v, m) in enumerate(writes):
-        idx[:, col] = np.broadcast_to(np.asarray(i), (n,))
+        dims = i if isinstance(i, tuple) else (i,)
+        for d, dim in enumerate(dims):
+            idxs[d][:, col] = np.broadcast_to(np.asarray(dim), (n,))
         val[:, col] = np.broadcast_to(np.asarray(v), (n,))
         keep[:, col] = True if m is None else m
     flat = keep.ravel()
-    arr[idx.ravel()[flat]] = val.ravel()[flat]
+    if rank == 1:
+        arr[idxs[0].ravel()[flat]] = val.ravel()[flat]
+    else:
+        arr[tuple(ix.ravel()[flat] for ix in idxs)] = val.ravel()[flat]
 
 
 def _vreduce(acc, terms, op, weak):
@@ -277,15 +315,48 @@ def _collect_assigns(stmt: Stmt) -> list[Assign]:
     return [node for node in stmt.walk() if isinstance(node, Assign)]
 
 
-def _body_is_straight_line(stmt: Stmt) -> bool:
-    """Only assignments and (possibly nested) ifs — no loops, decls, ..."""
+def _body_shape_reason(stmt: Stmt, under_if: bool = False) -> str | None:
+    """Why the body *shape* rules out vectorization (``None`` if it
+    doesn't): assignments and nested ifs are fine anywhere, scalar
+    declarations only at the top level (a declaration under an ``if``
+    would privatize conditionally — the guarded-loop bucket), and loops,
+    ``while``, and barriers never."""
     if isinstance(stmt, Block):
-        return all(_body_is_straight_line(s) for s in stmt.stmts)
+        for child in stmt.stmts:
+            reason = _body_shape_reason(child, under_if)
+            if reason is not None:
+                return reason
+        return None
     if isinstance(stmt, If):
-        if not _body_is_straight_line(stmt.then_body):
-            return False
-        return stmt.else_body is None or _body_is_straight_line(stmt.else_body)
-    return isinstance(stmt, Assign)
+        reason = _body_shape_reason(stmt.then_body, True)
+        if reason is not None:
+            return reason
+        if stmt.else_body is not None:
+            return _body_shape_reason(stmt.else_body, True)
+        return None
+    if isinstance(stmt, Assign):
+        return None
+    if isinstance(stmt, Decl):
+        return "guarded-loop" if under_if else None
+    if isinstance(stmt, For):
+        return "nested-loop"
+    if isinstance(stmt, While):
+        return "while-loop"
+    if isinstance(stmt, Barrier):
+        return "barrier"
+    return "control-flow"
+
+
+def _top_level_decls(body: Stmt) -> list[str]:
+    """Names declared at the top level of *body*, in declaration order."""
+    names: list[str] = []
+    if isinstance(body, Block):
+        for child in body.stmts:
+            if isinstance(child, Decl):
+                names.append(child.name)
+            elif isinstance(child, Block):
+                names.extend(_top_level_decls(child))
+    return list(dict.fromkeys(names))
 
 
 def _snapshot_copies_needed(body: Stmt, deferred: set[str]) -> set[str]:
@@ -320,6 +391,9 @@ def _snapshot_copies_needed(body: Stmt, deferred: set[str]) -> set[str]:
             visit(stmt.then_body)
             if stmt.else_body is not None:
                 visit(stmt.else_body)
+        elif isinstance(stmt, Decl):
+            if stmt.init is not None:
+                expr_reads(stmt.init)
         elif isinstance(stmt, Assign):
             expr_reads(stmt.value)
             if isinstance(stmt.target, ArrayRef):
@@ -347,6 +421,8 @@ def _reads_scalar(stmt: Stmt, names: set[str]) -> bool:
                 exprs.extend(node.target.indices)
         elif isinstance(node, If):
             exprs.append(node.cond)
+        elif isinstance(node, Decl) and node.init is not None:
+            exprs.append(node.init)
         for expr in exprs:
             for sub in expr.walk():
                 if isinstance(sub, Var) and sub.name in names:
@@ -361,6 +437,9 @@ class _VectorCodeGen(_CodeGen):
         super().__init__(kernel, semantics)
         self.vectorized_loops = 0
         self.fallback_loops = 0
+        #: fallback histogram: reason bucket -> count (one per loop that
+        #: fell back); lands in ``executor.fallback.<reason>`` counters
+        self.fallback_reasons: dict[str, int] = {}
         self.runtime_helpers = dict(_VHELPERS)
         self._param_scalars = {
             p.name for p in kernel.params if not isinstance(p.type, ArrayType)
@@ -373,56 +452,85 @@ class _VectorCodeGen(_CodeGen):
         #: arrays written by >1 statement of the current snapshot loop,
         #: mapped to the runtime list their writes are deferred into
         self._multi_writers: dict[str, str] = {}
+        #: top-level Decl names of the loop being vectorized, and the
+        #: statically-tracked value each holds at the current emission
+        #: point (declaration order preserved for the post-loop leak)
+        self._decl_names: list[str] = []
+        self._vlocals: dict[str, _VVal] = {}
+        #: >0 while emitting inside a Python-level (loop-invariant
+        #: condition) branch: static local tracking must not diverge
+        #: between the taken and untaken arm there
+        self._py_branch_depth = 0
 
     # -- loop dispatch ------------------------------------------------------
 
     def _gen_for(self, loop: For) -> None:
-        if loop.step != 0 and self._try_vectorize(loop):
+        reason = "zero-step" if loop.step == 0 else self._try_vectorize(loop)
+        if reason is None:
             self.vectorized_loops += 1
             self._int_scalars.add(loop.var)
             return
         self.fallback_loops += 1
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
         self._int_scalars.add(loop.var)
         super()._gen_for(loop)
 
-    def _try_vectorize(self, loop: For) -> bool:
+    def _try_vectorize(self, loop: For) -> str | None:
+        """Vectorize *loop* in place, or return the fallback reason."""
         semantics = self.semantics.get(loop.loop_id, LoopSemantics())
         if semantics.mode is ExecMode.REDUCTION_LAST_CHUNK:
-            return False
-        if not _body_is_straight_line(loop.body):
-            return False
-        if not self._plan_scalar_writes(loop, semantics):
-            return False
-        if semantics.mode is ExecMode.SEQUENTIAL:
-            report = analyze_loop(loop)
-            if report.verdict not in (Verdict.INDEPENDENT, Verdict.REDUCTION):
-                return False
-
-        outer_lines = self.lines
-        level = self.level
-        snap_depth = len(self._snapshot_stack)
-        self.lines = []
-        self._vec_var = loop.var
+            return "reduction-last-chunk"
+        reason = _body_shape_reason(loop.body)
+        if reason is not None:
+            return reason
+        decls = _top_level_decls(loop.body)
+        if loop.var in decls:
+            return "control-flow"  # local shadows the induction variable
+        self._decl_names = decls
         try:
-            self._emit_vector_loop(loop, semantics)
-        except _NotVectorizable:
-            self.lines = outer_lines
-            self.level = level
-            del self._snapshot_stack[snap_depth:]
-            return False
-        else:
-            outer_lines.extend(self.lines)
-            self.lines = outer_lines
-            return True
+            reason = self._plan_scalar_writes(loop, semantics)
+            if reason is not None:
+                return reason
+            if semantics.mode is ExecMode.SEQUENTIAL:
+                report = analyze_loop(loop)
+                if report.verdict not in (Verdict.INDEPENDENT,
+                                          Verdict.REDUCTION):
+                    if any("unanalyzable" in r for r in report.reasons):
+                        return "non-affine-gather"
+                    return "dependence"
+
+            outer_lines = self.lines
+            level = self.level
+            snap_depth = len(self._snapshot_stack)
+            self.lines = []
+            self._vec_var = loop.var
+            try:
+                self._emit_vector_loop(loop, semantics)
+            except _NotVectorizable as exc:
+                self.lines = outer_lines
+                self.level = level
+                del self._snapshot_stack[snap_depth:]
+                return exc.reason
+            else:
+                outer_lines.extend(self.lines)
+                self.lines = outer_lines
+                return None
         finally:
             self._vec_var = None
             self._vec_iv = None
             self._reductions = {}
             self._multi_writers = {}
+            self._decl_names = []
+            self._vlocals = {}
+            self._py_branch_depth = 0
 
     def _plan_scalar_writes(self, loop: For,
-                            semantics: LoopSemantics) -> bool:
-        """Vet every assignment target; record recognized reductions."""
+                            semantics: LoopSemantics) -> str | None:
+        """Vet every assignment target; record recognized reductions.
+
+        Returns the fallback reason, or ``None`` when every target is an
+        eligible array store, a loop-local, or a recognized reduction.
+        """
         reductions: dict[str, Assign] = {}
         for assign in _collect_assigns(loop.body):
             if isinstance(assign.target, ArrayRef):
@@ -432,25 +540,28 @@ class _VectorCodeGen(_CodeGen):
                 # across iterations (c[i] *= x with i invariant applies n
                 # times).  Never vectorize a loop containing one.
                 if assign.atomic:
-                    return False
+                    return "atomics"
                 continue
             if not isinstance(assign.target, Var):
-                return False
+                return "scalar-write"
             name = assign.target.name
+            if name in self._decl_names:
+                continue  # loop-local: privatized per iteration
+            if name in reductions:
+                return "multi-writer"  # two updates: interleaving differs
             if (
                 assign.op not in ("+", "-", "*")
                 or name == loop.var
                 or self.dtypes.get(name) not in (DType.FLOAT32, DType.FLOAT64)
-                or name in reductions  # two updates: interleaving differs
             ):
-                return False
+                return "scalar-write"
             reductions[name] = assign
         # accumulators must feed nothing inside the loop (not even their
         # own update), or prefix values would leak into other statements
         if reductions and _reads_scalar(loop.body, set(reductions)):
-            return False
+            return "scalar-write"
         self._reductions = {id(a): a for a in reductions.values()}
-        return True
+        return None
 
     # -- emission -----------------------------------------------------------
 
@@ -461,6 +572,15 @@ class _VectorCodeGen(_CodeGen):
         self._emit(f"{iv} = np.arange(int({lower}), int({upper}), {loop.step})")
         self.dtypes[loop.var] = DType.INT32
         self._vec_iv = iv
+
+        # Loops with privatized locals guard the whole body on a nonempty
+        # iteration space: the scalar loop never executes a declaration
+        # when the range is empty, so the lowering must not define (or
+        # clobber) the local names either.
+        wrapped = bool(self._decl_names)
+        if wrapped:
+            self._emit(f"if {iv}.size:")
+            self.level += 1
 
         pushed = False
         if semantics.mode is ExecMode.PARALLEL_SNAPSHOT:
@@ -511,8 +631,27 @@ class _VectorCodeGen(_CodeGen):
                 self._snapshot_stack.pop()
             self._multi_writers = {}
         # Python for-loops leak the final iterate into the enclosing scope
-        self._emit(f"if {iv}.size:")
-        self._emit(f"    {_pyname(loop.var)} = int({iv}[-1])")
+        if wrapped:
+            self._emit(f"{_pyname(loop.var)} = int({iv}[-1])")
+            # ... and, with no block scope, the loop's locals leak their
+            # final-iteration values too.  A lane vector's last lane *is*
+            # that value; weak kinds re-become Python scalars so
+            # downstream promotion matches the scalar backend.
+            for name in self._decl_names:
+                final = self._vlocals.get(name)
+                if final is None or not final.vector:
+                    continue  # non-vector locals already hold the value
+                pyn = _pyname(name)
+                if final.kind == KWI:
+                    self._emit(f"{pyn} = int({pyn}[-1])")
+                elif final.kind == KFW:
+                    self._emit(f"{pyn} = float({pyn}[-1])")
+                else:
+                    self._emit(f"{pyn} = {pyn}[-1]")
+            self.level -= 1
+        else:
+            self._emit(f"if {iv}.size:")
+            self._emit(f"    {_pyname(loop.var)} = int({iv}[-1])")
 
     def _vstmt(self, stmt: Stmt, mask: str | None) -> None:
         if isinstance(stmt, Block):
@@ -522,13 +661,88 @@ class _VectorCodeGen(_CodeGen):
         if isinstance(stmt, If):
             self._vif(stmt, mask)
             return
+        if isinstance(stmt, Decl):
+            self._vdecl(stmt, mask)
+            return
         if isinstance(stmt, Assign):
             if isinstance(stmt.target, Var):
-                self._emit_reduction(stmt, mask)
+                if stmt.target.name in self._decl_names:
+                    self._emit_local_update(stmt, mask)
+                else:
+                    self._emit_reduction(stmt, mask)
             else:
                 self._emit_store(stmt, mask)
             return
-        raise _NotVectorizable(f"statement {type(stmt).__name__}")
+        raise _NotVectorizable(f"statement {type(stmt).__name__}",
+                               reason="control-flow")
+
+    def _vdecl(self, stmt: Decl, mask: str | None) -> None:
+        # body-shape vetting only admits top-level declarations, which
+        # execute unconditionally every iteration (mask is always None)
+        if mask is not None or self._py_branch_depth:
+            raise _NotVectorizable(f"guarded local {stmt.name!r}",
+                                   reason="guarded-loop")
+        self.dtypes[stmt.name] = stmt.type.dtype
+        if stmt.init is not None:
+            value = self._vexpr(stmt.init, None)
+        else:
+            # the scalar backend initializes with a weak Python zero,
+            # ignoring the declared width (no cast on declaration)
+            if stmt.type.dtype.is_integer:
+                value = _VVal("0", KWI, False)
+            else:
+                value = _VVal("0.0", KFW, False)
+        if value.kind == KB:
+            # a Python bool and an np.bool_ lane promote differently
+            raise _NotVectorizable(f"bool-valued local {stmt.name!r}")
+        pyn = _pyname(stmt.name)
+        self._emit(f"{pyn} = {value.code}")
+        self._vlocals[stmt.name] = _VVal(pyn, value.kind, value.vector)
+
+    def _emit_local_update(self, stmt: Assign, mask: str | None) -> None:
+        assert isinstance(stmt.target, Var)
+        name = stmt.target.name
+        cur = self._vlocals.get(name)
+        if cur is None:
+            # the scalar backend would read/keep the *outer* binding here
+            # on iteration one and the previous iteration's local after —
+            # a loop-carried dependence through the name
+            raise _NotVectorizable(
+                f"write to local {name!r} before its declaration",
+                reason="guarded-loop",
+            )
+        value = self._vexpr(stmt.value, mask)
+        if stmt.op is not None:
+            if stmt.op == "/":
+                # the scalar backend's `x /= y` is Python true division,
+                # which _vbinop's C-style _idiv routing would not match
+                raise _NotVectorizable(f"compound / on local {name!r}")
+            value = self._vbinop(stmt.op, cur, value, stmt.target, stmt.value)
+        if value.kind == KB:
+            raise _NotVectorizable(f"bool-valued local {name!r}")
+        pyn = _pyname(name)
+        if mask is not None:
+            # masked lanes keep their previous value; the merged vector
+            # must stay in one promotion kind or untaken lanes would
+            # change representation mid-loop
+            if value.kind != cur.kind:
+                raise _NotVectorizable(
+                    f"masked update changes kind of local {name!r}",
+                    reason="guarded-loop",
+                )
+            self._emit(f"{pyn} = np.where({mask}, {value.code}, {pyn})")
+            self._vlocals[name] = _VVal(pyn, cur.kind, True)
+            return
+        if self._py_branch_depth and (
+            value.kind != cur.kind or value.vector != cur.vector
+        ):
+            # inside one arm of a Python-level branch: the static state
+            # after the if must hold whichever arm ran
+            raise _NotVectorizable(
+                f"branch-divergent local {name!r}", reason="guarded-loop"
+            )
+        self._emit(f"{pyn} = {value.code}")
+        self._vlocals[name] = _VVal(pyn, value.kind, value.vector)
 
     def _vif(self, stmt: If, mask: str | None) -> None:
         cond = self._vexpr(stmt.cond, mask)
@@ -539,6 +753,7 @@ class _VectorCodeGen(_CodeGen):
         has_else = stmt.else_body is not None and len(stmt.else_body) > 0
         if not cond.vector:
             # loop-invariant condition: one Python branch for all lanes
+            self._py_branch_depth += 1
             self._emit(f"if {cond.code}:")
             self.level += 1
             self._vblock(stmt.then_body, mask)
@@ -548,6 +763,7 @@ class _VectorCodeGen(_CodeGen):
                 self.level += 1
                 self._vblock(stmt.else_body, mask)
                 self.level -= 1
+            self._py_branch_depth -= 1
             return
         c = self._fresh("c")
         self._emit(f"{c} = {cond.code}")
@@ -573,11 +789,9 @@ class _VectorCodeGen(_CodeGen):
             raise ExecutionError(
                 f"unknown array {target.name!r} in kernel {self.kernel.name!r}"
             )
-        if len(target.indices) != 1:
-            raise _NotVectorizable("rank > 1 store")
         arr = _pyname(target.name)  # stores always hit live memory
-        idx = self._vexpr(target.indices[0], mask)
-        if idx.kind not in _INT_KINDS:
+        idxs = [self._vexpr(index, mask) for index in target.indices]
+        if any(idx.kind not in _INT_KINDS for idx in idxs):
             raise _NotVectorizable("non-integer subscript")
         value = self._vexpr(stmt.value, mask)
         if stmt.op is not None:
@@ -585,26 +799,32 @@ class _VectorCodeGen(_CodeGen):
             # non-atomic updates of snapshotted arrays, live memory else
             snap = self._snapshot_name(target.name)
             src = snap if (snap is not None and not stmt.atomic) else arr
-            read = self._gather(src, idx, mask, _DTYPE_KIND[dtype])
+            read = self._gather(src, idxs, mask, _DTYPE_KIND[dtype])
             value = self._vbinop(stmt.op, read, value, stmt.target, stmt.value)
+        # rank > 1 stores pass the whole subscript tuple through; rank 1
+        # keeps the bare index (same generated code as before)
+        joined = ", ".join(idx.code for idx in idxs)
+        idx_code = idxs[0].code if len(idxs) == 1 else f"({joined})"
+        any_vec = any(idx.vector for idx in idxs)
         deferred = self._multi_writers.get(target.name)
         if deferred is not None:
             # multi-writer array: preserve iteration-major write order by
             # deferring to one interleaved _vstore_multi scatter
-            self._emit(f"{deferred}.append(({idx.code}, {value.code}, {mask}))")
+            self._emit(f"{deferred}.append(({idx_code}, {value.code}, {mask}))")
             return
-        if not idx.vector and not value.vector and mask is None:
+        if not any_vec and not value.vector and mask is None:
             # every iteration writes the same cell with the same value
-            self._emit(f"{arr}[{idx.code}] = {value.code}")
+            self._emit(f"{arr}[{joined}] = {value.code}")
             return
         self._emit(
-            f"_vstore({arr}, {idx.code}, {value.code}, {mask}, "
+            f"_vstore({arr}, {idx_code}, {value.code}, {mask}, "
             f"{self._vec_iv}.size)"
         )
 
     def _emit_reduction(self, stmt: Assign, mask: str | None) -> None:
         if id(stmt) not in self._reductions:
-            raise _NotVectorizable("unplanned scalar write")
+            raise _NotVectorizable("unplanned scalar write",
+                                   reason="scalar-write")
         assert isinstance(stmt.target, Var)
         acc = _pyname(stmt.target.name)
         value = self._vexpr(stmt.value, mask)
@@ -630,16 +850,24 @@ class _VectorCodeGen(_CodeGen):
             return f"{value.code}.astype({npdt})"
         return f"{npdt}({value.code})"
 
-    def _gather(self, arr: str, idx: _VVal, mask: str | None,
+    def _gather(self, arr: str, idxs: list[_VVal], mask: str | None,
                 kind: str) -> _VVal:
-        if not idx.vector:
-            return _VVal(f"{arr}[{idx.code}]", kind, False)
-        icode = idx.code
-        if mask is not None:
-            # inactive lanes may hold out-of-range subscripts the scalar
-            # loop would never evaluate; clamp them to a safe cell
-            icode = f"np.where({mask}, {icode}, 0)"
-        return _VVal(f"{arr}[{icode}]", kind, True)
+        """Lower an N-dimensional element read.  All-scalar subscripts
+        stay an element access; any vector dimension turns the whole read
+        into fancy indexing, where vector dimensions broadcast against
+        the lane axis and scalar dimensions broadcast along it."""
+        if not any(idx.vector for idx in idxs):
+            joined = ", ".join(idx.code for idx in idxs)
+            return _VVal(f"{arr}[{joined}]", kind, False)
+        parts = []
+        for idx in idxs:
+            icode = idx.code
+            if idx.vector and mask is not None:
+                # inactive lanes may hold out-of-range subscripts the
+                # scalar loop would never evaluate; clamp to a safe cell
+                icode = f"np.where({mask}, {icode}, 0)"
+            parts.append(icode)
+        return _VVal(f"{arr}[{', '.join(parts)}]", kind, True)
 
     def _vbinop(self, op: str, lv: _VVal, rv: _VVal,
                 lexpr: Expr, rexpr: Expr) -> _VVal:
@@ -698,6 +926,17 @@ class _VectorCodeGen(_CodeGen):
             if name == self._vec_var:
                 assert self._vec_iv is not None
                 return _VVal(self._vec_iv, KWI, True)
+            local = self._vlocals.get(name)
+            if local is not None:
+                return _VVal(_pyname(name), local.kind, local.vector)
+            if name in self._decl_names:
+                # declared later in this body: iteration one would read
+                # the outer binding, later iterations the previous
+                # iteration's local — a loop-carried dependence
+                raise _NotVectorizable(
+                    f"read of local {name!r} before its declaration",
+                    reason="guarded-loop",
+                )
             if name in self._int_scalars:
                 return _VVal(_pyname(name), KWI, False)
             if name in self._param_scalars:
@@ -706,7 +945,8 @@ class _VectorCodeGen(_CodeGen):
                 return _VVal(_pyname(name), kind, False)
             # locals declared in outer scopes may hold NumPy scalars whose
             # promotion strength we cannot know statically
-            raise _NotVectorizable(f"scalar local {name!r}")
+            raise _NotVectorizable(f"scalar local {name!r}",
+                                   reason="guarded-loop")
         if isinstance(expr, ArrayRef):
             dtype = self.array_dtypes.get(expr.name)
             if dtype is None:
@@ -714,14 +954,12 @@ class _VectorCodeGen(_CodeGen):
                     f"unknown array {expr.name!r} in kernel "
                     f"{self.kernel.name!r}"
                 )
-            if len(expr.indices) != 1:
-                raise _NotVectorizable("rank > 1 gather")
             snap = self._snapshot_name(expr.name)
             arr = snap if snap is not None else _pyname(expr.name)
-            idx = self._vexpr(expr.indices[0], mask)
-            if idx.kind not in _INT_KINDS:
+            idxs = [self._vexpr(index, mask) for index in expr.indices]
+            if any(idx.kind not in _INT_KINDS for idx in idxs):
                 raise _NotVectorizable("non-integer subscript")
-            return self._gather(arr, idx, mask, _DTYPE_KIND[dtype])
+            return self._gather(arr, idxs, mask, _DTYPE_KIND[dtype])
         if isinstance(expr, BinOp):
             lv = self._vexpr(expr.lhs, mask)
             rv = self._vexpr(expr.rhs, mask)

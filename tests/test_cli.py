@@ -177,3 +177,64 @@ class TestServerCli:
         err = capsys.readouterr().err
         assert "cannot reach server" in err
         assert "Traceback" not in err
+
+
+class TestExecSweep:
+    @pytest.fixture(autouse=True)
+    def _clean(self):
+        from repro.runtime.executor import (
+            clear_kernel_cache,
+            configure_plan_cache,
+        )
+        from repro.telemetry import reset_registry
+
+        clear_kernel_cache()
+        configure_plan_cache(None)
+        reset_registry()
+        yield
+        clear_kernel_cache()
+        configure_plan_cache(None)
+        reset_registry()
+
+    def test_digest_stable_across_exec_jobs(self, capsys):
+        import json
+
+        from repro.runtime.executor import clear_kernel_cache
+        from repro.telemetry import reset_registry
+
+        digests = []
+        for jobs in ("1", "2"):
+            clear_kernel_cache()
+            reset_registry()
+            assert main(["exec-sweep", "--size", "48",
+                         "--exec-jobs", jobs]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            digests.append(payload["digest"])
+            assert payload["jobs"] == int(jobs)
+            assert payload["counters"]["executor.pool_tasks"] == 6
+        assert digests[0] == digests[1]
+
+    def test_cache_dir_persists_plans(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        assert main(["exec-sweep", "--size", "48",
+                     "--cache-dir", cache]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["counters"]["executor.plan_disk_store"] == 6
+
+        from repro.runtime.executor import clear_kernel_cache
+
+        clear_kernel_cache(memory_only=True)
+        assert main(["exec-sweep", "--size", "48",
+                     "--cache-dir", cache]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["counters"]["executor.plan_disk_hit"] == 6
+        assert warm["digest"] == cold["digest"]
+
+    def test_bad_cache_dir_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        code = main(["exec-sweep", "--cache-dir", str(blocker / "x")])
+        assert code == 2
+        assert "bad --cache-dir" in capsys.readouterr().err

@@ -392,3 +392,178 @@ class TestCorpusEquivalence:
             for case in report.unexplained
             for detail in case.unexplained_details()
         ]
+
+
+class TestLoopLocals:
+    """ISSUE-9 lift: top-level loop locals vectorize via np.where masking
+    instead of rejecting the whole loop."""
+
+    def test_guarded_local_masked_update(self):
+        k = parse_kernel(
+            "void f(float *a, const float *b, int n) { int i; "
+            "for (i = 0; i < n; i++) { float t = b[i] * 2.0f; "
+            "if (b[i] > 0.0f) { t = t + 1.0f; } a[i] = t; } }"
+        )
+        args = {"a": np.zeros(32), "b": np.linspace(-2, 2, 32), "n": 32}
+        run_both(k, args)
+        assert _vector_loop_count(k) == (1, 0)
+
+    def test_local_without_initializer(self):
+        k = parse_kernel(
+            "void f(float *a, const float *b, int n) { int i; "
+            "for (i = 0; i < n; i++) { float t; t = b[i] * 0.5f; "
+            "a[i] = t + t; } }"
+        )
+        args = {"a": np.zeros(16), "b": np.linspace(0, 3, 16), "n": 16}
+        run_both(k, args)
+        assert _vector_loop_count(k) == (1, 0)
+
+    def test_int_local_masked(self):
+        k = parse_kernel(
+            "void f(float *a, const float *b, int n) { int i; "
+            "for (i = 0; i < n; i++) { int t = 0; "
+            "if (b[i] > 0.5f) { t = 1; } a[i] = b[i] + t; } }"
+        )
+        args = {"a": np.zeros(16), "b": np.linspace(0, 1, 16), "n": 16}
+        run_both(k, args)
+        assert _vector_loop_count(k) == (1, 0)
+
+    def test_compound_update_on_local(self):
+        k = parse_kernel(
+            "void f(float *a, const float *b, int n) { int i; "
+            "for (i = 0; i < n; i++) { float t = b[i]; t += 1.0f; "
+            "t *= 2.0f; a[i] = t; } }"
+        )
+        args = {"a": np.zeros(16), "b": np.linspace(-1, 1, 16), "n": 16}
+        run_both(k, args)
+        assert _vector_loop_count(k) == (1, 0)
+
+    def test_empty_loop_does_not_clobber(self):
+        # the vectorized body is wrapped in `if iv.size:` when locals
+        # exist, so an empty range must not define or clobber names
+        k = parse_kernel(
+            "void f(float *a, const float *b, int n) { int i; "
+            "for (i = 0; i < n; i++) { float t = b[i]; a[i] = t; } }"
+        )
+        args = {"a": np.ones(4), "b": np.zeros(4), "n": 0}
+        run_both(k, args)
+
+    def test_division_compound_falls_back(self):
+        # scalar `t /= x` is Python true division on a float local, not
+        # the C-truncation helper: reject rather than approximate
+        k = parse_kernel(
+            "void f(float *a, const float *b, int n) { int i; "
+            "for (i = 0; i < n; i++) { float t = b[i]; t /= 2.0f; "
+            "a[i] = t; } }"
+        )
+        args = {"a": np.zeros(8), "b": np.linspace(1, 2, 8), "n": 8}
+        run_both(k, args)
+        assert _vector_loop_count(k) == (0, 1)
+
+    def test_decl_under_if_falls_back_with_reason(self):
+        k = parse_kernel(
+            "void f(float *a, const float *b, int n) { int i; "
+            "for (i = 0; i < n; i++) { "
+            "if (b[i] > 0.0f) { float t = 1.0f; a[i] = t; } } }"
+        )
+        args = {"a": np.zeros(8), "b": np.linspace(-1, 1, 8), "n": 8}
+        run_both(k, args)
+        from repro.runtime.vectorize import _VectorCodeGen
+
+        gen = _VectorCodeGen(k, None)
+        gen.source()
+        assert gen.fallback_reasons == {"guarded-loop": 1}
+
+
+class TestMultiDimVector:
+    """ISSUE-9 lift: rank-N element stores and gathers via fancy
+    indexing instead of rejecting multi-dim subscripts."""
+
+    def test_rank2_store_and_gather(self):
+        k = parse_kernel(
+            "void f(float a[8][8], const float b[8][8], int n) { int i; "
+            "for (i = 0; i < n; i++) a[i][3] = b[i][2] * 2.0f + b[0][1]; }"
+        )
+        b = np.arange(64, dtype=np.float32).reshape(8, 8)
+        args = {"a": np.zeros((8, 8), dtype=np.float32), "b": b, "n": 8}
+        run_both(k, args)
+        assert _vector_loop_count(k) == (1, 0)
+
+    def test_rank2_guarded_store(self):
+        k = parse_kernel(
+            "void f(float a[8][8], const float b[8][8], int n) { int i; "
+            "for (i = 0; i < n; i++) { "
+            "if (b[i][0] > 8.0f) { a[i][1] = b[i][0]; } } }"
+        )
+        b = np.arange(64, dtype=np.float32).reshape(8, 8)
+        args = {"a": np.zeros((8, 8), dtype=np.float32), "b": b, "n": 8}
+        run_both(k, args)
+        assert _vector_loop_count(k) == (1, 0)
+
+    def test_rank2_affine_row_offset(self):
+        k = parse_kernel(
+            "void f(float a[8][8], const float b[8][8], int n) { int i; "
+            "for (i = 1; i < n; i++) a[i][2] = b[i - 1][2] + 1.0f; }"
+        )
+        b = np.arange(64, dtype=np.float32).reshape(8, 8)
+        args = {"a": np.zeros((8, 8), dtype=np.float32), "b": b, "n": 8}
+        run_both(k, args)
+        assert _vector_loop_count(k) == (1, 0)
+
+
+class TestFallbackReasonHistogram:
+    """Every executor.fallback increment carries a reason tag; the
+    histogram drives which rejection classes get lifted next."""
+
+    def _reasons(self, kernel, semantics=None):
+        from repro.runtime.vectorize import _VectorCodeGen
+
+        gen = _VectorCodeGen(kernel, semantics)
+        gen.source()
+        return gen.fallback_reasons
+
+    def test_nested_loop_reason(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; int j; "
+            "for (i = 0; i < n; i++) { "
+            "for (j = 0; j < n; j++) a[i * n + j] = a[i * n + j] * 2.0f; } }"
+        )
+        assert self._reasons(k) == {"nested-loop": 1}
+
+    def test_atomics_reason(self):
+        k = parse_kernel(
+            "void f(float *c, int k, int n) { int j; "
+            "for (j = 0; j < n; j++) {\n"
+            "#pragma acc atomic\n"
+            "c[k] = c[k] * 0.75f; } }"
+        )
+        assert self._reasons(k) == {"atomics": 1}
+
+    def test_dependence_reason(self):
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; "
+            "for (i = 1; i < n; i++) a[i] = a[i - 1] + 1.0f; }"
+        )
+        assert self._reasons(k) == {"dependence": 1}
+
+    def test_reduction_last_chunk_reason(self):
+        k = parse_kernel(
+            "void f(const float *a, float *out, int n) { int i; "
+            "float s = 0.0f; for (i = 0; i < n; i++) s += a[i];\n"
+            "out[0] = s; }"
+        )
+        lid = k.loops()[0].loop_id
+        sem = {lid: LoopSemantics(ExecMode.REDUCTION_LAST_CHUNK, chunks=4)}
+        assert self._reasons(k, sem) == {"reduction-last-chunk": 1}
+
+    def test_reason_counters_surface_in_registry(self):
+        clear_kernel_cache()
+        reset_registry()
+        k = parse_kernel(
+            "void f(float *a, int n) { int i; "
+            "for (i = 1; i < n; i++) a[i] = a[i - 1] + 1.0f; }"
+        )
+        compile_kernel_fn(k, None, "vector")
+        counters = get_registry().snapshot()["counters"]
+        assert counters["executor.fallback"] == 1
+        assert counters["executor.fallback.dependence"] == 1
