@@ -293,6 +293,27 @@ def _scalar_reduction_candidates(loop: For) -> tuple[list[ReductionInfo], list[s
     return reductions, reasons
 
 
+def _derived_induction_vars(loop: For) -> set[str]:
+    """``loop.var`` plus every nested induction variable whose bounds are
+    (transitively) anchored on it — the intra-tile counters a strip-mined
+    nest introduces (``for (i = i_t; i < min(i_t+T, n); ...)``).  A write
+    subscripted by such a variable *moves* with the outer tile loop even
+    though ``loop.var`` itself never appears in the subscript."""
+    from ..ir.expr import free_vars
+
+    derived = {loop.var}
+    changed = True
+    while changed:
+        changed = False
+        for stmt in loop.body.walk():
+            if isinstance(stmt, For) and stmt.var not in derived:
+                anchors = free_vars(stmt.lower) | free_vars(stmt.upper)
+                if anchors & derived:
+                    derived.add(stmt.var)
+                    changed = True
+    return derived
+
+
 def has_opaque_or_invariant_writes(loop: For) -> bool:
     """True when some array *write* of the loop has a subscript that is
     indirect / data-dependent (``cost[id]``) or invariant in the loop
@@ -302,16 +323,19 @@ def has_opaque_or_invariant_writes(loop: For) -> bool:
     ignores a user ``independent`` clause on such loops (V-C1), because a
     write it cannot place (or that definitely collides) risks wrong
     results.  Loops whose writes are affine-and-moving are accepted even
-    when the *reads* are indirect.
+    when the *reads* are indirect.  "Moving" includes subscripts through
+    a tile-derived inner counter (``unew[i*nx+j]`` under ``i = i_t..``):
+    the write region is anchored on the outer loop variable through the
+    inner loop's bounds.
     """
     data_variant = _data_variant_scalars(loop)
+    derived = _derived_induction_vars(loop)
     writes, _ = writes_and_reads(loop.body, skip_atomic=True)
     for ref in writes:
         form = _subscript_form(ref)
         if form is None or variables(form) & data_variant:
             return True
-        var_part, _rest = split_on(form, loop.var)
-        if not var_part:
+        if not (variables(form) & derived):
             return True
     return False
 

@@ -124,6 +124,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .core.matrix import DEVICE_COUNTS, run_matrix
+    from .devices.topology import NVLINK_LINK
+    from .kernels import MATRIX_FAMILIES
+
+    families = (tuple(part.strip() for part in args.families.split(",")
+                      if part.strip())
+                if args.families else MATRIX_FAMILIES)
+    counts = (tuple(int(part) for part in args.devices.split(","))
+              if args.devices else DEVICE_COUNTS)
+    service = _service_from_args(args)
+    report = run_matrix(
+        families=families, n=args.size, device_counts=counts,
+        service=service, jobs=args.jobs,
+        peer=NVLINK_LINK if args.peer else None,
+    )
+    print(report.render())
+    print()
+    print(f"digest: {report.digest()}")
+    _print_service_stats(service)
+    _maybe_publish(service)
+    if service is not None:
+        service.close()
+    return 0
+
+
 def _resilience_from_args(args: argparse.Namespace) -> dict:
     """Translate --faults/--retries/--hedge/--resume into CompileService
     keyword arguments (docs/FAULTS.md).  Empty dict when none are set."""
@@ -645,7 +671,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("bench", help="drive one benchmark's stages")
-    p.add_argument("name", choices=("lud", "ge", "bfs", "bp", "hydro"))
+    p.add_argument("name", choices=("lud", "ge", "bfs", "bp", "hydro",
+                                    "stencil", "lbm", "pic"))
     p.add_argument("--compiler", choices=("caps", "pgi"), default="caps")
     p.add_argument("--device", default="gpu")
     p.add_argument("--size", type=int, default=None)
@@ -654,6 +681,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec_flags(p)
     add_trace_flags(p)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "matrix",
+        help="the multi-device portability matrix: family x compiler x "
+             "target x device count, with halo-exchange modeling "
+             "(docs/WORKLOADS.md)",
+    )
+    p.add_argument("--families", default=None, metavar="LIST",
+                   help="comma-separated kernel families "
+                        "(default: stencil,lbm,pic)")
+    p.add_argument("--size", type=int, default=None, metavar="N",
+                   help="problem size for every family "
+                        "(default: each family's test size)")
+    p.add_argument("--devices", default=None, metavar="LIST",
+                   help="comma-separated device counts (default: 1,2,4)")
+    p.add_argument("--peer", action="store_true",
+                   help="give same-switch neighbor pairs an NVLink-class "
+                        "peer link instead of sharing the PCIe root")
+    add_service_flags(p)
+    add_resilience_flags(p)
+    add_trace_flags(p)
+    p.set_defaults(func=_cmd_matrix)
 
     p = sub.add_parser("experiment", help="regenerate paper tables/figures")
     p.add_argument("ids", nargs="+",

@@ -50,7 +50,13 @@ from ..passes.library.pgi import (  # noqa: F401  (back-compat re-exports)
     _loop_is_complex,
     _pgi_parallelizable,
 )
-from ..ptx.codegen import CodegenStyle, ParallelMapping, empty_ptx, generate_ptx
+from ..ptx.codegen import (
+    CodegenStyle,
+    ParallelMapping,
+    empty_ptx,
+    generate_ptx,
+    stage_shared_ptx,
+)
 from ..telemetry.spans import get_tracer
 from .flags import FlagSet
 from .framework import (
@@ -120,7 +126,9 @@ class PgiCompiler:
         parallel_ids = ctx.state["parallel_ids"]
         shared_reductions = ctx.state.get("shared_reductions", set())
         host_fallback = ctx.state.get("host_fallback", False)
+        cache_staged = ctx.state.get("cache_staged", ())
 
+        traffic_reuse = 1.0
         if host_fallback:
             ptx = empty_ptx(work.name)
         else:
@@ -132,6 +140,11 @@ class PgiCompiler:
                 shared_reductions=shared_reductions,
             )
             ptx = generate_ptx(work, mapping, PGI_CUDA_STYLE)
+            if cache_staged:
+                # `acc cache` honored: stage the named arrays' reads
+                # through shared memory, same lowering as CAPS
+                ptx = stage_shared_ptx(ptx, cache_staged, rewrite_uses=True)
+                traffic_reuse = 0.5
 
         log.extend(f"[{kernel.name}] {message}" for message in messages)
         return CompiledKernel(
@@ -144,4 +157,6 @@ class PgiCompiler:
             ptx=ptx,
             messages=messages,
             elided=host_fallback,
+            shared_staged=cache_staged,
+            traffic_reuse=traffic_reuse,
         )

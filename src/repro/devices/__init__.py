@@ -1,4 +1,6 @@
-"""Device models of the paper's test bed: K40 GPU, Xeon Phi 5110P, host."""
+"""Device models: K40 GPU, Xeon Phi 5110P, host — and the N-accelerator
+node topology (links, switches, halo contention) the portability matrix
+sweeps."""
 
 from .specs import (
     E5_2670,
@@ -13,17 +15,29 @@ from .specs import (
     PcieLink,
     device_by_name,
 )
+from .topology import (
+    NVLINK_LINK,
+    PCIE2_LINK,
+    PCIE3_LINK,
+    DeviceTopology,
+    LinkSpec,
+)
 
 __all__ = [
     "E5_2670",
     "GCC",
     "ICC",
     "K40",
+    "NVLINK_LINK",
     "PCIE",
+    "PCIE2_LINK",
+    "PCIE3_LINK",
     "PHI_5110P",
     "DeviceKind",
     "DeviceSpec",
+    "DeviceTopology",
     "HostToolchain",
+    "LinkSpec",
     "PcieLink",
     "device_by_name",
 ]

@@ -2,7 +2,9 @@
 
 One GPU node of the π supercomputer: 2× NVIDIA Kepler K40 + 2× Intel Sandy
 Bridge E5-2670; one MIC node: 2× Intel Xeon Phi 5110P + the same CPUs.
-The benchmarks use a single accelerator, as in the paper.
+The paper's benchmarks drive a single accelerator; the multi-device
+portability matrix chains 1/2/4 of them per node through
+:mod:`repro.devices.topology` (per-link bandwidth + halo contention).
 
 Datasheet-derived values are marked [datasheet]; values calibrated so the
 model reproduces a paper observation are marked [calibrated] with the

@@ -1,0 +1,152 @@
+"""N-accelerator node topology: links, switches, and halo contention.
+
+The paper's test bed drives **one** accelerator per run, but each π node
+physically carries two (2× K40 / 2× 5110P behind one PCIe root).  The
+multi-device portability matrix (``repro.core.matrix``) models nodes of
+1/2/4 accelerators arranged as a **chain decomposition**: device *k*
+exchanges halos with *k−1* and *k+1* every step.
+
+Links
+-----
+A :class:`LinkSpec` is a point-to-point transfer channel.  Two kinds
+matter for a 2014-era node:
+
+* the **host link** — the PCIe root complex every device shares.  When
+  several neighbor exchanges cross it in the same step they divide its
+  bandwidth (:meth:`LinkSpec.transfer_seconds` with ``sharers > 1``);
+* an optional **peer link** — a direct device-to-device channel
+  (NVLink-style, or PCIe peer-to-peer under a common switch) available
+  only to neighbor pairs sitting under the same switch
+  (``devices_per_switch``).  Peer transfers bypass the root complex and
+  never contend with each other.
+
+Contention model
+----------------
+:meth:`DeviceTopology.exchange_seconds` answers: *how long does the
+per-step halo exchange of the busiest device take?*  Every neighbor
+pair moves ``nbytes`` each way; pairs under one switch ride the peer
+link when there is one, the rest cross the shared host link whose
+bandwidth is divided by the number of simultaneous crossing pairs.
+With no peer link every pair crosses the root: a 4-device chain has 3
+pairs sharing one link — the bandwidth cliff the matrix makes visible.
+
+Determinism: everything here is closed-form arithmetic on frozen
+dataclasses — byte-identical across processes and job counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import DeviceSpec, K40, PCIE
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point transfer channel (host PCIe or a peer link)."""
+
+    name: str
+    bandwidth_gbps: float     # effective, not theoretical
+    latency_us: float         # per-transfer setup cost
+
+    def transfer_seconds(self, nbytes: float, sharers: int = 1) -> float:
+        """Seconds to move *nbytes* when *sharers* transfers divide the
+        channel.  Latency is paid once per transfer (setup is per-DMA,
+        not per-byte) and does not contend."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        sharers = max(1, int(sharers))
+        return (self.latency_us * 1e-6
+                + nbytes * sharers / (self.bandwidth_gbps * 1e9))
+
+
+#: the 2014-era host link (mirrors :data:`repro.devices.specs.PCIE`)
+PCIE2_LINK = LinkSpec("pcie2-x16", PCIE.bandwidth_gbps, PCIE.latency_us)
+#: a generation newer root complex (for what-if sweeps)
+PCIE3_LINK = LinkSpec("pcie3-x16", 10.0, 6.0)
+#: a direct device-to-device channel (NVLink-class)
+NVLINK_LINK = LinkSpec("nvlink", 20.0, 1.3)
+
+
+@dataclass(frozen=True)
+class DeviceTopology:
+    """*count* identical accelerators on one node, chained for halos."""
+
+    device: DeviceSpec = K40
+    count: int = 1
+    link: LinkSpec = PCIE2_LINK           # the shared host link
+    peer: LinkSpec | None = None          # same-switch direct channel
+    devices_per_switch: int = 2
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("device count must be >= 1")
+        if self.devices_per_switch < 1:
+            raise ValueError("devices_per_switch must be >= 1")
+
+    # -- structure -------------------------------------------------------------
+
+    def neighbor_pairs(self) -> tuple[tuple[int, int], ...]:
+        """The chain's exchanging pairs: (0,1), (1,2), ..."""
+        return tuple((k, k + 1) for k in range(self.count - 1))
+
+    def switch_of(self, device_index: int) -> int:
+        return device_index // self.devices_per_switch
+
+    def pair_uses_peer(self, pair: tuple[int, int]) -> bool:
+        """A pair rides the peer link iff one exists and both endpoints
+        sit under the same switch."""
+        return (self.peer is not None
+                and self.switch_of(pair[0]) == self.switch_of(pair[1]))
+
+    def host_link_sharers(self) -> int:
+        """Neighbor pairs whose exchange crosses the shared host link in
+        one step (each divides the root-complex bandwidth)."""
+        return sum(
+            1 for pair in self.neighbor_pairs()
+            if not self.pair_uses_peer(pair)
+        )
+
+    # -- cost ------------------------------------------------------------------
+
+    def pair_transfer_seconds(
+        self, pair: tuple[int, int], nbytes: float
+    ) -> float:
+        """One pair's halo transfer (both directions ride the duplex
+        channel as one scheduled DMA of *nbytes* per direction; the
+        slower direction bounds the pair, so one *nbytes* transfer at
+        the contended bandwidth models the step)."""
+        if self.pair_uses_peer(pair):
+            assert self.peer is not None
+            return self.peer.transfer_seconds(nbytes, sharers=1)
+        return self.link.transfer_seconds(
+            nbytes, sharers=self.host_link_sharers()
+        )
+
+    def exchange_seconds(self, nbytes: float) -> float:
+        """Per-step halo-exchange time of the **busiest** device: the
+        slowest of its (at most two) neighbor transfers.  Zero for a
+        single device — there is nobody to exchange with."""
+        if self.count == 1:
+            return 0.0
+        return max(
+            self.pair_transfer_seconds(pair, nbytes)
+            for pair in self.neighbor_pairs()
+        )
+
+    def describe(self) -> str:
+        parts = [f"{self.count}x {self.device.name} via {self.link.name}"]
+        if self.peer is not None:
+            parts.append(
+                f"peer {self.peer.name} ({self.devices_per_switch}/switch)"
+            )
+        return ", ".join(parts)
+
+
+__all__ = [
+    "DeviceTopology",
+    "LinkSpec",
+    "NVLINK_LINK",
+    "PCIE2_LINK",
+    "PCIE3_LINK",
+]

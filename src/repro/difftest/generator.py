@@ -103,6 +103,12 @@ class ExtentError(ValueError):
 
 _ARRAY_NAMES = ("a", "b", "c", "d")
 _SCALAR_NAMES = ("alpha", "beta")
+#: the read-only INT32 index array some kernels carry (PIC-style
+#: ``a[cell[i]] += ...`` scatter deposits and gathers); its cells hold
+#: values in ``[0, _INDEX_SPAN)`` and the extent floor of
+#: :func:`infer_extents` keeps every indirect access in-bounds
+_INDEX_ARRAY = "cell"
+_INDEX_SPAN = 4
 _LOOP_VARS = "ijk"
 _FLOAT_LITS = (0.25, 0.5, 0.75, 1.25, 1.5)
 _FACTOR_LITS = (0.75, 1.25)
@@ -143,8 +149,23 @@ class GeneratedCase:
 # ---------------------------------------------------------------------------
 
 
-def _const_eval(expr: Expr, env: dict[str, int]) -> int:
-    """Evaluate an integer expression over concrete variable bindings."""
+def _const_eval(
+    expr: Expr,
+    env: dict[str, int],
+    indirect: dict[int, int] | None = None,
+) -> int:
+    """Evaluate an integer expression over concrete variable bindings.
+
+    *indirect* maps ``id(node)`` of an :class:`ArrayRef` appearing
+    *inside* a subscript (an index-array read like ``cell[p]``) to a
+    corner value of its value range.
+    """
+    if indirect is not None and isinstance(expr, ArrayRef):
+        if id(expr) in indirect:
+            return indirect[id(expr)]
+        raise ExtentError(
+            f"unbound indirect read of {expr.name!r} in subscript"
+        )
     if isinstance(expr, IntLit):
         return expr.value
     if isinstance(expr, Var):
@@ -152,8 +173,8 @@ def _const_eval(expr: Expr, env: dict[str, int]) -> int:
             return env[expr.name]
         raise ExtentError(f"non-concrete variable {expr.name!r} in subscript")
     if isinstance(expr, BinOp):
-        lhs = _const_eval(expr.lhs, env)
-        rhs = _const_eval(expr.rhs, env)
+        lhs = _const_eval(expr.lhs, env, indirect)
+        rhs = _const_eval(expr.rhs, env, indirect)
         if expr.op == "+":
             return lhs + rhs
         if expr.op == "-":
@@ -173,7 +194,7 @@ def _const_eval(expr: Expr, env: dict[str, int]) -> int:
             return lhs - q * rhs
         raise ExtentError(f"unsupported subscript operator {expr.op!r}")
     if isinstance(expr, UnaryOp) and expr.op == "-":
-        return -_const_eval(expr.operand, env)
+        return -_const_eval(expr.operand, env, indirect)
     raise ExtentError(f"unsupported subscript node {type(expr).__name__}")
 
 
@@ -185,10 +206,18 @@ def infer_extents(kernel: KernelFunction, minimum: int = 4) -> dict[str, int]:
     """Concrete array extents that make every subscript in *kernel*
     in-bounds, computed by corner evaluation over the literal loop ranges.
 
+    Indirect subscripts (``a[cell[p] + 1]``) are bounded through the
+    index-array *value* range: every INT32 array cell holds a value in
+    ``[0, _INDEX_SPAN)`` (enforced by :func:`make_inputs`), so the
+    indirect read contributes the corners ``0`` and ``_INDEX_SPAN - 1``.
+
     Raises :class:`ExtentError` when a loop bound or subscript is not
     statically concrete, or when any subscript can go negative.
     """
     extents = {p.name: minimum for p in kernel.array_params}
+    int_arrays = {
+        p.name for p in kernel.array_params if p.type.dtype.is_integer
+    }
 
     def handle_ref(ref: ArrayRef, ranges: list[tuple[str, int, int]]) -> None:
         if ref.name not in extents:
@@ -196,14 +225,34 @@ def infer_extents(kernel: KernelFunction, minimum: int = 4) -> dict[str, int]:
         if len(ref.indices) != 1:
             raise ExtentError(f"array {ref.name!r} is not rank-1")
         index = ref.indices[0]
+        reads = [node for node in index.walk() if isinstance(node, ArrayRef)]
+        for node in reads:
+            if node.name not in int_arrays:
+                raise ExtentError(
+                    f"indirect subscript through non-integer array "
+                    f"{node.name!r}"
+                )
         names = [name for name, _, _ in ranges]
-        corners = product(*[(lo, hi) for _, lo, hi in ranges]) if ranges else [()]
+        corners = (
+            list(product(*[(lo, hi) for _, lo, hi in ranges]))
+            if ranges else [()]
+        )
+        value_corners = (
+            list(product(*[(0, _INDEX_SPAN - 1)] * len(reads)))
+            if reads else [()]
+        )
         lo_seen: int | None = None
         hi_seen: int | None = None
         for corner in corners:
-            value = _const_eval(index, dict(zip(names, corner)))
-            lo_seen = value if lo_seen is None else min(lo_seen, value)
-            hi_seen = value if hi_seen is None else max(hi_seen, value)
+            for values in value_corners:
+                value = _const_eval(
+                    index,
+                    dict(zip(names, corner)),
+                    {id(node): v for node, v in zip(reads, values)}
+                    if reads else None,
+                )
+                lo_seen = value if lo_seen is None else min(lo_seen, value)
+                hi_seen = value if hi_seen is None else max(hi_seen, value)
         assert lo_seen is not None and hi_seen is not None
         if lo_seen < 0:
             raise ExtentError(
@@ -243,17 +292,23 @@ def make_inputs(
 ) -> dict[str, object]:
     """Deterministic random launch arguments for one kernel.
 
-    Array cells and float scalars are drawn from ``[0.75, 1.3)`` (strictly
-    positive, bounded away from zero — no cancellation to exactly zero,
-    no overflow under the generator's bounded value grammar); integer
-    scalars (replayed hand-written sources only) get a small constant.
+    Float array cells and float scalars are drawn from ``[0.75, 1.3)``
+    (strictly positive, bounded away from zero — no cancellation to
+    exactly zero, no overflow under the generator's bounded value
+    grammar); integer array cells are index values in
+    ``[0, _INDEX_SPAN)`` (the range :func:`infer_extents` bounds
+    indirect subscripts against); integer scalars (replayed
+    hand-written sources only) get a small constant.
     """
     rng = random.Random(f"repro-difftest-inputs:{tag}")
     args: dict[str, object] = {}
     for param in kernel.params:
         if isinstance(param.type, ArrayType):
             n = extents[param.name]
-            data = [rng.uniform(0.75, 1.3) for _ in range(n)]
+            if param.type.dtype.is_integer:
+                data = [rng.randrange(_INDEX_SPAN) for _ in range(n)]
+            else:
+                data = [rng.uniform(0.75, 1.3) for _ in range(n)]
             np_dtype = _NP_DTYPE.get(param.type.dtype)
             if np_dtype is None:
                 raise GeneratorError(
@@ -297,23 +352,42 @@ class _KernelBuilder:
             for i in range(n_arrays)
         ]
         self.scalars = list(_SCALAR_NAMES[: rng.randint(0, 2)])
+        #: PIC-style read-only index array: enables scatter/gather
+        #: subscripts ``cell[i]`` (and the atomic-deposit races on them)
+        self.index_array = _INDEX_ARRAY if rng.random() < 0.35 else None
         self.accumulators: list[str] = []
         self._nest_depth = 1
 
     # -- expressions --------------------------------------------------------
 
-    def _subscript(self, ctx: _Ctx) -> Expr:
+    def _subscript(self, ctx: _Ctx, allow_indirect: bool = True) -> Expr:
         rng = self.rng
+        if (
+            allow_indirect
+            and self.index_array is not None
+            and ctx
+            and rng.random() < 0.18
+        ):
+            # PIC-style indirection: the scatter/gather subscript reads
+            # the index array at an affine position
+            return ArrayRef(
+                self.index_array,
+                (self._subscript(ctx, allow_indirect=False),),
+            )
         if not ctx or rng.random() < 0.08:
             return IntLit(rng.randint(0, 3))
         var, lower, last = rng.choice(ctx)
         roll = rng.random()
-        if roll < 0.52:
+        if roll < 0.50:
             return Var(var)
-        if roll < 0.65 and lower >= 1:
+        if roll < 0.62 and lower >= 1:
             return BinOp("-", Var(var), IntLit(1))
-        if roll < 0.80:
+        if roll < 0.76:
             return BinOp("+", Var(var), IntLit(1))
+        if roll < 0.83:
+            # halo-style second-ring ghost access (the stencil/LBM
+            # exchange pattern: reach past the immediate neighbor)
+            return BinOp("+", Var(var), IntLit(2))
         if roll < 0.90 and len(ctx) >= 2:
             others = [c for c in ctx if c[0] != var]
             other = rng.choice(others) if others else ctx[0]
@@ -384,7 +458,11 @@ class _KernelBuilder:
         rng = self.rng
         slot = rng.choice([s for s in self.arrays if s.writable])
         target = ArrayRef(slot.name, (self._subscript(ctx),))
-        if rng.random() < 0.4:
+        indirect = any(
+            isinstance(node, ArrayRef)
+            for node in target.indices[0].walk()
+        )
+        if indirect or rng.random() < 0.4:
             op = rng.choices(("+", "-", "*"), weights=(50, 20, 30))[0]
             if op == "*":
                 # a literal factor keeps repeated multiplicative updates
@@ -392,7 +470,11 @@ class _KernelBuilder:
                 value: Expr = FloatLit(rng.choice(_FACTOR_LITS), DType.FLOAT32)
             else:
                 value = self._value(ctx, exclude={slot.name})
-            return Assign(target, value, op, atomic=rng.random() < 0.15)
+            # a scatter deposit through the index array is the PIC race:
+            # make it atomic often enough that both the guarded and the
+            # racing form stay in the corpus
+            atomic_p = 0.5 if indirect else 0.15
+            return Assign(target, value, op, atomic=rng.random() < atomic_p)
         return Assign(target, self._value(ctx, exclude=set()))
 
     def _statement(self, ctx: _Ctx) -> Stmt:
@@ -568,6 +650,10 @@ class _KernelBuilder:
             )
             for slot in self.arrays
         ]
+        if self.index_array is not None:
+            params.append(
+                Param(self.index_array, ArrayType(DType.INT32), "in")
+            )
         params += [
             Param(name, ScalarType(DType.FLOAT32), "in") for name in self.scalars
         ]

@@ -244,6 +244,11 @@ def _diff_kernel(
     """
     args = make_inputs(original, extents, f"{tag}:{original.name}")
     int_scalars = {k: v for k, v in args.items() if isinstance(v, int)}
+    int_arrays = {
+        k: [int(x) for x in v]
+        for k, v in args.items()
+        if isinstance(v, np.ndarray) and v.dtype.kind == "i"
+    }
 
     def fresh():
         return {
@@ -285,7 +290,8 @@ def _diff_kernel(
                 within = False
 
         prediction = predict(
-            original, compiled.ir, semantics, extents, int_scalars
+            original, compiled.ir, semantics, extents, int_scalars,
+            int_arrays,
         )
 
     if not mismatched:

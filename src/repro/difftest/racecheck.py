@@ -213,6 +213,7 @@ class _Interp:
         semantics: dict[int, LoopSemantics] | None,
         extents: dict[str, int],
         int_scalars: dict[str, int] | None = None,
+        int_arrays: dict[str, list[int]] | None = None,
         fuel: int = 500_000,
     ) -> None:
         self.kernel = kernel
@@ -237,9 +238,25 @@ class _Interp:
                         f"no extent for array {param.name!r}"
                     )
                 self.array_dtypes[param.name] = param.type.dtype
-                self.arrays[param.name] = [
-                    ("in", param.name, i) for i in range(extents[param.name])
-                ]
+                if (
+                    param.type.dtype.is_integer
+                    and int_arrays is not None
+                    and param.name in int_arrays
+                ):
+                    # index arrays bind *concretely*: their cells feed
+                    # subscripts, which the oracle must decide exactly
+                    cells = [int(v) for v in int_arrays[param.name]]
+                    if len(cells) < extents[param.name]:
+                        raise OracleUnsupported(
+                            f"int array {param.name!r} shorter than its "
+                            f"extent ({len(cells)} < {extents[param.name]})"
+                        )
+                    self.arrays[param.name] = cells[: extents[param.name]]
+                else:
+                    self.arrays[param.name] = [
+                        ("in", param.name, i)
+                        for i in range(extents[param.name])
+                    ]
             else:
                 self.dtypes[param.name] = param.type.dtype
                 if (
@@ -545,13 +562,18 @@ def symbolic_state(
     semantics: dict[int, LoopSemantics] | None,
     extents: dict[str, int],
     int_scalars: dict[str, int] | None = None,
+    int_arrays: dict[str, list[int]] | None = None,
 ) -> dict[str, tuple]:
     """The symbolic final array state of *kernel* under *semantics*.
+
+    *int_arrays* binds integer-typed array parameters to their concrete
+    cell values (the harness's actual inputs), which makes indirect
+    subscripts like ``a[cell[p]]`` decidable.
 
     Raises :class:`OracleUnsupported` when the kernel is outside the
     decidable fragment (symbolic bounds/branches, rank > 1, ...).
     """
-    interp = _Interp(kernel, semantics, extents, int_scalars)
+    interp = _Interp(kernel, semantics, extents, int_scalars, int_arrays)
     interp.exec_stmt(kernel.body)
     return interp.final_state()
 
@@ -579,13 +601,18 @@ def predict(
     semantics: dict[int, LoopSemantics] | None,
     extents: dict[str, int],
     int_scalars: dict[str, int] | None = None,
+    int_arrays: dict[str, list[int]] | None = None,
 ) -> OraclePrediction:
     """Compare *candidate* (a compiled kernel's IR, to be executed under
     *semantics*) against the *reference* sequential ground truth."""
     try:
-        ref = symbolic_state(reference, {}, extents, int_scalars)
-        cand_seq = symbolic_state(candidate, {}, extents, int_scalars)
-        cand_exec = symbolic_state(candidate, semantics, extents, int_scalars)
+        ref = symbolic_state(reference, {}, extents, int_scalars, int_arrays)
+        cand_seq = symbolic_state(
+            candidate, {}, extents, int_scalars, int_arrays
+        )
+        cand_exec = symbolic_state(
+            candidate, semantics, extents, int_scalars, int_arrays
+        )
     except OracleUnsupported as exc:
         return OraclePrediction(supported=False, detail=str(exc))
     return OraclePrediction(

@@ -1,21 +1,33 @@
-"""The five evaluated workloads: four Rodinia kernels + Hydro (Table IV)."""
+"""The evaluated workloads: the paper's Table IV set (four Rodinia
+kernels + Hydro) plus the multi-device families (stencil, LBM, PIC)
+the portability matrix sweeps — see docs/WORKLOADS.md."""
 
 from .base import Benchmark, BenchmarkMeta, RunResult
 from .bfs import BfsBenchmark
 from .bp import BpBenchmark
 from .ge import GeBenchmark
 from .hydro import HydroBenchmark
+from .lbm import LbmBenchmark
 from .lud import LudBenchmark
 from .micro import MICRO_KERNELS, MicroKernel, run_micro, validate_micro
+from .pic import PicBenchmark
+from .stencil import StencilBenchmark
 
-#: Table IV registry (Hydro is the mini-application of section V-E)
+#: full registry: Table IV workloads (Hydro is the mini-application of
+#: section V-E) plus the multi-device families
 BENCHMARKS: dict[str, type[Benchmark]] = {
     "lud": LudBenchmark,
     "ge": GeBenchmark,
     "bfs": BfsBenchmark,
     "bp": BpBenchmark,
     "hydro": HydroBenchmark,
+    "stencil": StencilBenchmark,
+    "lbm": LbmBenchmark,
+    "pic": PicBenchmark,
 }
+
+#: the families the multi-device portability matrix sweeps
+MATRIX_FAMILIES = ("stencil", "lbm", "pic")
 
 #: the four Rodinia kernels as printed in Table IV
 TABLE_IV_ROWS = [
@@ -58,6 +70,7 @@ def get_benchmark(name: str) -> Benchmark:
 
 __all__ = [
     "BENCHMARKS",
+    "MATRIX_FAMILIES",
     "TABLE_IV_ROWS",
     "Benchmark",
     "BenchmarkMeta",
@@ -65,10 +78,13 @@ __all__ = [
     "BpBenchmark",
     "GeBenchmark",
     "HydroBenchmark",
+    "LbmBenchmark",
     "LudBenchmark",
     "MICRO_KERNELS",
     "MicroKernel",
+    "PicBenchmark",
     "RunResult",
+    "StencilBenchmark",
     "get_benchmark",
     "run_micro",
     "validate_micro",

@@ -1,0 +1,252 @@
+"""D2Q9 streaming-collide lattice Boltzmann (Calore et al., PAPERS.md).
+
+The canonical multi-GPU OpenACC workload: nine distribution functions
+``f[q]`` on an ``nx x ny`` lattice, relaxed toward the weighted local
+density (BGK collide) and propagated along the discrete velocities
+``(cx[q], cy[q])`` (stream).  The two kernels are the two memory-traffic
+regimes of every LBM paper:
+
+* **collide** — pointwise, 9 loads + 9 stores per site, per-site
+  sequential reduction over ``q`` (the density sum);
+* **stream** — shifted reads ``f[q, i - cy[q], j - cx[q]]`` through an
+  indirect per-direction offset table, writing a disjoint array: the
+  halo-read pattern a domain decomposition has to exchange.
+
+Collide conserves site density exactly (the weights sum to 1), which the
+family's reference test asserts.  Boundary sites are frozen (the
+propagation updates interior sites only), so a multi-device split along
+``y`` needs one ghost row of all 9 populations per neighbor per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compilers.framework import CompilationResult
+from ..compilers.opencl import OpenCLKernelSpec, OpenCLProgram
+from ..frontend.parser import parse_module
+from ..ir.stmt import For, Module
+from ..ir.visitors import clone_module
+from ..runtime.launcher import Accelerator
+from ..passes.library.distribute import set_gang_worker
+from .base import Benchmark, BenchmarkMeta, RunResult
+
+#: BGK relaxation rate (0 < omega < 1 keeps the collide a contraction)
+OMEGA = 0.6
+
+#: D2Q9 stencil: rest, axis, diagonal velocities + their weights
+CX = (0, 1, 0, -1, 0, 1, -1, -1, 1)
+CY = (0, 0, 1, 0, -1, 1, 1, -1, -1)
+WEIGHTS = (4 / 9, 1 / 9, 1 / 9, 1 / 9, 1 / 9,
+           1 / 36, 1 / 36, 1 / 36, 1 / 36)
+
+SOURCE = """
+#pragma acc kernels
+void lbm_collide(double *f, const double *wq, int ncells, double omega) {
+  int c, q;
+  #pragma acc loop independent
+  for (c = 0; c < ncells; c++) {
+    double rho = 0.0;
+    for (q = 0; q < 9; q++) {
+      rho += f[q * ncells + c];
+    }
+    for (q = 0; q < 9; q++) {
+      f[q * ncells + c] += omega * (wq[q] * rho - f[q * ncells + c]);
+    }
+  }
+}
+
+#pragma acc kernels
+void lbm_stream(double *fnew, const double *f, const int *cx, const int *cy,
+                int nx, int ny) {
+  int q, i, j;
+  for (q = 0; q < 9; q++) {
+    #pragma acc loop independent
+    for (i = 1; i < ny - 1; i++) {
+      #pragma acc loop independent
+      for (j = 1; j < nx - 1; j++) {
+        fnew[q * nx * ny + i * nx + j] = f[q * nx * ny + (i - cy[q]) * nx + (j - cx[q])];
+      }
+    }
+  }
+}
+
+#pragma acc kernels
+void lbm_copy(double *f, const double *fnew, int nx, int ny) {
+  int q, i, j;
+  for (q = 0; q < 9; q++) {
+    #pragma acc loop independent
+    for (i = 1; i < ny - 1; i++) {
+      #pragma acc loop independent
+      for (j = 1; j < nx - 1; j++) {
+        f[q * nx * ny + i * nx + j] = fnew[q * nx * ny + i * nx + j];
+      }
+    }
+  }
+}
+"""
+
+BEST_GANG = 192
+BEST_WORKER = 16
+
+
+class LbmBenchmark(Benchmark):
+    meta = BenchmarkMeta(
+        name="Lattice Boltzmann D2Q9",
+        short="lbm",
+        dwarf="Structured Grid",
+        domain="Computational Fluid Dynamics",
+        input_size="2K x 2K lattice, 9 populations",
+        paper_size=2048,
+        test_size=12,
+    )
+
+    #: one ghost row of all nine populations per neighbor per step
+    halo_width = 1
+    steps = 2
+
+    # -- sources ---------------------------------------------------------------
+
+    def module(self) -> Module:
+        return parse_module(SOURCE, "lbm")
+
+    def _with_distribution(self, module: Module) -> Module:
+        out = clone_module(module)
+        kernels = []
+        for kernel in out.kernels:
+            if kernel.name == "lbm_collide":
+                target = kernel.top_level_loops()[0]
+            else:
+                target = kernel.loop_by_var("i")
+            kernels.append(
+                set_gang_worker(kernel, target.loop_id, BEST_GANG, BEST_WORKER)
+            )
+        out.kernels = kernels
+        return out
+
+    def stages(self) -> dict[str, Module]:
+        base = self.module()
+        return {"base": base, "threaddist": self._with_distribution(base)}
+
+    # -- OpenCL ---------------------------------------------------------------
+
+    def opencl_program(self) -> OpenCLProgram:
+        module = parse_module(SOURCE.replace("lbm_", "ocl_lbm_"), "lbm-opencl")
+        specs = []
+        for kernel in module.kernels:
+            if kernel.name != "ocl_lbm_collide":
+                # NDRange over the lattice; the q loop stays in-kernel
+                ids = [kernel.loop_by_var("i").loop_id,
+                       kernel.loop_by_var("j").loop_id]
+                specs.append(
+                    OpenCLKernelSpec(
+                        kernel=kernel, parallel_loop_ids=ids,
+                        local_size=(32, 4),
+                    )
+                )
+            else:
+                outer = kernel.top_level_loops()[0]
+                specs.append(
+                    OpenCLKernelSpec(
+                        kernel=kernel, parallel_loop_ids=[outer.loop_id],
+                        local_size=(128, 1),
+                    )
+                )
+        return OpenCLProgram("lbm-opencl", specs)
+
+    # -- data -----------------------------------------------------------------
+
+    def inputs(self, n: int, seed: int = 0) -> dict[str, object]:
+        rng = np.random.default_rng(seed + 2)
+        nx = ny = n
+        ncells = nx * ny
+        f = np.empty(9 * ncells)
+        for q in range(9):
+            f[q * ncells:(q + 1) * ncells] = WEIGHTS[q] * rng.uniform(
+                0.8, 1.2, ncells
+            )
+        return {
+            "f": f,
+            "wq": np.array(WEIGHTS, dtype=np.float64),
+            "cx": np.array(CX, dtype=np.int32),
+            "cy": np.array(CY, dtype=np.int32),
+            "nx": nx,
+            "ny": ny,
+        }
+
+    def reference(
+        self, inputs: dict[str, object], steps: int | None = None
+    ) -> dict[str, np.ndarray]:
+        steps = self.steps if steps is None else steps
+        nx = int(inputs["nx"])  # type: ignore[arg-type]
+        ny = int(inputs["ny"])  # type: ignore[arg-type]
+        f = np.asarray(inputs["f"], dtype=np.float64).reshape(9, ny, nx).copy()
+        wq = np.asarray(inputs["wq"], dtype=np.float64)
+        for _ in range(steps):
+            rho = f.sum(axis=0)
+            f += OMEGA * (wq[:, None, None] * rho[None, :, :] - f)
+            fnew = f.copy()
+            for q in range(9):
+                src = f[q]
+                # interior sites pull from (i - cy, j - cx)
+                fnew[q, 1:-1, 1:-1] = src[
+                    1 - CY[q]:ny - 1 - CY[q], 1 - CX[q]:nx - 1 - CX[q]
+                ]
+            f = fnew
+        return {"f": f.reshape(-1)}
+
+    # -- driver ---------------------------------------------------------------
+
+    def exchange_bytes(self, n: int) -> int:
+        """One ghost row of all nine populations, 8 bytes per site."""
+        return 8 * 9 * n * self.halo_width
+
+    def run(
+        self,
+        accelerator: Accelerator,
+        compiled: CompilationResult,
+        n: int,
+        inputs: dict[str, object] | None = None,
+        steps: int | None = None,
+    ) -> RunResult:
+        steps = self.steps if steps is None else steps
+        functional = inputs is not None
+        prefix = (
+            "ocl_" if any(k.name.startswith("ocl_") for k in compiled.kernels)
+            else ""
+        )
+
+        def kern(name: str):
+            return compiled.kernel(prefix + name)
+
+        nx = ny = n
+        ncells = nx * ny
+
+        if functional:
+            f = np.asarray(inputs["f"], dtype=np.float64)
+            accelerator.to_device(
+                f=f.copy(),
+                fnew=f.copy(),
+                wq=np.asarray(inputs["wq"], dtype=np.float64),
+                cx=np.asarray(inputs["cx"], dtype=np.int32),
+                cy=np.asarray(inputs["cy"], dtype=np.int32),
+            )
+        else:
+            f8 = 8
+            accelerator.declare(
+                f=9 * ncells * f8, fnew=9 * ncells * f8, wq=9 * f8,
+                cx=9 * 4, cy=9 * 4,
+            )
+            accelerator.upload_declared("f", "wq", "cx", "cy")
+
+        for _ in range(steps):
+            accelerator.launch(kern("lbm_collide"), ncells=ncells, omega=OMEGA)
+            accelerator.launch(kern("lbm_stream"), nx=nx, ny=ny)
+            accelerator.launch(kern("lbm_copy"), nx=nx, ny=ny)
+
+        outputs: dict[str, np.ndarray] = {}
+        if functional:
+            outputs = accelerator.from_device("f")
+        else:
+            accelerator.download_declared("f")
+        return RunResult(accelerator.elapsed_s, accelerator, outputs)

@@ -1,0 +1,225 @@
+"""Particle-in-cell scatter/gather (Hariri et al., PAPERS.md).
+
+One cloud-in-cell PIC cycle on a 1-D grid: **deposit** scatters each
+particle's weighted charge into its cell and the next one through
+``#pragma acc atomic`` compound updates (the data race every PIC port
+has to tame), **gather** interpolates the grid field back to the
+particle, and **push** advances the particle coordinate — three kernels
+spanning the scatter, gather, and pointwise regimes.
+
+IR shape: indirect writes ``rho[cell[p]] += ...`` behind
+``#pragma acc atomic`` (the atomic is what keeps the loop out of PGI's
+"complex loop" refusal, paper V-C1 — strip it and both compilers race),
+indirect reads in gather, affine pointwise in push.  Particles never
+migrate between cells inside a driven run (the cell table is fixed), so a
+multi-device decomposition partitions particles and needs no halo —
+only the per-step grid reduction the matrix models as its exchange.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compilers.framework import CompilationResult
+from ..compilers.opencl import OpenCLKernelSpec, OpenCLProgram
+from ..frontend.parser import parse_module
+from ..ir.stmt import Module
+from ..ir.visitors import clone_module
+from ..runtime.launcher import Accelerator
+from ..passes.library.distribute import set_gang_worker
+from .base import Benchmark, BenchmarkMeta, RunResult
+
+#: particles per grid cell
+PPC = 4
+#: pseudo time step of the push
+DT = 0.1
+
+SOURCE = """
+#pragma acc kernels
+void pic_zero(double *rho, int ng) {
+  int g;
+  #pragma acc loop independent
+  for (g = 0; g < ng; g++) {
+    rho[g] = 0.0;
+  }
+}
+
+#pragma acc kernels
+void pic_deposit(double *rho, const int *cell, const double *qw,
+                 const double *frac, int np) {
+  int p;
+  #pragma acc loop independent
+  for (p = 0; p < np; p++) {
+    #pragma acc atomic
+    rho[cell[p]] += qw[p] * (1.0 - frac[p]);
+    #pragma acc atomic
+    rho[cell[p] + 1] += qw[p] * frac[p];
+  }
+}
+
+#pragma acc kernels
+void pic_gather(double *ax, const double *rho, const int *cell,
+                const double *frac, int np) {
+  int p;
+  #pragma acc loop independent
+  for (p = 0; p < np; p++) {
+    ax[p] = rho[cell[p]] * (1.0 - frac[p]) + rho[cell[p] + 1] * frac[p];
+  }
+}
+
+#pragma acc kernels
+void pic_push(double *x, const double *ax, double dt, int np) {
+  int p;
+  #pragma acc loop independent
+  for (p = 0; p < np; p++) {
+    x[p] += ax[p] * dt * dt;
+  }
+}
+"""
+
+BEST_GANG = 256
+BEST_WORKER = 16
+
+
+class PicBenchmark(Benchmark):
+    meta = BenchmarkMeta(
+        name="Particle-in-Cell",
+        short="pic",
+        dwarf="N-Body / Particle Methods",
+        domain="Plasma Physics",
+        input_size="8M particles on a 2M grid",
+        paper_size=2 * 1024 * 1024,
+        test_size=32,
+    )
+
+    #: particles are decomposition-local; the exchange is the grid
+    #: all-reduce, not a spatial halo
+    halo_width = 0
+    steps = 2
+
+    # -- sources ---------------------------------------------------------------
+
+    def module(self) -> Module:
+        return parse_module(SOURCE, "pic")
+
+    def _with_distribution(self, module: Module) -> Module:
+        out = clone_module(module)
+        kernels = []
+        for kernel in out.kernels:
+            outer = kernel.top_level_loops()[0]
+            kernels.append(
+                set_gang_worker(kernel, outer.loop_id, BEST_GANG, BEST_WORKER)
+            )
+        out.kernels = kernels
+        return out
+
+    def stages(self) -> dict[str, Module]:
+        base = self.module()
+        return {"base": base, "threaddist": self._with_distribution(base)}
+
+    # -- OpenCL ---------------------------------------------------------------
+
+    def opencl_program(self) -> OpenCLProgram:
+        module = parse_module(SOURCE.replace("pic_", "ocl_pic_"), "pic-opencl")
+        specs = [
+            OpenCLKernelSpec(
+                kernel=kernel,
+                parallel_loop_ids=[kernel.top_level_loops()[0].loop_id],
+                local_size=(128, 1),
+            )
+            for kernel in module.kernels
+        ]
+        return OpenCLProgram("pic-opencl", specs)
+
+    # -- data -----------------------------------------------------------------
+
+    def inputs(self, n: int, seed: int = 0) -> dict[str, object]:
+        rng = np.random.default_rng(seed + 3)
+        ng = n
+        nparticles = PPC * n
+        x = rng.uniform(0.0, float(ng - 1) - 1e-6, nparticles)
+        cell = np.floor(x).astype(np.int32)
+        return {
+            "x": x,
+            "cell": cell,
+            "frac": x - cell,
+            "qw": rng.uniform(0.5, 1.5, nparticles),
+            "ng": ng,
+            "np": nparticles,
+        }
+
+    def reference(
+        self, inputs: dict[str, object], steps: int | None = None
+    ) -> dict[str, np.ndarray]:
+        steps = self.steps if steps is None else steps
+        ng = int(inputs["ng"])  # type: ignore[arg-type]
+        x = np.asarray(inputs["x"], dtype=np.float64).copy()
+        cell = np.asarray(inputs["cell"], dtype=np.int64)
+        frac = np.asarray(inputs["frac"], dtype=np.float64)
+        qw = np.asarray(inputs["qw"], dtype=np.float64)
+        rho = np.zeros(ng)
+        ax = np.zeros_like(x)
+        for _ in range(steps):
+            rho = np.zeros(ng)
+            np.add.at(rho, cell, qw * (1.0 - frac))
+            np.add.at(rho, cell + 1, qw * frac)
+            ax = rho[cell] * (1.0 - frac) + rho[cell + 1] * frac
+            x = x + ax * DT * DT
+        return {"rho": rho, "ax": ax, "x": x}
+
+    # -- driver ---------------------------------------------------------------
+
+    def exchange_bytes(self, n: int) -> int:
+        """Per-step grid charge all-reduce: the full rho array."""
+        return 8 * n
+
+    def run(
+        self,
+        accelerator: Accelerator,
+        compiled: CompilationResult,
+        n: int,
+        inputs: dict[str, object] | None = None,
+        steps: int | None = None,
+    ) -> RunResult:
+        steps = self.steps if steps is None else steps
+        functional = inputs is not None
+        prefix = (
+            "ocl_" if any(k.name.startswith("ocl_") for k in compiled.kernels)
+            else ""
+        )
+
+        def kern(name: str):
+            return compiled.kernel(prefix + name)
+
+        ng = n
+        nparticles = PPC * n
+
+        if functional:
+            accelerator.to_device(
+                rho=np.zeros(ng),
+                x=np.asarray(inputs["x"], dtype=np.float64).copy(),
+                cell=np.asarray(inputs["cell"], dtype=np.int32),
+                frac=np.asarray(inputs["frac"], dtype=np.float64),
+                qw=np.asarray(inputs["qw"], dtype=np.float64),
+                ax=np.zeros(nparticles),
+            )
+        else:
+            f8 = 8
+            accelerator.declare(
+                rho=ng * f8, x=nparticles * f8, cell=nparticles * 4,
+                frac=nparticles * f8, qw=nparticles * f8, ax=nparticles * f8,
+            )
+            accelerator.upload_declared("x", "cell", "frac", "qw")
+
+        for _ in range(steps):
+            accelerator.launch(kern("pic_zero"), ng=ng)
+            accelerator.launch(kern("pic_deposit"), np=nparticles)
+            accelerator.launch(kern("pic_gather"), np=nparticles)
+            accelerator.launch(kern("pic_push"), dt=DT, np=nparticles)
+
+        outputs: dict[str, np.ndarray] = {}
+        if functional:
+            outputs = accelerator.from_device("rho", "ax", "x")
+        else:
+            accelerator.download_declared("rho", "x")
+        return RunResult(accelerator.elapsed_s, accelerator, outputs)

@@ -1,0 +1,269 @@
+"""Structured stencil with explicit halo regions (2-D and 3-D sweeps).
+
+The workload family the multi-device literature is built on (Calore et
+al., PAPERS.md): a Jacobi relaxation over an ``nx x ny`` grid plus a
+7-point sweep over an ``m^3`` brick, with the halo cells updated by a
+*separate* boundary kernel — exactly the interior/boundary split that
+lets a multi-device schedule overlap interior compute with halo
+transfer (the interior sweep never reads the cells in flight).
+
+IR shape: disjoint read/write arrays (``u`` -> ``unew``), affine
+offset subscripts (``i - 1``, ``i + 1``, ``i*nx + j - 1``), a copy-back
+kernel per grid.  Every parallel loop is provably ``INDEPENDENT``, so
+the schedule-independence proof in :mod:`repro.perf.halo` accepts the
+family for transfer-compute overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compilers.framework import CompilationResult
+from ..compilers.opencl import OpenCLKernelSpec, OpenCLProgram
+from ..frontend.parser import parse_module
+from ..ir.stmt import For, Module
+from ..ir.visitors import clone_module
+from ..runtime.launcher import Accelerator
+from ..passes.library.distribute import set_gang_worker
+from .base import Benchmark, BenchmarkMeta, RunResult
+
+#: Jacobi damping factor; < 1/4 keeps the 2-D sweep a contraction
+ALPHA = 0.2
+
+SOURCE = """
+#pragma acc kernels
+void stencil2d_sweep(double *unew, const double *u, int nx, int ny) {
+  int i, j;
+  #pragma acc loop independent
+  for (i = 1; i < ny - 1; i++) {
+    #pragma acc loop independent
+    for (j = 1; j < nx - 1; j++) {
+      unew[i * nx + j] = 0.2 * (u[i * nx + j] + u[i * nx + j - 1] + u[i * nx + j + 1] + u[(i - 1) * nx + j] + u[(i + 1) * nx + j]);
+    }
+  }
+}
+
+#pragma acc kernels
+void stencil2d_halo(double *unew, const double *u, int nx, int ny) {
+  int i, j;
+  #pragma acc loop independent
+  for (j = 0; j < nx; j++) {
+    unew[j] = u[j];
+    unew[(ny - 1) * nx + j] = u[(ny - 1) * nx + j];
+  }
+  #pragma acc loop independent
+  for (i = 1; i < ny - 1; i++) {
+    unew[i * nx] = u[i * nx];
+    unew[i * nx + nx - 1] = u[i * nx + nx - 1];
+  }
+}
+
+#pragma acc kernels
+void stencil2d_copy(double *u, const double *unew, int n) {
+  int c;
+  #pragma acc loop independent
+  for (c = 0; c < n; c++) {
+    u[c] = unew[c];
+  }
+}
+
+#pragma acc kernels
+void stencil3d_sweep(double *wnew, const double *w, int m) {
+  int k, i, j;
+  #pragma acc loop independent
+  for (k = 1; k < m - 1; k++) {
+    #pragma acc loop independent
+    for (i = 1; i < m - 1; i++) {
+      for (j = 1; j < m - 1; j++) {
+        wnew[(k * m + i) * m + j] = w[(k * m + i) * m + j] + 0.125 * (w[(k * m + i) * m + j - 1] + w[(k * m + i) * m + j + 1] + w[(k * m + i - 1) * m + j] + w[(k * m + i + 1) * m + j] + w[((k - 1) * m + i) * m + j] + w[((k + 1) * m + i) * m + j] - 6.0 * w[(k * m + i) * m + j]);
+      }
+    }
+  }
+}
+
+#pragma acc kernels
+void stencil3d_copy(double *w, const double *wnew, int m) {
+  int k, i, j;
+  #pragma acc loop independent
+  for (k = 1; k < m - 1; k++) {
+    #pragma acc loop independent
+    for (i = 1; i < m - 1; i++) {
+      for (j = 1; j < m - 1; j++) {
+        w[(k * m + i) * m + j] = wnew[(k * m + i) * m + j];
+      }
+    }
+  }
+}
+"""
+
+#: best portable thread distribution for the 2-D sweeps (heat-map style)
+BEST_GANG = 128
+BEST_WORKER = 16
+
+#: kernels whose outer loop takes the explicit distribution stage
+_DISTRIBUTED = ("stencil2d_sweep", "stencil2d_halo", "stencil2d_copy",
+                "stencil3d_sweep", "stencil3d_copy")
+
+
+class StencilBenchmark(Benchmark):
+    meta = BenchmarkMeta(
+        name="Halo Stencil",
+        short="stencil",
+        dwarf="Structured Grid",
+        domain="PDE solvers (Jacobi relaxation)",
+        input_size="4K x 4K grid + 256^3 brick",
+        paper_size=4096,
+        test_size=16,
+    )
+
+    #: halo width in grid cells (one ghost row per neighbor per sweep)
+    halo_width = 1
+    #: device steps per driven run
+    steps = 2
+
+    # -- sources ---------------------------------------------------------------
+
+    def module(self) -> Module:
+        return parse_module(SOURCE, "stencil")
+
+    def _with_distribution(self, module: Module) -> Module:
+        out = clone_module(module)
+        kernels = []
+        for kernel in out.kernels:
+            if kernel.name in _DISTRIBUTED:
+                outer = kernel.top_level_loops()[0]
+                kernel = set_gang_worker(
+                    kernel, outer.loop_id, BEST_GANG, BEST_WORKER
+                )
+            kernels.append(kernel)
+        out.kernels = kernels
+        return out
+
+    def stages(self) -> dict[str, Module]:
+        base = self.module()
+        return {"base": base, "threaddist": self._with_distribution(base)}
+
+    # -- OpenCL ---------------------------------------------------------------
+
+    def opencl_program(self) -> OpenCLProgram:
+        module = parse_module(
+            SOURCE.replace("stencil", "ocl_stencil"), "stencil-opencl"
+        )
+        specs = []
+        for kernel in module.kernels:
+            loops = kernel.top_level_loops()
+            outer = loops[0]
+            ids = [outer.loop_id]
+            inner = outer.body.stmts[0] if outer.body.stmts else None
+            if len(outer.body.stmts) == 1 and isinstance(inner, For):
+                ids.append(inner.loop_id)
+            specs.append(
+                OpenCLKernelSpec(
+                    kernel=kernel,
+                    parallel_loop_ids=ids,
+                    local_size=(32, 4) if len(ids) > 1 else (128, 1),
+                )
+            )
+        return OpenCLProgram("stencil-opencl", specs)
+
+    # -- data -----------------------------------------------------------------
+
+    @staticmethod
+    def _brick_side(n: int) -> int:
+        return max(4, n // 2)
+
+    def inputs(self, n: int, seed: int = 0) -> dict[str, object]:
+        rng = np.random.default_rng(seed + 1)
+        nx = ny = n
+        m = self._brick_side(n)
+        return {
+            "u": rng.uniform(0.5, 1.5, nx * ny),
+            "w": rng.uniform(0.5, 1.5, m * m * m),
+            "nx": nx,
+            "ny": ny,
+            "m": m,
+        }
+
+    def reference(
+        self, inputs: dict[str, object], steps: int | None = None
+    ) -> dict[str, np.ndarray]:
+        steps = self.steps if steps is None else steps
+        nx = int(inputs["nx"])  # type: ignore[arg-type]
+        ny = int(inputs["ny"])  # type: ignore[arg-type]
+        m = int(inputs["m"])  # type: ignore[arg-type]
+        u = np.asarray(inputs["u"], dtype=np.float64).reshape(ny, nx).copy()
+        w = np.asarray(inputs["w"], dtype=np.float64).reshape(m, m, m).copy()
+        for _ in range(steps):
+            nxt = u.copy()
+            nxt[1:-1, 1:-1] = ALPHA * (
+                u[1:-1, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+                + u[:-2, 1:-1] + u[2:, 1:-1]
+            )
+            u = nxt
+            wn = w.copy()
+            wn[1:-1, 1:-1, 1:-1] = w[1:-1, 1:-1, 1:-1] + 0.125 * (
+                w[1:-1, 1:-1, :-2] + w[1:-1, 1:-1, 2:]
+                + w[1:-1, :-2, 1:-1] + w[1:-1, 2:, 1:-1]
+                + w[:-2, 1:-1, 1:-1] + w[2:, 1:-1, 1:-1]
+                - 6.0 * w[1:-1, 1:-1, 1:-1]
+            )
+            w = wn
+        return {"u": u.flatten(), "w": w.flatten()}
+
+    # -- driver ---------------------------------------------------------------
+
+    def exchange_bytes(self, n: int) -> int:
+        """Halo bytes one device sends a neighbor per step: one ghost row
+        of the 2-D grid plus one ghost plane of the 3-D brick."""
+        m = self._brick_side(n)
+        return 8 * (n * self.halo_width + m * m * self.halo_width)
+
+    def run(
+        self,
+        accelerator: Accelerator,
+        compiled: CompilationResult,
+        n: int,
+        inputs: dict[str, object] | None = None,
+        steps: int | None = None,
+    ) -> RunResult:
+        steps = self.steps if steps is None else steps
+        functional = inputs is not None
+        prefix = (
+            "ocl_" if any(k.name.startswith("ocl_") for k in compiled.kernels)
+            else ""
+        )
+
+        def kern(name: str):
+            return compiled.kernel(prefix + name)
+
+        nx = ny = n
+        m = self._brick_side(n)
+        cells = nx * ny
+        brick = m * m * m
+
+        if functional:
+            u = np.asarray(inputs["u"], dtype=np.float64)
+            w = np.asarray(inputs["w"], dtype=np.float64)
+            accelerator.to_device(
+                u=u.copy(), unew=u.copy(), w=w.copy(), wnew=w.copy()
+            )
+        else:
+            f8 = 8
+            accelerator.declare(
+                u=cells * f8, unew=cells * f8, w=brick * f8, wnew=brick * f8
+            )
+            accelerator.upload_declared("u", "w")
+
+        for _ in range(steps):
+            accelerator.launch(kern("stencil2d_sweep"), nx=nx, ny=ny)
+            accelerator.launch(kern("stencil2d_halo"), nx=nx, ny=ny)
+            accelerator.launch(kern("stencil2d_copy"), n=cells)
+            accelerator.launch(kern("stencil3d_sweep"), m=m)
+            accelerator.launch(kern("stencil3d_copy"), m=m)
+
+        outputs: dict[str, np.ndarray] = {}
+        if functional:
+            outputs = accelerator.from_device("u", "w")
+        else:
+            accelerator.download_declared("u", "w")
+        return RunResult(accelerator.elapsed_s, accelerator, outputs)

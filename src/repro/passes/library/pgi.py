@@ -311,3 +311,32 @@ def _find_parallel_loop(
             if found is not None:
                 return found
     return None
+
+
+@register_pass(
+    "pgi-cache",
+    description="Honor `#pragma acc cache(...)` on offloaded kernels: "
+    "record the named arrays for shared-memory staging by the CUDA "
+    "backend, matching the CAPS lowering (ld.shared at the use sites)",
+    tags=("pgi",),
+)
+def pgi_cache(kernel: KernelFunction, ctx) -> KernelFunction:
+    from ...ir.directives import AccCache
+
+    if ctx.state.get("host_fallback"):
+        # nothing was offloaded, so there is no device loop to stage for
+        return kernel
+    staged: list[str] = []
+    for loop in kernel.loops():
+        for directive in loop.directives.all(AccCache):
+            assert isinstance(directive, AccCache)
+            for name in directive.arrays:
+                if name not in staged:
+                    staged.append(name)
+    if staged:
+        ctx.say(
+            f"Cache directive honored: {', '.join(staged)} staged in "
+            "shared memory"
+        )
+        ctx.state["cache_staged"] = tuple(staged)
+    return kernel

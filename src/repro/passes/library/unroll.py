@@ -115,16 +115,21 @@ def _plain_unrolled_body(loop: For, copies: list[Block]) -> Block:
 def unroll_in_kernel(
     kernel: KernelFunction, loop_id: int, factor: int, jam: bool = False
 ) -> KernelFunction:
-    """Return a copy of *kernel* with the identified loop unrolled."""
+    """Return a copy of *kernel* with the identified loop unrolled.
+
+    A prior unrolling may have duplicated the loop (copies share the
+    ``loop_id``, with shifted bodies); each occurrence is transformed
+    *independently* — substituting one pre-built tree everywhere would
+    alias nodes and replay the wrong body shift.
+    """
     out = clone_kernel(kernel)
-    target = out.find_loop(loop_id)  # raises KeyError if absent
-    unrolled = unroll_loop(target, factor, jam)
+    out.find_loop(loop_id)  # raises KeyError if absent
 
     def replace(stmt: Stmt) -> None:
         if isinstance(stmt, Block):
             for i, child in enumerate(stmt.stmts):
                 if isinstance(child, For) and child.loop_id == loop_id:
-                    stmt.stmts[i] = unrolled
+                    stmt.stmts[i] = unroll_loop(child, factor, jam)
                 else:
                     replace(child)
         else:

@@ -129,7 +129,7 @@ PIPELINES: dict[tuple[str, str], Pipeline] = {
     ),
     ("pgi", "cuda"): Pipeline(
         "pgi/cuda",
-        ("pgi-munroll", "pgi-schedule"),
+        ("pgi-munroll", "pgi-schedule", "pgi-cache"),
     ),
     ("opencl", "gpu"): Pipeline("opencl/gpu", ("opencl-stage-shared",)),
     ("opencl", "mic"): Pipeline("opencl/mic", ("opencl-stage-shared",)),

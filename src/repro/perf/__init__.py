@@ -1,5 +1,13 @@
-"""Calibrated analytical performance models for the simulated devices."""
+"""Calibrated analytical performance models for the simulated devices,
+including the multi-device halo-exchange cost model."""
 
+from .halo import (
+    HaloBreakdown,
+    emit_halo_spans,
+    halo_cost,
+    overlap_provable,
+    pack_seconds,
+)
 from .model import (
     model_overrides,
     CPI,
@@ -12,10 +20,15 @@ from .model import (
 
 __all__ = [
     "CPI",
+    "HaloBreakdown",
     "KernelTimeline",
     "LaunchConfig",
     "TimeBreakdown",
     "WorkProfile",
+    "emit_halo_spans",
     "estimate_time",
+    "halo_cost",
     "model_overrides",
+    "overlap_provable",
+    "pack_seconds",
 ]

@@ -9,6 +9,12 @@ included.  The declarative pass pipelines must reproduce all of them
 exactly (ISSUE 7 acceptance).  ISSUE 8 added the 45 optimization-ladder
 artifacts (fuse-reuse / shared-tile / full ladder per benchmark, per
 compiler/target pair), pinned from the tree that registered the rungs.
+ISSUE 10 added the three multi-device families (stencil / lbm / pic:
+17 stage + ladder + OpenCL artifacts each) and re-pinned the two bp
+shared-tile PGI artifacts: the PGI model now lowers ``acc cache``
+(pgi-cache pass + tile-derived induction tracking), so the tiled
+``bp_adjust_weights`` stages through shared memory instead of silently
+dropping the directive and host-falling-back.
 
 Regenerate (only after an *intentional* artifact change) with::
 
@@ -37,5 +43,8 @@ def test_artifacts_match_pre_refactor_goldens():
     # the grid is complete, not silently shrunk: 137 pre-refactor artifacts
     # + 45 optimization-ladder artifacts (5 benchmarks x 3 ladder stages x
     # 3 compiler/target pairs), pinned deliberately when the fuse-reuse /
-    # shared-tile rungs joined the core ladders (ISSUE 8)
-    assert len(golden) == 137 + 45
+    # shared-tile rungs joined the core ladders (ISSUE 8), + 51 artifacts
+    # for the three multi-device families (17 each: 2 stages + 3 ladder
+    # stages through 3 compiler/target pairs, + OpenCL on gpu and mic),
+    # pinned when ISSUE 10 registered them
+    assert len(golden) == 137 + 45 + 51

@@ -1,0 +1,114 @@
+"""Unit tests for the N-device node topology: links, switches, and the
+halo contention math (docs/MODEL.md, multi-device section)."""
+
+import pytest
+
+from repro.devices import (
+    K40,
+    NVLINK_LINK,
+    PCIE,
+    PCIE2_LINK,
+    DeviceTopology,
+    LinkSpec,
+)
+
+
+class TestLinkSpec:
+    def test_uncontended_transfer(self):
+        link = LinkSpec("test", bandwidth_gbps=1.0, latency_us=0.0)
+        assert link.transfer_seconds(1e9) == pytest.approx(1.0)
+
+    def test_latency_is_paid_once(self):
+        link = LinkSpec("test", bandwidth_gbps=1.0, latency_us=100.0)
+        assert link.transfer_seconds(0) == pytest.approx(100e-6)
+
+    def test_sharers_divide_bandwidth_not_latency(self):
+        link = LinkSpec("test", bandwidth_gbps=1.0, latency_us=100.0)
+        solo = link.transfer_seconds(1e9, sharers=1)
+        shared = link.transfer_seconds(1e9, sharers=3)
+        assert shared == pytest.approx(100e-6 + 3.0)
+        assert shared > solo
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE2_LINK.transfer_seconds(-1)
+
+    def test_pcie2_link_mirrors_single_device_model(self):
+        # the multi-device host link at sharers=1 is the same channel the
+        # single-device Accelerator models
+        assert PCIE2_LINK.bandwidth_gbps == PCIE.bandwidth_gbps
+        assert PCIE2_LINK.latency_us == PCIE.latency_us
+        assert (PCIE2_LINK.transfer_seconds(1 << 20)
+                == pytest.approx(PCIE.transfer_seconds(1 << 20)))
+
+
+class TestTopologyStructure:
+    def test_single_device_has_no_pairs(self):
+        assert DeviceTopology(K40, 1).neighbor_pairs() == ()
+
+    def test_chain_pairs(self):
+        assert DeviceTopology(K40, 4).neighbor_pairs() == (
+            (0, 1), (1, 2), (2, 3),
+        )
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceTopology(K40, 0)
+
+    def test_switch_assignment(self):
+        topo = DeviceTopology(K40, 4, devices_per_switch=2)
+        assert [topo.switch_of(k) for k in range(4)] == [0, 0, 1, 1]
+
+    def test_peer_only_within_switch(self):
+        topo = DeviceTopology(K40, 4, peer=NVLINK_LINK,
+                              devices_per_switch=2)
+        assert topo.pair_uses_peer((0, 1))
+        assert not topo.pair_uses_peer((1, 2))  # crosses the root
+        assert topo.pair_uses_peer((2, 3))
+
+    def test_no_peer_means_no_peer_pairs(self):
+        topo = DeviceTopology(K40, 4)
+        assert not any(topo.pair_uses_peer(p) for p in topo.neighbor_pairs())
+
+
+class TestContentionMath:
+    def test_single_device_exchange_is_free(self):
+        assert DeviceTopology(K40, 1).exchange_seconds(1 << 30) == 0.0
+
+    def test_two_devices_uncontended(self):
+        topo = DeviceTopology(K40, 2)
+        assert topo.host_link_sharers() == 1
+        assert topo.exchange_seconds(1 << 20) == pytest.approx(
+            PCIE2_LINK.transfer_seconds(1 << 20, sharers=1)
+        )
+
+    def test_four_devices_share_the_root(self):
+        topo = DeviceTopology(K40, 4)
+        assert topo.host_link_sharers() == 3
+        # 3 pairs dividing one link: slower than the 2-device exchange
+        assert (topo.exchange_seconds(1 << 20)
+                > DeviceTopology(K40, 2).exchange_seconds(1 << 20))
+        assert topo.exchange_seconds(1 << 20) == pytest.approx(
+            PCIE2_LINK.transfer_seconds(1 << 20, sharers=3)
+        )
+
+    def test_peer_link_relieves_the_root(self):
+        flat = DeviceTopology(K40, 4)
+        peered = DeviceTopology(K40, 4, peer=NVLINK_LINK)
+        # only the cross-switch pair still crosses the host link
+        assert peered.host_link_sharers() == 1
+        assert (peered.exchange_seconds(1 << 20)
+                < flat.exchange_seconds(1 << 20))
+
+    def test_busiest_device_bounds_the_step(self):
+        # the exchange time is the max over pairs, so adding a slower
+        # crossing pair can only grow it
+        topo2 = DeviceTopology(K40, 2, peer=NVLINK_LINK)
+        topo4 = DeviceTopology(K40, 4, peer=NVLINK_LINK)
+        assert (topo4.exchange_seconds(1 << 20)
+                >= topo2.exchange_seconds(1 << 20))
+
+    def test_describe_mentions_peer(self):
+        topo = DeviceTopology(K40, 2, peer=NVLINK_LINK)
+        assert "nvlink" in topo.describe()
+        assert "2x" in topo.describe()

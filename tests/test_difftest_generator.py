@@ -98,13 +98,19 @@ class TestInputs:
                 assert not isinstance(value, np.ndarray)
 
     def test_values_positive_and_bounded(self):
-        # the racecheck oracle's fabs-fold assumes nonnegative inputs
+        # the racecheck oracle's fabs-fold assumes nonnegative inputs;
+        # integer index arrays instead hold in-bounds subscript values
         for seed in SEEDS:
             case = generate_case(seed)
             for kernel in case.module.kernels:
                 args = make_inputs(kernel, case.extents[kernel.name], "p")
                 for value in args.values():
-                    if isinstance(value, np.ndarray):
+                    if not isinstance(value, np.ndarray):
+                        continue
+                    if value.dtype.kind == "i":
+                        assert int(value.min()) >= 0
+                        assert int(value.max()) < 4
+                    else:
                         assert float(value.min()) >= 0.75
                         assert float(value.max()) < 1.3
 
@@ -128,3 +134,60 @@ class TestShape:
     def test_corpus_helper(self):
         corpus = generate_corpus(range(4))
         assert [case.seed for case in corpus] == [0, 1, 2, 3]
+
+
+class TestIndirectAndHalo:
+    """ISSUE 10 corpus refresh: the generator must emit PIC-style
+    scatter deposits through the index array and halo-style offset
+    reads, and keep them decidable end to end."""
+
+    def test_corpus_contains_indirect_accesses(self):
+        hits = [
+            seed for seed in range(50)
+            if "cell[" in generate_case(seed).source
+        ]
+        assert len(hits) >= 5  # a healthy slice of the corpus
+
+    def test_corpus_contains_atomic_scatter_deposit(self):
+        import re
+
+        found = False
+        for seed in range(50):
+            src = generate_case(seed).source
+            if re.search(r"atomic update\n\s+\w+\[cell\[", src):
+                found = True
+                break
+        assert found
+
+    def test_corpus_contains_halo_offset(self):
+        assert any(
+            "[i + 2]" in generate_case(seed).source for seed in range(30)
+        )
+
+    def test_index_array_is_read_only_and_int(self):
+        from repro.ir.types import ArrayType
+
+        for seed in range(30):
+            case = generate_case(seed)
+            for kernel in case.module.kernels:
+                for param in kernel.params:
+                    if param.name != "cell":
+                        continue
+                    assert isinstance(param.type, ArrayType)
+                    assert param.type.dtype.is_integer
+                    assert param.intent == "in"
+
+    def test_indirect_extents_stay_in_bounds(self):
+        from repro.runtime.executor import execute_kernel
+
+        # the extent floor must absorb any index value in [0, 4)
+        for seed in range(50):
+            case = generate_case(seed)
+            for kernel in case.module.kernels:
+                if all(
+                    "cell" != p.name for p in kernel.params
+                ):
+                    continue
+                extents = case.extents[kernel.name]
+                args = make_inputs(kernel, extents, "ib")
+                execute_kernel(kernel, args)  # raises if out of bounds

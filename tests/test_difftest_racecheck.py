@@ -188,8 +188,13 @@ class TestMirrorFidelity:
             extents = case.extents[kernel.name]
             args = make_inputs(kernel, extents, f"mf:{seed}:{kernel.name}")
             ints = {k: v for k, v in args.items() if isinstance(v, int)}
+            int_arrays = {
+                k: [int(x) for x in v]
+                for k, v in args.items()
+                if isinstance(v, np.ndarray) and v.dtype.kind == "i"
+            }
             sem = _sem(kernel, mode)
-            pred = predict(kernel, kernel, sem, extents, ints)
+            pred = predict(kernel, kernel, sem, extents, ints, int_arrays)
             assert pred.supported, pred.detail
 
             def run(semantics):
@@ -208,3 +213,51 @@ class TestMirrorFidelity:
                 not np.array_equal(ref[name], got[name]) for name in ref
             )
             assert observed == pred.wrong_answer
+
+
+class TestPicDeposit:
+    """The PIC scatter deposit (ISSUE 10): ``rho[cell[p]] += ...`` is
+    exactly the race the ``#pragma acc atomic`` guards — the oracle must
+    clear the atomic form and flag the stripped form."""
+
+    def _deposit(self):
+        from repro.ir.visitors import clone_kernel
+        from repro.kernels import get_benchmark
+
+        module = get_benchmark("pic").module()
+        kernel = next(k for k in module.kernels if k.name == "pic_deposit")
+        return clone_kernel(kernel)
+
+    #: every particle maps to a cell, several share one — the racing pair
+    _CELL = [0, 1, 2, 0, 1, 2, 0, 1]
+    _EXTENTS = {"rho": 4, "cell": 8, "qw": 8, "frac": 8}
+
+    def _predict(self, kernel):
+        from repro.difftest.racecheck import predict
+
+        sem = _sem(kernel, ExecMode.PARALLEL_SNAPSHOT)
+        return predict(kernel, kernel, sem, self._EXTENTS,
+                       int_scalars={"np": 8},
+                       int_arrays={"cell": self._CELL})
+
+    def test_atomic_deposit_is_race_free(self):
+        kernel = self._deposit()
+        pred = self._predict(kernel)
+        assert pred.supported, pred.detail
+        assert not pred.wrong_answer
+        assert not pred.race_broken
+
+    def test_stripped_atomic_races(self):
+        from repro.ir.stmt import Assign
+
+        kernel = self._deposit()
+        stripped = 0
+        for stmt in kernel.body.walk():
+            if isinstance(stmt, Assign) and stmt.atomic:
+                stmt.atomic = False
+                stripped += 1
+        assert stripped == 2  # both deposit halves were guarded
+        pred = self._predict(kernel)
+        assert pred.supported, pred.detail
+        assert pred.race_broken
+        assert pred.wrong_answer

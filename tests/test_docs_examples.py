@@ -108,6 +108,10 @@ def normalized(argv: list[str]) -> list[str]:
         argv = _force_flag(argv, "--size", SIZE_CAP)
     elif cmd == "bench":
         argv = _force_flag(argv, "--size", BENCH_SIZES.get(argv[1], 128))
+    elif cmd == "matrix":
+        # the full default matrix is already sub-second at the families'
+        # test sizes; only cap a documented paper-scale sweep
+        argv = _cap_flag(argv, "--size", 64)
     elif cmd == "serve":
         # a documented daemon would block the suite: run its self-test
         # (real sockets, ephemeral port) at a tiny grid instead
@@ -164,7 +168,7 @@ class TestExtraction:
         assert sum(per_file.values()) >= 25, per_file
         for required in ("README.md", "SERVICE.md", "FAULTS.md",
                          "TELEMETRY.md", "DIFFTEST.md", "EXECUTOR.md",
-                         "JIT.md"):
+                         "JIT.md", "WORKLOADS.md"):
             assert any(n.endswith(required) and count > 0
                        for n, count in per_file.items()), per_file
 
